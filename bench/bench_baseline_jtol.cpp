@@ -1,0 +1,80 @@
+// Architecture comparison (Sec. 1 / Sec. 2.2): jitter tolerance of the
+// gated-oscillator CDR (statistical model) against the two classical
+// architectures the paper declines on power grounds — a bang-bang
+// (Alexander) PLL CDR and a digital phase-interpolator CDR (behavioral
+// phase-domain models). The qualitative shape: feedback loops track huge
+// low-frequency jitter but roll off past their loop bandwidth; the gated
+// oscillator is frequency-flat (per-edge retrigger) at a lower plateau,
+// and is the only one sensitive to sustained frequency offset.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cdr/baseline.hpp"
+#include "encoding/prbs.hpp"
+#include "masks/jtol_mask.hpp"
+#include "statmodel/gated_osc_model.hpp"
+#include "util/mathx.hpp"
+
+using namespace gcdr;
+
+int main() {
+    bench::header("Baselines", "JTOL: gated oscillator vs PLL vs PI CDR");
+
+    statmodel::ModelConfig gcco_cfg;
+    gcco_cfg.grid_dx = 1e-3;
+
+    jitter::JitterSpec base;  // Table 1 DJ/RJ for all architectures
+    base.sj_uipp = 0.0;
+
+    const cdr::BangBangCdr bb({});
+    const cdr::PhaseInterpolatorCdr pi({});
+    const auto mask = masks::JtolMask::infiniband_2g5();
+
+    bench::section("jitter tolerance [UIpp] at BER 1e-12 (cap 32 UIpp)");
+    std::printf("%10s %12s %12s %12s %12s\n", "f/fd", "gated-osc",
+                "bang-bang", "phase-int", "IB mask");
+    for (double fn : logspace(1e-5, 0.3, 10)) {
+        const double g = statmodel::jtol_amplitude(gcco_cfg, fn, 1e-12, 32.0);
+        const double b = cdr::baseline_jtol_amplitude(bb, fn, base,
+                                                      kPaperRate, 40000, 7);
+        const double p = cdr::baseline_jtol_amplitude(pi, fn, base,
+                                                      kPaperRate, 40000, 7);
+        std::printf("%10.2e %12.3f %12.3f %12.3f %12.3f\n", fn, g, b, p,
+                    mask.amplitude_at(fn * kPaperRate.bits_per_second()));
+    }
+
+    bench::section("frequency-offset sensitivity (no SJ), errors per 50k bits");
+    std::printf("%10s %12s %12s %12s\n", "offset", "gated-osc*",
+                "bang-bang", "phase-int");
+    for (double d : {0.0, 1e-4, 1e-3, 0.01, 0.03}) {
+        statmodel::ModelConfig g = gcco_cfg;
+        g.freq_offset = d;
+        const double g_ber = statmodel::ber_of(g);
+
+        cdr::BangBangCdr::Config bc;
+        bc.freq_offset = d;
+        cdr::PhaseInterpolatorCdr::Config pc;
+        pc.freq_offset = d;
+        Rng r1(9), r2(9);
+        encoding::PrbsGenerator gen1(encoding::PrbsOrder::kPrbs7);
+        encoding::PrbsGenerator gen2(encoding::PrbsOrder::kPrbs7);
+        const auto rb =
+            cdr::BangBangCdr(bc).run(gen1.bits(50000), base, kPaperRate, r1);
+        const auto rp = cdr::PhaseInterpolatorCdr(pc).run(gen2.bits(50000),
+                                                          base, kPaperRate,
+                                                          r2);
+        std::printf("%9.2f%% %12s %12llu %12llu\n", d * 100,
+                    bench::log_ber(g_ber).c_str(),
+                    static_cast<unsigned long long>(rb.errors),
+                    static_cast<unsigned long long>(rp.errors));
+    }
+    std::printf("* statistical-model log10(BER), not an error count.\n");
+
+    std::printf(
+        "\nShape reproduced: the loops' tolerance rolls off with jitter\n"
+        "frequency while the gated oscillator stays flat; conversely only\n"
+        "the gated oscillator cares about static frequency offset — the\n"
+        "trade the paper accepts to save the per-channel loop power.\n");
+    return 0;
+}

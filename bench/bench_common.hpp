@@ -1,0 +1,28 @@
+#pragma once
+// Shared formatting helpers for the figure/table reproduction benches.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace gcdr::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+    std::printf("==================================================================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("==================================================================\n");
+}
+
+inline void section(const std::string& title) {
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// log10(BER), floored for printing; "<-30" marks numerically-zero cells.
+inline std::string log_ber(double ber) {
+    if (ber <= 1e-30) return "  <-30";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%6.1f", std::log10(ber));
+    return buf;
+}
+
+}  // namespace gcdr::bench

@@ -1,0 +1,87 @@
+// Fig 13 — "Problem situation for tau <= T/2".
+// Behavioral sweep of the edge-detector delay tau: BER, mean sampling
+// margin and the margin spread of one channel at a -2% oscillator offset.
+// Reproduces the paper's reliable window T/2 < tau < T, and refines it
+// with two model findings: below T/2 the ring re-anchors to the EDET fall
+// (sampling point slides late, eating margin); near/above T the next
+// trigger's freeze swallows the last sample of long runs (bit slips), a
+// bound that tightens with frequency offset as tau + (L-1)|delta| < 1.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+
+using namespace gcdr;
+
+namespace {
+
+struct TauResult {
+    double ber = 0.0;
+    double mean_margin = 0.0;
+    double min_margin = 0.0;
+    std::size_t samples = 0;
+};
+
+TauResult run_tau(double tau_ui, double f_osc) {
+    sim::Scheduler sched;
+    Rng rng(42);
+    cdr::ChannelConfig cfg = cdr::ChannelConfig::nominal(f_osc, 0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    cfg.edge_detector.cell_delay = SimTime::from_seconds(
+        tau_ui * cfg.rate.ui_seconds() / cfg.edge_detector.n_cells);
+    cdr::GccoChannel ch(sched, rng, cfg);
+
+    encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+    jitter::StreamParams sp;
+    sp.spec = jitter::JitterSpec{};
+    sp.spec.dj_uipp = sp.spec.rj_uirms = sp.spec.ckj_uirms = 0.0;
+    sp.start = SimTime::ns(4);
+    const std::size_t n_bits = 6000;
+    ch.drive(jitter::jittered_edges(gen.bits(n_bits), sp, rng));
+    sched.run_until(sp.start +
+                    cfg.rate.ui_to_time(static_cast<double>(n_bits) - 4));
+
+    TauResult r;
+    r.ber = ch.measured_prbs_ber(encoding::PrbsOrder::kPrbs7);
+    const auto& m = ch.margins_ui();
+    r.samples = m.size();
+    if (!m.empty()) {
+        r.min_margin = *std::min_element(m.begin(), m.end());
+        for (double x : m) r.mean_margin += x;
+        r.mean_margin /= static_cast<double>(m.size());
+    }
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    bench::header("Fig 13", "edge-detector delay (tau) reliability sweep");
+
+    for (double f_osc : {2.45e9, 2.5e9}) {
+        const double delta = 2.5e9 / f_osc - 1.0;
+        std::printf("\nOscillator %.3f GHz (period offset %+0.1f%%):\n",
+                    f_osc / 1e9, delta * 100);
+        std::printf("%8s %10s %12s %12s %8s\n", "tau/T", "log10BER",
+                    "mean margin", "min margin", "edges");
+        for (double tau : {0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.7, 0.75, 0.8,
+                           0.9, 1.0, 1.1, 1.2}) {
+            const auto r = run_tau(tau, f_osc);
+            std::printf("%8.2f %10s %12.3f %12.3f %8zu\n", tau,
+                        bench::log_ber(r.ber).c_str(), r.mean_margin,
+                        r.min_margin, r.samples);
+        }
+    }
+
+    std::printf(
+        "\nPaper's rule reproduced: reliable operation for T/2 < tau < T\n"
+        "(clean clock); tau <= T/2 slides the sampling instant late by\n"
+        "(T/2 - tau) — the Fig 13 missed-synchronization margin loss —\n"
+        "and tau -> T first swallows long-run samples once the oscillator\n"
+        "runs slow, then merges EDET pulses entirely.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+// FTOL validation (Sec. 2.3): frequency tolerance measured two independent
+// ways — the statistical model's 1e-12 bound and the behavioral channel's
+// error-free range — plus where each failure mechanism takes over. The
+// data-rate spec is +-100 ppm; the design needs orders of magnitude more
+// margin than that, and has it.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+#include "statmodel/gated_osc_model.hpp"
+
+using namespace gcdr;
+
+namespace {
+
+double behavioral_ber_at(double delta, bool improved) {
+    sim::Scheduler sched;
+    Rng rng(5);
+    auto cfg = cdr::ChannelConfig::nominal(2.5e9 / (1.0 + delta));
+    cfg.improved_sampling = improved;
+    cdr::GccoChannel ch(sched, rng, cfg);
+    encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+    jitter::StreamParams sp;
+    sp.spec = jitter::JitterSpec::paper_table1();
+    sp.start = SimTime::ns(4);
+    const std::size_t n = 8000;
+    ch.drive(jitter::jittered_edges(gen.bits(n), sp, rng));
+    sched.run_until(sp.start + cfg.rate.ui_to_time(n - 4.0));
+    return ch.measured_prbs_ber(encoding::PrbsOrder::kPrbs7);
+}
+
+}  // namespace
+
+int main() {
+    bench::header("FTOL", "frequency tolerance, statistical vs behavioral");
+
+    bench::section("BER vs period offset (PRBS7, Table 1 jitter)");
+    std::printf("%9s %14s %14s %14s\n", "offset", "stat log10BER",
+                "behav mid-bit", "behav advanced");
+    for (double d : {-0.06, -0.04, -0.02, -0.01, 0.0, 0.01, 0.02, 0.04,
+                     0.05, 0.06, 0.07, 0.08}) {
+        statmodel::ModelConfig cfg;
+        cfg.grid_dx = 1e-3;
+        cfg.max_cid = 7;
+        cfg.freq_offset = d;
+        std::printf("%8.1f%% %14s %14.2g %14.2g\n", d * 100,
+                    bench::log_ber(statmodel::ber_of(cfg)).c_str(),
+                    behavioral_ber_at(d, false), behavioral_ber_at(d, true));
+    }
+
+    bench::section("FTOL summary");
+    statmodel::ModelConfig cid5;
+    cid5.grid_dx = 1e-3;
+    statmodel::ModelConfig cid7 = cid5;
+    cid7.max_cid = 7;
+    statmodel::ModelConfig adv7 = cid7;
+    adv7.sampling_advance_ui = 1.0 / 8.0;
+    std::printf("statistical FTOL @1e-12: CID5 +-%.2f%%, PRBS7 +-%.2f%%, "
+                "PRBS7 advanced +-%.2f%%\n",
+                statmodel::ftol(cid5) * 100, statmodel::ftol(cid7) * 100,
+                statmodel::ftol(adv7) * 100);
+    std::printf("data-rate specification: +-0.01%% (100 ppm) — met with "
+                "two orders of magnitude of margin.\n");
+    std::printf(
+        "\nBehavioral cliff context: beyond the statistical FTOL the first\n"
+        "failures are late samples of the longest runs; past\n"
+        "delta = (1 - tau)/(Lmax - 1) the next trigger's freeze swallows\n"
+        "those samples outright (bit slips) for either sampling tap.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks of the simulation substrates: event
+// kernel throughput, transport-wire churn, behavioral CDR bits/s, PDF
+// convolution, 8b/10b and PRBS encoding, and SPICE-lite Newton steps.
+
+#include <benchmark/benchmark.h>
+
+#include "cdr/channel.hpp"
+#include "analog/cml_cells.hpp"
+#include "analog/transient.hpp"
+#include "encoding/enc8b10b.hpp"
+#include "encoding/prbs.hpp"
+#include "statmodel/gated_osc_model.hpp"
+#include "stats/grid_pdf.hpp"
+
+namespace {
+
+using namespace gcdr;
+
+void BM_SchedulerEventChurn(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Scheduler sched;
+        std::uint64_t count = 0;
+        std::function<void()> tick = [&] {
+            if (++count < 10000) sched.schedule_in(SimTime::ps(100), tick);
+        };
+        sched.schedule_at(SimTime{0}, tick);
+        sched.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerEventChurn);
+
+void BM_WireTransportPosts(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Scheduler sched;
+        sim::Wire a(sched, "a");
+        sim::Wire b(sched, "b");
+        a.on_change([&] { b.post_transport(SimTime::ps(10), a.value()); });
+        for (int i = 0; i < 5000; ++i) {
+            sched.schedule_at(SimTime::ps(100) * (i + 1),
+                              [&a, i] { a.set_now(i % 2 == 0); });
+        }
+        sched.run();
+        benchmark::DoNotOptimize(b.transition_count());
+    }
+    state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_WireTransportPosts);
+
+void BM_GccoChannelBits(benchmark::State& state) {
+    const auto n_bits = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Scheduler sched;
+        Rng rng(1);
+        auto cfg = cdr::ChannelConfig::nominal(2.5e9);
+        cdr::GccoChannel ch(sched, rng, cfg);
+        encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+        jitter::StreamParams sp;
+        sp.start = SimTime::ns(4);
+        ch.drive(jitter::jittered_edges(gen.bits(n_bits), sp, rng));
+        sched.run_until(sp.start +
+                        cfg.rate.ui_to_time(static_cast<double>(n_bits)));
+        benchmark::DoNotOptimize(ch.decisions().size());
+    }
+    state.SetItemsProcessed(state.iterations() * n_bits);
+}
+BENCHMARK(BM_GccoChannelBits)->Arg(2000)->Arg(10000);
+
+void BM_GridPdfConvolve(benchmark::State& state) {
+    const auto g = stats::GridPdf::gaussian(0.03, 1e-3);
+    const auto u = stats::GridPdf::uniform(0.4, 1e-3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.convolve(u).mass());
+    }
+}
+BENCHMARK(BM_GridPdfConvolve);
+
+void BM_StatModelBer(benchmark::State& state) {
+    statmodel::ModelConfig cfg;
+    cfg.grid_dx = 1e-3;
+    cfg.spec.sj_uipp = 0.3;
+    cfg.sj_freq_norm = 0.1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(statmodel::ber_of(cfg));
+    }
+}
+BENCHMARK(BM_StatModelBer);
+
+void BM_Encode8b10b(benchmark::State& state) {
+    encoding::Encoder8b10b enc;
+    std::uint8_t b = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enc.encode_data(b++));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Encode8b10b);
+
+void BM_Decode8b10b(benchmark::State& state) {
+    encoding::Encoder8b10b enc;
+    std::vector<std::uint16_t> syms;
+    for (int i = 0; i < 256; ++i) {
+        syms.push_back(enc.encode_data(static_cast<std::uint8_t>(i)));
+    }
+    encoding::Decoder8b10b dec;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dec.decode(syms[i++ % syms.size()]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decode8b10b);
+
+void BM_PrbsBits(benchmark::State& state) {
+    encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs31);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.next());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrbsBits);
+
+void BM_SpiceCmlBufferStep(benchmark::State& state) {
+    analog::Circuit ckt;
+    analog::CmlNetlist nl(ckt, analog::CmlCellParams{});
+    auto in = nl.net("in");
+    nl.drive_nrz(in, {false, true, false, true}, 400e-12, 30e-12);
+    auto out = nl.net("out");
+    nl.buffer(in, out);
+    analog::TransientSim sim(ckt);
+    sim.solve_dc();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.step(1e-12));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpiceCmlBufferStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

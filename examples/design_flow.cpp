@@ -1,0 +1,114 @@
+// The paper's top-down design flow, end to end (its Sec. 5 thesis:
+// "a complete top-down approach can be implemented in the design of
+// demanding high-speed analog ICs"):
+//
+//   1. system spec      -> jitter budget (Table 1) and BER target
+//   2. statistical model-> feasibility: JTOL/FTOL at 1e-12 (Figs 9/10)
+//   3. phase-noise math -> oscillator bias from the CKJ budget (Fig 11)
+//   4. behavioral model -> time-domain verification of the netlist,
+//                          sampling-point improvement (Figs 13-17)
+//   5. transistor level -> CML cell transient sanity (Fig 18)
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analog/cml_cells.hpp"
+#include "analog/transient.hpp"
+#include "ber/bert.hpp"
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+#include "noise/phase_noise.hpp"
+#include "statmodel/gated_osc_model.hpp"
+
+using namespace gcdr;
+
+int main() {
+    std::printf("=== Step 1: system specification ===\n");
+    const double ber_target = 1e-12;
+    auto spec = jitter::JitterSpec::paper_table1();
+    std::printf("2.5 Gb/s/channel, BER <= 1e-12, DJ %.2f UIpp, RJ %.3f "
+                "UIrms, CKJ %.3f UIrms @ CID 5\n\n",
+                spec.dj_uipp, spec.rj_uirms, spec.ckj_uirms);
+
+    std::printf("=== Step 2: statistical feasibility ===\n");
+    statmodel::ModelConfig stat;
+    stat.grid_dx = 1e-3;
+    std::printf("BER at budget (no SJ): 1e%.1f\n",
+                std::log10(std::max(1e-40, statmodel::ber_of(stat))));
+    std::printf("FTOL: +-%.2f%%  (data-rate spec is only +-100 ppm)\n",
+                statmodel::ftol(stat, ber_target) * 100);
+    std::printf("JTOL at f/10: %.2f UIpp, at f/1000: %.2f UIpp\n\n",
+                statmodel::jtol_amplitude(stat, 0.1, ber_target),
+                statmodel::jtol_amplitude(stat, 1e-3, ber_target));
+
+    std::printf("=== Step 3: oscillator sizing from phase noise ===\n");
+    noise::RingOscParams proto;
+    proto.n_stages = 4;
+    proto.f_osc_hz = 2.5e9;
+    proto.delta_v_v = 0.4;
+    auto sized = noise::size_for_jitter(proto, spec.ckj_uirms, 5, kPaperRate);
+    sized.i_ss_a = std::max(sized.i_ss_a,
+                            noise::min_bias_for_parasitics(proto, 30e-15));
+    const auto budget = noise::channel_power_budget(
+        sized, 4, 3, 3.0 * sized.power_w(), 4);
+    std::printf("bias %.0f uA/stage -> channel %.2f mW = %.2f mW/Gbit/s "
+                "(claim: <= 5)\n\n",
+                sized.i_ss_a * 1e6, budget.total_w() * 1e3,
+                budget.mw_per_gbps(kPaperRate));
+
+    std::printf("=== Step 4: behavioral verification ===\n");
+    for (const bool improved : {false, true}) {
+        sim::Scheduler sched;
+        Rng rng(5);
+        auto cfg = cdr::ChannelConfig::nominal(2.375e9);  // -5% stress
+        cfg.improved_sampling = improved;
+        cdr::GccoChannel ch(sched, rng, cfg);
+        encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+        jitter::StreamParams sp;
+        sp.spec = spec;
+        sp.spec.sj_uipp = 0.1;
+        sp.spec.sj_freq_hz = 250e6;
+        sp.start = SimTime::ns(4);
+        const std::size_t n = 25000;
+        ch.drive(jitter::jittered_edges(gen.bits(n), sp, rng));
+        sched.run_until(sp.start + cfg.rate.ui_to_time(n - 4.0));
+        double worst = 1.0;
+        for (double m : ch.margins_ui()) worst = std::min(worst, m);
+        std::printf("%s sampling: eye %.2f UI, worst margin %.3f UI, "
+                    "BER %.2g\n",
+                    improved ? "advanced (Fig 15)" : "mid-bit (Fig 7)  ",
+                    ch.eye().eye_opening_ui(), worst,
+                    ch.measured_prbs_ber(encoding::PrbsOrder::kPrbs7));
+    }
+
+    std::printf("\n=== Step 5: transistor-level sanity ===\n");
+    analog::Circuit ckt;
+    analog::CmlNetlist nl(ckt, analog::CmlCellParams{});
+    auto trig = nl.net("trig");
+    ckt.add_voltage_source(trig.p, analog::kGround, 1.8);
+    ckt.add_voltage_source(trig.n, analog::kGround, 1.4);
+    const auto ring = analog::build_cml_ring(nl, trig);
+    analog::TransientSim sim(ckt);
+    if (!sim.solve_dc()) {
+        std::printf("DC failed\n");
+        return 1;
+    }
+    std::vector<double> rises;
+    double prev = analog::diff_v(sim, ring.ckout);
+    sim.run_until(20e-9, 2e-12, [&](const analog::TransientSim& s) {
+        const double v = analog::diff_v(s, ring.ckout);
+        if (prev < 0.0 && v >= 0.0 && s.time_s() > 4e-9) {
+            rises.push_back(s.time_s());
+        }
+        prev = v;
+    });
+    if (rises.size() >= 2) {
+        const double period = (rises.back() - rises.front()) /
+                              static_cast<double>(rises.size() - 1);
+        std::printf("CML ring oscillates at %.2f GHz (transistor level)\n",
+                    1e-9 / period);
+    }
+    std::printf("\nFlow complete: spec -> statistics -> sizing -> "
+                "behavior -> transistors.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Jitter-tolerance scan: sweep sinusoidal jitter frequency, find the
+// largest amplitude the CDR tolerates at a BER target, and check the curve
+// against a standard receiver mask — the workflow behind the paper's
+// JTOL discussion (Figs 5/9/10), runnable against both the statistical
+// model (fast, 1e-12 target) and the behavioral channel (slower,
+// error-count target).
+
+#include <cstdio>
+
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+#include "masks/jtol_mask.hpp"
+#include "statmodel/gated_osc_model.hpp"
+#include "util/mathx.hpp"
+
+using namespace gcdr;
+
+namespace {
+
+/// Behavioral JTOL probe: largest SJ amplitude with zero counted errors
+/// over n_bits (coarse 8-step bisection).
+double behavioral_jtol(double sj_freq_hz, std::size_t n_bits) {
+    auto errors_at = [&](double amp) {
+        sim::Scheduler sched;
+        Rng rng(11);
+        auto cfg = cdr::ChannelConfig::nominal(2.5e9);
+        cdr::GccoChannel ch(sched, rng, cfg);
+        encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+        jitter::StreamParams sp;
+        sp.spec = jitter::JitterSpec::paper_table1();
+        sp.spec.sj_uipp = amp;
+        sp.spec.sj_freq_hz = sj_freq_hz;
+        sp.start = SimTime::ns(4);
+        ch.drive(jitter::jittered_edges(gen.bits(n_bits), sp, rng));
+        sched.run_until(sp.start +
+                        cfg.rate.ui_to_time(static_cast<double>(n_bits) - 4));
+        return ch.measured_prbs_ber(encoding::PrbsOrder::kPrbs7);
+    };
+    double lo = 0.0, hi = 4.0;
+    if (errors_at(hi) == 0.0) return hi;
+    for (int i = 0; i < 8; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (errors_at(mid) == 0.0) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+}  // namespace
+
+int main() {
+    const auto mask = masks::JtolMask::infiniband_2g5();
+    statmodel::ModelConfig stat;
+    stat.grid_dx = 1e-3;
+
+    std::printf("JTOL scan at 2.5 Gb/s under the Table 1 jitter budget\n\n");
+    std::printf("%12s | %12s | %14s | %10s\n", "SJ freq", "stat @1e-12",
+                "behavioral*", "IB mask");
+    std::printf("%12s | %12s | %14s | %10s\n", "[Hz]", "[UIpp]", "[UIpp]",
+                "[UIpp]");
+    for (double f : logspace(1e5, 1e9, 9)) {
+        const double fn = f / kPaperRate.bits_per_second();
+        const double stat_tol =
+            statmodel::jtol_amplitude(stat, fn, 1e-12, 32.0);
+        const double beh_tol = behavioral_jtol(f, 4000);
+        std::printf("%12.3g | %12.3f | %14.3f | %10.3f\n", f, stat_tol,
+                    beh_tol, mask.amplitude_at(f));
+    }
+    std::printf(
+        "\n* error-free over 4k bits (cap 4 UIpp) — a much weaker criterion\n"
+        "  than 1e-12, so the two columns agree in shape, not in level.\n"
+        "  Both show the gated oscillator's signature: flat tolerance at\n"
+        "  high jitter frequency, 1/f growth below ~1/(CID) of the rate.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "analog/circuit.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gcdr::analog {
+
+NodeId Circuit::node(const std::string& name) {
+    if (name == "0" || name == "gnd") return kGround;
+    const auto it = names_.find(name);
+    if (it != names_.end()) return it->second;
+    const NodeId id = next_node_++;
+    names_.emplace(name, id);
+    return id;
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+    assert(ohms > 0.0);
+    r_.push_back(Resistor{a, b, ohms});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+    assert(farads > 0.0);
+    c_.push_back(Capacitor{a, b, farads});
+}
+
+void Circuit::add_current_source(NodeId from, NodeId to, double amps) {
+    add_current_source(from, to, [amps](double) { return amps; });
+}
+
+void Circuit::add_current_source(NodeId from, NodeId to, Waveform amps) {
+    i_.push_back(CurrentSource{from, to, std::move(amps)});
+}
+
+void Circuit::add_voltage_source(NodeId pos, NodeId neg, double volts) {
+    add_voltage_source(pos, neg, [volts](double) { return volts; });
+}
+
+void Circuit::add_voltage_source(NodeId pos, NodeId neg, Waveform volts) {
+    const int branch = static_cast<int>(v_.size());
+    v_.push_back(VoltageSource{pos, neg, std::move(volts), branch});
+}
+
+void Circuit::add_mosfet(NodeId d, NodeId g, NodeId s, const MosParams& p) {
+    m_.push_back(Mosfet{d, g, s, p});
+}
+
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
+    assert(static_cast<int>(a.size()) == n * n);
+    assert(static_cast<int>(b.size()) == n);
+    for (int col = 0; col < n; ++col) {
+        // Partial pivot.
+        int pivot = col;
+        double best = std::abs(a[col * n + col]);
+        for (int row = col + 1; row < n; ++row) {
+            const double v = std::abs(a[row * n + col]);
+            if (v > best) {
+                best = v;
+                pivot = row;
+            }
+        }
+        if (best < 1e-14) return false;
+        if (pivot != col) {
+            for (int k = col; k < n; ++k) {
+                std::swap(a[col * n + k], a[pivot * n + k]);
+            }
+            std::swap(b[col], b[pivot]);
+        }
+        const double diag = a[col * n + col];
+        for (int row = col + 1; row < n; ++row) {
+            const double factor = a[row * n + col] / diag;
+            if (factor == 0.0) continue;
+            for (int k = col; k < n; ++k) {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for (int row = n - 1; row >= 0; --row) {
+        double acc = b[row];
+        for (int k = row + 1; k < n; ++k) {
+            acc -= a[row * n + k] * b[k];
+        }
+        b[row] = acc / a[row * n + row];
+    }
+    return true;
+}
+
+}  // namespace gcdr::analog

@@ -1,0 +1,103 @@
+#pragma once
+// SPICE-lite circuit description: modified nodal analysis (MNA) over a
+// small device set — resistors, capacitors, current sources, (time-varying)
+// voltage sources and square-law MOSFETs. This is the transistor-level
+// substitute for the paper's Sec. 4 (UMC 0.18 um + SPICE): accurate enough
+// for first-order CML switching waveforms and the Fig 18 eye shape, with no
+// PDK dependency.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcdr::analog {
+
+/// Node handle. Ground is node 0.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// Square-law MOSFET parameters (level-1-style; typical 0.18 um values).
+struct MosParams {
+    double vth = 0.45;     ///< threshold voltage [V] (use negative magnitudes via PMOS flag)
+    double k = 2e-3;       ///< transconductance factor mu*Cox*W/L [A/V^2]
+    double lambda = 0.05;  ///< channel-length modulation [1/V]
+    bool pmos = false;
+
+    [[nodiscard]] static MosParams nmos_018(double w_over_l) {
+        return MosParams{0.45, 300e-6 * w_over_l, 0.05, false};
+    }
+    [[nodiscard]] static MosParams pmos_018(double w_over_l) {
+        return MosParams{0.45, 120e-6 * w_over_l, 0.08, true};
+    }
+};
+
+/// Time-varying source value.
+using Waveform = std::function<double(double t_s)>;
+
+struct Resistor {
+    NodeId a, b;
+    double ohms;
+};
+struct Capacitor {
+    NodeId a, b;
+    double farads;
+};
+struct CurrentSource {  // current flows from `from` node through the source into `to`
+    NodeId from, to;
+    Waveform amps;
+};
+struct VoltageSource {
+    NodeId pos, neg;
+    Waveform volts;
+    int branch;  ///< MNA auxiliary row index, assigned by Circuit
+};
+struct Mosfet {
+    NodeId d, g, s;
+    MosParams p;
+};
+
+/// A flat netlist with named nodes. Build once, then simulate with
+/// DcSolver / TransientSim.
+class Circuit {
+public:
+    /// Get or create a named node ("vdd", "outp", ...). "0"/"gnd" = ground.
+    [[nodiscard]] NodeId node(const std::string& name);
+    [[nodiscard]] int node_count() const { return next_node_; }
+
+    void add_resistor(NodeId a, NodeId b, double ohms);
+    void add_capacitor(NodeId a, NodeId b, double farads);
+    /// DC current source: `amps` flowing out of `from` into `to`.
+    void add_current_source(NodeId from, NodeId to, double amps);
+    void add_current_source(NodeId from, NodeId to, Waveform amps);
+    void add_voltage_source(NodeId pos, NodeId neg, double volts);
+    void add_voltage_source(NodeId pos, NodeId neg, Waveform volts);
+    void add_mosfet(NodeId d, NodeId g, NodeId s, const MosParams& p);
+
+    [[nodiscard]] const std::vector<Resistor>& resistors() const { return r_; }
+    [[nodiscard]] const std::vector<Capacitor>& capacitors() const { return c_; }
+    [[nodiscard]] const std::vector<CurrentSource>& isources() const { return i_; }
+    [[nodiscard]] const std::vector<VoltageSource>& vsources() const { return v_; }
+    [[nodiscard]] const std::vector<Mosfet>& mosfets() const { return m_; }
+
+    /// MNA system size: nodes (minus ground) + voltage-source branches.
+    [[nodiscard]] int unknown_count() const {
+        return (next_node_ - 1) + static_cast<int>(v_.size());
+    }
+
+private:
+    std::map<std::string, NodeId> names_;
+    int next_node_ = 1;  // 0 is ground
+    std::vector<Resistor> r_;
+    std::vector<Capacitor> c_;
+    std::vector<CurrentSource> i_;
+    std::vector<VoltageSource> v_;
+    std::vector<Mosfet> m_;
+};
+
+/// Dense linear solve (Gaussian elimination, partial pivoting).
+/// a is row-major n x n; b is overwritten with the solution.
+/// Returns false if the matrix is numerically singular.
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, int n);
+
+}  // namespace gcdr::analog

@@ -1,0 +1,138 @@
+#include "analog/cml_cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "analog/transient.hpp"
+
+namespace gcdr::analog {
+
+CmlNetlist::CmlNetlist(Circuit& ckt, CmlCellParams params)
+    : ckt_(&ckt), params_(params) {
+    vdd_ = ckt_->node("vdd");
+    ckt_->add_voltage_source(vdd_, kGround, params_.vdd_v);
+}
+
+DiffNet CmlNetlist::net(const std::string& name) {
+    return DiffNet{ckt_->node(name + "_p"), ckt_->node(name + "_n")};
+}
+
+void CmlNetlist::loads(DiffNet out) {
+    ckt_->add_resistor(vdd_, out.p, params_.r_load_ohm);
+    ckt_->add_resistor(vdd_, out.n, params_.r_load_ohm);
+    ckt_->add_capacitor(out.p, kGround, params_.c_load_f);
+    ckt_->add_capacitor(out.n, kGround, params_.c_load_f);
+}
+
+void CmlNetlist::buffer(DiffNet in, DiffNet out) {
+    loads(out);
+    const NodeId tail = ckt_->node("t" + std::to_string(auto_net_++));
+    const auto mos = MosParams::nmos_018(params_.pair_w_over_l);
+    // in.p high steers current into out.n's load -> out.n low, out.p high.
+    ckt_->add_mosfet(out.n, in.p, tail, mos);
+    ckt_->add_mosfet(out.p, in.n, tail, mos);
+    ckt_->add_current_source(tail, kGround, params_.i_ss_a);
+}
+
+void CmlNetlist::and2(DiffNet a, DiffNet b, DiffNet out) {
+    loads(out);
+    const auto mos = MosParams::nmos_018(params_.pair_w_over_l);
+    const NodeId t0 = ckt_->node("t" + std::to_string(auto_net_++));
+    const NodeId tm = ckt_->node("t" + std::to_string(auto_net_++));
+    // Bottom pair steered by b: current to the top pair when b, else
+    // straight to out.p (forcing out low).
+    ckt_->add_mosfet(tm, b.p, t0, mos);
+    ckt_->add_mosfet(out.p, b.n, t0, mos);
+    // Top pair steered by a.
+    ckt_->add_mosfet(out.n, a.p, tm, mos);
+    ckt_->add_mosfet(out.p, a.n, tm, mos);
+    ckt_->add_current_source(t0, kGround, params_.i_ss_a);
+}
+
+void CmlNetlist::xor2(DiffNet a, DiffNet b, DiffNet out) {
+    loads(out);
+    const auto mos = MosParams::nmos_018(params_.pair_w_over_l);
+    const NodeId t0 = ckt_->node("t" + std::to_string(auto_net_++));
+    const NodeId t1 = ckt_->node("t" + std::to_string(auto_net_++));
+    const NodeId t2 = ckt_->node("t" + std::to_string(auto_net_++));
+    ckt_->add_mosfet(t1, b.p, t0, mos);
+    ckt_->add_mosfet(t2, b.n, t0, mos);
+    // b high: out = !a is wrong for XOR; we need out low when a == b.
+    // Pair on t1 (b = 1): a = 1 pulls out.p low (out -> 0), a = 0 pulls
+    // out.n low (out -> 1).
+    ckt_->add_mosfet(out.p, a.p, t1, mos);
+    ckt_->add_mosfet(out.n, a.n, t1, mos);
+    // Pair on t2 (b = 0): a = 1 -> out 1, a = 0 -> out 0.
+    ckt_->add_mosfet(out.n, a.p, t2, mos);
+    ckt_->add_mosfet(out.p, a.n, t2, mos);
+    ckt_->add_current_source(t0, kGround, params_.i_ss_a);
+}
+
+DiffNet CmlNetlist::delay_line(DiffNet in, int n, const std::string& prefix) {
+    DiffNet cur = in;
+    for (int i = 0; i < n; ++i) {
+        DiffNet next = net(prefix + std::to_string(i + 1));
+        buffer(cur, next);
+        cur = next;
+    }
+    return cur;
+}
+
+void CmlNetlist::drive_nrz(DiffNet out, std::vector<bool> bits, double ui_s,
+                           double rise_s) {
+    const double hi = params_.vdd_v;
+    const double lo = params_.vdd_v - params_.swing_v();
+    auto level = [bits = std::move(bits), ui_s, rise_s, hi,
+                  lo](double t, bool invert) {
+        if (t < 0.0 || bits.empty()) return invert ? hi : lo;
+        const auto idx = std::min(
+            bits.size() - 1,
+            static_cast<std::size_t>(std::max(0.0, t / ui_s)));
+        const bool cur = bits[idx] != invert;
+        const double target = cur ? hi : lo;
+        // Linear ramp over rise_s after each bit boundary if the previous
+        // bit differed.
+        const double into_bit = t - static_cast<double>(idx) * ui_s;
+        if (idx == 0 || into_bit >= rise_s) return target;
+        const bool prev = bits[idx - 1] != invert;
+        if (prev == cur) return target;
+        const double from = prev ? hi : lo;
+        return from + (target - from) * (into_bit / rise_s);
+    };
+    ckt_->add_voltage_source(out.p, kGround,
+                             [level](double t) { return level(t, false); });
+    ckt_->add_voltage_source(out.n, kGround,
+                             [level](double t) { return level(t, true); });
+}
+
+CmlRing build_cml_ring(CmlNetlist& nl, DiffNet trig,
+                       const std::string& prefix) {
+    CmlRing ring;
+    ring.stage1 = nl.net(prefix + "_s1");
+    ring.stage2 = nl.net(prefix + "_s2");
+    ring.stage3 = nl.net(prefix + "_s3");
+    ring.stage4 = nl.net(prefix + "_s4");
+    // Stage 1: feedback AND gating (non-inverting in stage4, Fig 12).
+    nl.and2(ring.stage4, trig, ring.stage1);
+    // Startup kick: the perfectly symmetric operating point is a valid DC
+    // solution of the differential ring; a brief 20 uA imbalance on the
+    // first stage tips it into oscillation (in silicon, device noise and
+    // mismatch do this).
+    nl.circuit().add_current_source(ring.stage1.p, kGround, [](double t) {
+        return t < 0.5e-9 ? 20e-6 : 0.0;
+    });
+    // Stages 2..4 invert: swap differential rails at the input.
+    nl.buffer(DiffNet{ring.stage1.n, ring.stage1.p}, ring.stage2);
+    nl.buffer(DiffNet{ring.stage2.n, ring.stage2.p}, ring.stage3);
+    nl.buffer(DiffNet{ring.stage3.n, ring.stage3.p}, ring.stage4);
+    // ckout = !stage4: free complement wiring.
+    ring.ckout = DiffNet{ring.stage4.n, ring.stage4.p};
+    return ring;
+}
+
+double diff_v(const TransientSim& sim, DiffNet n) {
+    return sim.v(n.p) - sim.v(n.n);
+}
+
+}  // namespace gcdr::analog

@@ -1,0 +1,85 @@
+#pragma once
+// Transistor-level CML cell netlists (the paper's Sec. 4 design style):
+// differential pairs with resistive loads and an ideal tail current sink.
+// Cells compose into the edge-detector data path and the gated ring
+// oscillator for the Fig 18 "transistor-level eye" experiment.
+
+#include <string>
+#include <vector>
+
+#include "analog/circuit.hpp"
+
+namespace gcdr::analog {
+
+/// Shared electrical parameters of one CML cell (typical values for a
+/// 0.18 um, 1.8 V process with 400 mV swing at 200 uA).
+struct CmlCellParams {
+    double vdd_v = 1.8;
+    double r_load_ohm = 2000.0;
+    double i_ss_a = 200e-6;
+    double c_load_f = 36e-15;   ///< per-output load (sets the stage delay)
+    double pair_w_over_l = 20.0;
+
+    [[nodiscard]] double swing_v() const { return r_load_ohm * i_ss_a; }
+    /// First-order stage delay: 0.69 * R * C.
+    [[nodiscard]] double stage_delay_s() const {
+        return 0.6931 * r_load_ohm * c_load_f;
+    }
+};
+
+/// Differential net handle.
+struct DiffNet {
+    NodeId p, n;
+};
+
+/// Netlist builder for CML logic on a shared supply rail.
+class CmlNetlist {
+public:
+    CmlNetlist(Circuit& ckt, CmlCellParams params);
+
+    [[nodiscard]] Circuit& circuit() { return *ckt_; }
+    [[nodiscard]] const CmlCellParams& params() const { return params_; }
+    [[nodiscard]] NodeId vdd() const { return vdd_; }
+
+    /// Create a named differential net ("x" -> nodes "x_p"/"x_n").
+    [[nodiscard]] DiffNet net(const std::string& name);
+
+    /// Buffer / delay cell: out = in after one stage delay.
+    void buffer(DiffNet in, DiffNet out);
+    /// 2-input AND (series-gated): out = a & b.
+    void and2(DiffNet a, DiffNet b, DiffNet out);
+    /// 2-input XOR (series-gated): out = a ^ b.
+    void xor2(DiffNet a, DiffNet b, DiffNet out);
+
+    /// Chain of `n` buffers from `in`; returns the final output net.
+    [[nodiscard]] DiffNet delay_line(DiffNet in, int n,
+                                     const std::string& prefix);
+
+    /// Ideal differential NRZ driver with finite rise/fall time: drives
+    /// `out` with the bit sequence at `ui_s` seconds per bit, swinging
+    /// between vdd - swing and vdd (CML levels).
+    void drive_nrz(DiffNet out, std::vector<bool> bits, double ui_s,
+                   double rise_s);
+
+private:
+    void loads(DiffNet out);
+
+    Circuit* ckt_;
+    CmlCellParams params_;
+    NodeId vdd_;
+    int auto_net_ = 0;
+};
+
+/// Transistor-level gated ring oscillator: 4 CML stages, stage 1 gated by
+/// `trig` through a series AND path (Fig 7 at transistor level).
+struct CmlRing {
+    DiffNet stage1, stage2, stage3, stage4;
+    DiffNet ckout;  ///< = stage4 inverted (complement wiring, no extra gate)
+};
+[[nodiscard]] CmlRing build_cml_ring(CmlNetlist& nl, DiffNet trig,
+                                     const std::string& prefix = "ring");
+
+/// Helper for eye probing: differential voltage of a net.
+[[nodiscard]] double diff_v(const class TransientSim& sim, DiffNet n);
+
+}  // namespace gcdr::analog

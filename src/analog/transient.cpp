@@ -1,0 +1,214 @@
+#include "analog/transient.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gcdr::analog {
+
+namespace {
+
+struct MosEval {
+    double id;   // drain->source channel current (positive into drain)
+    double gm;   // dId/dVgs
+    double gds;  // dId/dVds
+};
+
+/// Square-law evaluation for an NMOS-oriented device with vds >= 0.
+MosEval eval_nmos(double vgs, double vds, const MosParams& p) {
+    const double vov = vgs - p.vth;
+    if (vov <= 0.0) {
+        // Subthreshold: off, tiny leakage conductance for convergence.
+        return MosEval{0.0, 0.0, 1e-12};
+    }
+    const double clm = 1.0 + p.lambda * vds;
+    if (vds >= vov) {
+        const double id = 0.5 * p.k * vov * vov * clm;
+        return MosEval{id, p.k * vov * clm,
+                       0.5 * p.k * vov * vov * p.lambda};
+    }
+    const double id = p.k * (vov * vds - 0.5 * vds * vds) * clm;
+    const double gm = p.k * vds * clm;
+    const double gds = p.k * (vov - vds) * clm +
+                       p.k * (vov * vds - 0.5 * vds * vds) * p.lambda;
+    return MosEval{id, gm, gds};
+}
+
+/// Evaluate any MOSFET given absolute terminal voltages; returns the
+/// current flowing INTO the drain terminal plus conductances referred to
+/// the (possibly swapped) operating orientation.
+struct MosStamp {
+    NodeId d, g, s;   // orientation actually used for the stamp
+    MosEval e;
+    double sign;      // +1: current d->s; -1 for PMOS (s->d)
+};
+
+MosStamp eval_mosfet(const Mosfet& m, const std::vector<double>& x) {
+    auto volt = [&x](NodeId n) { return n == kGround ? 0.0 : x[n - 1]; };
+    NodeId d = m.d, s = m.s;
+    if (!m.p.pmos) {
+        if (volt(d) < volt(s)) std::swap(d, s);  // symmetric conduction
+        const double vgs = volt(m.g) - volt(s);
+        const double vds = volt(d) - volt(s);
+        return MosStamp{d, m.g, s, eval_nmos(vgs, vds, m.p), +1.0};
+    }
+    // PMOS: mirror into NMOS coordinates (vsg, vsd).
+    if (volt(d) > volt(s)) std::swap(d, s);
+    const double vsg = volt(s) - volt(m.g);
+    const double vsd = volt(s) - volt(d);
+    return MosStamp{d, m.g, s, eval_nmos(vsg, vsd, m.p), -1.0};
+}
+
+}  // namespace
+
+TransientSim::TransientSim(const Circuit& ckt, SimOptions opts)
+    : ckt_(&ckt), opts_(opts), n_(ckt.unknown_count()) {
+    x_.assign(n_, 0.0);
+    x_prev_.assign(n_, 0.0);
+}
+
+bool TransientSim::newton_solve(double t_s, double dt_s, bool dc,
+                                double gmin) {
+    const int nn = ckt_->node_count() - 1;  // node unknowns
+    std::vector<double> a(static_cast<std::size_t>(n_) * n_);
+    std::vector<double> z(n_);
+
+    auto idx = [](NodeId nd) { return nd - 1; };
+    for (int iter = 0; iter < opts_.max_newton_iters; ++iter) {
+        std::fill(a.begin(), a.end(), 0.0);
+        std::fill(z.begin(), z.end(), 0.0);
+
+        auto stamp_g = [&](NodeId p, NodeId q, double g) {
+            if (p != kGround) a[idx(p) * n_ + idx(p)] += g;
+            if (q != kGround) a[idx(q) * n_ + idx(q)] += g;
+            if (p != kGround && q != kGround) {
+                a[idx(p) * n_ + idx(q)] -= g;
+                a[idx(q) * n_ + idx(p)] -= g;
+            }
+        };
+        auto stamp_i = [&](NodeId from, NodeId to, double amps) {
+            // amps flows out of `from` into `to`.
+            if (from != kGround) z[idx(from)] -= amps;
+            if (to != kGround) z[idx(to)] += amps;
+        };
+
+        for (int k = 0; k < nn; ++k) a[k * n_ + k] += gmin;
+
+        for (const auto& r : ckt_->resistors()) {
+            stamp_g(r.a, r.b, 1.0 / r.ohms);
+        }
+        if (!dc) {
+            for (const auto& c : ckt_->capacitors()) {
+                const double geq = c.farads / dt_s;
+                const double va0 = c.a == kGround ? 0.0 : x_prev_[idx(c.a)];
+                const double vb0 = c.b == kGround ? 0.0 : x_prev_[idx(c.b)];
+                stamp_g(c.a, c.b, geq);
+                // Backward Euler: i = geq*(v - v_prev); history as a source
+                // pushing current from a to b of geq*v_prev.
+                stamp_i(c.a, c.b, -geq * (va0 - vb0));
+            }
+        }
+        for (const auto& s : ckt_->isources()) {
+            stamp_i(s.from, s.to, s.amps(t_s));
+        }
+        for (const auto& vs : ckt_->vsources()) {
+            const int row = nn + vs.branch;
+            if (vs.pos != kGround) {
+                a[idx(vs.pos) * n_ + row] += 1.0;
+                a[row * n_ + idx(vs.pos)] += 1.0;
+            }
+            if (vs.neg != kGround) {
+                a[idx(vs.neg) * n_ + row] -= 1.0;
+                a[row * n_ + idx(vs.neg)] -= 1.0;
+            }
+            z[row] = vs.volts(t_s);
+        }
+        for (const auto& m : ckt_->mosfets()) {
+            const auto st = eval_mosfet(m, x_);
+            auto volt = [this](NodeId nd) {
+                return nd == kGround ? 0.0 : x_[nd - 1];
+            };
+            const double vgs = volt(st.g) - volt(st.s);
+            const double vds = volt(st.d) - volt(st.s);
+            double id, gm, gds, vgs_op, vds_op;
+            if (st.sign > 0.0) {
+                id = st.e.id;
+                gm = st.e.gm;
+                gds = st.e.gds;
+                vgs_op = vgs;
+                vds_op = vds;
+            } else {
+                // PMOS evaluated as (vsg, vsd): current flows s->d, i.e.
+                // negative drain current wrt the NMOS stamp orientation;
+                // conductances stay positive in mirrored coordinates.
+                id = -st.e.id;
+                gm = st.e.gm;
+                gds = st.e.gds;
+                vgs_op = -vgs;  // vsg
+                vds_op = -vds;  // vsd
+            }
+            // Linearization: i(d->s) = id + sign*gm*(dvgs_op) +
+            // sign*gds*(dvds_op). In circuit coordinates both reduce to:
+            const double g_m = gm;   // between (g,s)
+            const double g_ds = gds; // between (d,s)
+            const double ieq =
+                id - st.sign * (g_m * vgs_op + g_ds * vds_op);
+            // Stamp gds between d and s.
+            stamp_g(st.d, st.s, g_ds);
+            // Stamp gm as a VCCS: current d->s controlled by (g - s).
+            if (st.d != kGround) {
+                if (st.g != kGround) a[idx(st.d) * n_ + idx(st.g)] += g_m;
+                if (st.s != kGround) a[idx(st.d) * n_ + idx(st.s)] -= g_m;
+            }
+            if (st.s != kGround) {
+                if (st.g != kGround) a[idx(st.s) * n_ + idx(st.g)] -= g_m;
+                if (st.s != kGround) a[idx(st.s) * n_ + idx(st.s)] += g_m;
+            }
+            // History current source d->s.
+            stamp_i(st.d, st.s, ieq);
+        }
+
+        std::vector<double> a_copy = a;
+        std::vector<double> x_new = z;
+        if (!solve_dense(a_copy, x_new, n_)) return false;
+
+        // Damped update with per-iteration voltage clamping.
+        double max_dv = 0.0;
+        for (int k = 0; k < nn; ++k) {
+            double dv = x_new[k] - x_[k];
+            dv = std::clamp(dv, -0.5, 0.5);
+            x_[k] += dv;
+            max_dv = std::max(max_dv, std::abs(dv));
+        }
+        for (int k = nn; k < n_; ++k) x_[k] = x_new[k];  // branch currents
+        if (max_dv < opts_.abstol_v) return true;
+    }
+    return false;
+}
+
+bool TransientSim::solve_dc() {
+    // gmin stepping: converge with a heavy shunt first, then relax.
+    double gmin = 1e-2;
+    for (int stage = 0; stage < opts_.gmin_steps; ++stage) {
+        if (!newton_solve(0.0, 1.0, /*dc=*/true, gmin)) return false;
+        gmin = std::max(opts_.gmin, gmin * 0.1);
+    }
+    if (!newton_solve(0.0, 1.0, /*dc=*/true, opts_.gmin)) return false;
+    x_prev_ = x_;
+    return true;
+}
+
+bool TransientSim::step(double dt_s) {
+    assert(dt_s > 0.0);
+    t_ += dt_s;
+    if (!newton_solve(t_, dt_s, /*dc=*/false, opts_.gmin)) return false;
+    x_prev_ = x_;
+    return true;
+}
+
+double TransientSim::mosfet_id(std::size_t i) const {
+    const auto st = eval_mosfet(ckt_->mosfets()[i], x_);
+    return st.sign * st.e.id;
+}
+
+}  // namespace gcdr::analog

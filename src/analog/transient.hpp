@@ -1,0 +1,65 @@
+#pragma once
+// Nonlinear DC and transient analysis over a Circuit: Newton-Raphson on the
+// MNA equations; capacitors use backward-Euler companion models (A-stable,
+// appropriate for stiff CML RC nets); MOSFETs contribute their linearized
+// square-law companion at each Newton iteration.
+
+#include <vector>
+
+#include "analog/circuit.hpp"
+
+namespace gcdr::analog {
+
+struct SimOptions {
+    double gmin = 1e-9;        ///< conductance from every node to ground
+    int max_newton_iters = 200;
+    double abstol_v = 1e-6;    ///< Newton convergence on node voltages
+    int gmin_steps = 8;        ///< gmin-stepping stages for hard DC points
+};
+
+class TransientSim {
+public:
+    explicit TransientSim(const Circuit& ckt, SimOptions opts = {});
+
+    /// DC operating point at t = 0 (capacitors open). Returns false if
+    /// Newton fails even with gmin stepping.
+    bool solve_dc();
+
+    /// Advance one backward-Euler step of `dt` seconds.
+    bool step(double dt_s);
+
+    /// Run until `t_end`, fixed step, invoking `probe(sim)` after each step
+    /// if provided.
+    template <typename Fn>
+    bool run_until(double t_end_s, double dt_s, Fn&& probe) {
+        while (t_ < t_end_s) {
+            if (!step(dt_s)) return false;
+            probe(*this);
+        }
+        return true;
+    }
+    bool run_until(double t_end_s, double dt_s) {
+        return run_until(t_end_s, dt_s, [](const TransientSim&) {});
+    }
+
+    /// Node voltage (ground = 0 V).
+    [[nodiscard]] double v(NodeId n) const {
+        return n == kGround ? 0.0 : x_[n - 1];
+    }
+    [[nodiscard]] double time_s() const { return t_; }
+
+    /// Drain current of MOSFET index `i` at the present solution.
+    [[nodiscard]] double mosfet_id(std::size_t i) const;
+
+private:
+    bool newton_solve(double t_s, double dt_s, bool dc, double gmin);
+
+    const Circuit* ckt_;
+    SimOptions opts_;
+    int n_;                      ///< unknown count
+    std::vector<double> x_;      ///< current solution
+    std::vector<double> x_prev_; ///< previous accepted timestep
+    double t_ = 0.0;
+};
+
+}  // namespace gcdr::analog

@@ -1,0 +1,43 @@
+#include "ber/bert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "jitter/jitter.hpp"
+
+namespace gcdr::ber {
+
+double ErrorCounter::ber_upper_bound(double confidence) const {
+    assert(confidence > 0.0 && confidence < 1.0);
+    if (bits_ == 0) return 1.0;
+    const double n = static_cast<double>(bits_);
+    if (errors_ == 0) {
+        // Exact: (1-p)^n >= 1-confidence  =>  p <= -ln(1-conf)/n.
+        return std::min(1.0, -std::log(1.0 - confidence) / n);
+    }
+    // Gaussian approximation around the point estimate.
+    const double p = ber();
+    const double z = q_inverse(1.0 - confidence);
+    return std::min(1.0, p + z * std::sqrt(p * (1.0 - p) / n));
+}
+
+double extrapolate_ber_from_margins(const std::vector<double>& margins_ui) {
+    if (margins_ui.size() < 64) return 1.0;
+    // Margins are positive when the closing edge clears the sampler; an
+    // error is margin < 0. Fit the lower tail and evaluate P(margin < 0).
+    auto fit = jitter::fit_dual_dirac(margins_ui);
+    double mean = 0.0;
+    for (double m : margins_ui) mean += m;
+    mean /= static_cast<double>(margins_ui.size());
+    const double inner = mean - fit.dj_pp / 2.0;  // bounded-jitter edge
+    if (fit.rj_rms <= 0.0) return inner < 0.0 ? 1.0 : 0.0;
+    return std::pow(10.0, log10_q_function(std::max(0.0, inner) / fit.rj_rms));
+}
+
+double bits_needed_for(double ber_target, double confidence) {
+    assert(ber_target > 0.0);
+    return -std::log(1.0 - confidence) / ber_target;
+}
+
+}  // namespace gcdr::ber

@@ -1,0 +1,91 @@
+#pragma once
+// Baseline CDR architectures the paper argues against on power grounds
+// (Sec. 1: "we do not intend to use popular PLL, DLL or phase interpolation
+// techniques"): a bang-bang (Alexander) PLL CDR and a digital phase-
+// interpolator CDR. Discrete-time phase-domain models, one step per bit —
+// fast enough for JTOL sweeps with direct margin statistics.
+//
+// These let the bench suite reproduce the qualitative trade-off: feedback
+// loops track low-frequency jitter far beyond their bandwidth corner but
+// roll off above it, while the gated oscillator is frequency-flat (it
+// retriggers on every edge) at the cost of frequency-offset sensitivity.
+
+#include <cstdint>
+#include <vector>
+
+#include "jitter/jitter.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gcdr::cdr {
+
+/// Outcome of one baseline run.
+struct BaselineResult {
+    std::uint64_t bits = 0;
+    std::uint64_t errors = 0;          ///< samples outside the bit cell
+    std::vector<double> margins_ui;    ///< per-bit worst-case margin
+    [[nodiscard]] double counted_ber() const {
+        return bits ? static_cast<double>(errors) / static_cast<double>(bits)
+                    : 0.0;
+    }
+    /// Tail-extrapolated BER from the margin population.
+    [[nodiscard]] double extrapolated_ber() const;
+};
+
+/// Alexander (bang-bang) PLL-based CDR.
+class BangBangCdr {
+public:
+    struct Config {
+        double kp_ui = 0.01;        ///< proportional step per edge [UI]
+        double ki_ui = 2e-5;        ///< integral step per edge [UI/edge]
+        double freq_offset = 0.0;   ///< VCO period offset vs data (rel.)
+        double initial_phase_ui = 0.0;
+    };
+
+    explicit BangBangCdr(const Config& cfg) : cfg_(cfg) {}
+
+    /// Run over a bit stream with the given data jitter. SJ frequency is
+    /// taken from spec.sj_freq_hz relative to `rate`.
+    [[nodiscard]] BaselineResult run(const std::vector<bool>& bits,
+                                     const jitter::JitterSpec& spec,
+                                     LinkRate rate, Rng& rng) const;
+
+private:
+    Config cfg_;
+};
+
+/// Digital phase-interpolator CDR: quantized phase steps, majority-voted
+/// early/late decisions at a divided update rate.
+class PhaseInterpolatorCdr {
+public:
+    struct Config {
+        int phase_steps = 64;       ///< interpolator resolution per UI
+        int update_divider = 8;     ///< bits per early/late update
+        int freq_gain_shift = 6;    ///< 2nd-order (frequency) path gain 2^-n
+        double freq_offset = 0.0;
+        double initial_phase_ui = 0.0;
+    };
+
+    explicit PhaseInterpolatorCdr(const Config& cfg) : cfg_(cfg) {}
+
+    [[nodiscard]] BaselineResult run(const std::vector<bool>& bits,
+                                     const jitter::JitterSpec& spec,
+                                     LinkRate rate, Rng& rng) const;
+
+private:
+    Config cfg_;
+};
+
+/// JTOL of a baseline CDR: largest SJ amplitude (UIpp) at normalized
+/// frequency `sj_freq_norm` with extrapolated BER <= target over `n_bits`
+/// of PRBS data. Mirrors statmodel::jtol_amplitude for the GCCO.
+template <typename CdrT>
+[[nodiscard]] double baseline_jtol_amplitude(const CdrT& cdr,
+                                             double sj_freq_norm,
+                                             const jitter::JitterSpec& base,
+                                             LinkRate rate, std::size_t n_bits,
+                                             std::uint64_t seed,
+                                             double ber_target = 1e-12,
+                                             double amp_cap = 32.0);
+
+}  // namespace gcdr::cdr

@@ -1,0 +1,103 @@
+#pragma once
+// One complete CDR channel (Fig 7 / Fig 15): edge detector -> gated ring
+// oscillator -> decision sampler, plus the measurement hooks the paper's
+// verification flow uses — the clock-aligned eye generator (Sec. 3.3b) and
+// the timing-margin population for BER extrapolation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdr/edge_detector.hpp"
+#include "cdr/gated_ring_osc.hpp"
+#include "encoding/prbs.hpp"
+#include "eye/eye_diagram.hpp"
+#include "gates/cml_gates.hpp"
+#include "jitter/jitter.hpp"
+
+namespace gcdr::cdr {
+
+struct ChannelConfig {
+    LinkRate rate = kPaperRate;
+    GccoParams gcco;
+    double control_current_a = 200e-6;  ///< from the shared PLL
+    EdgeDetectorParams edge_detector;
+    /// Use the inverted third-stage clock (Fig 15): sampling advanced T/8.
+    bool improved_sampling = false;
+    /// Sampler clock-to-q delay.
+    SimTime sampler_delay = SimTime::ps(20);
+    /// Eye-diagram horizontal bins.
+    std::size_t eye_bins = 256;
+
+    /// Channel tuned so the GCCO free-runs at `f_osc` with per-stage jitter
+    /// realizing `ckj_uirms` at CID=5, and a delay line of 0.75 UI (inside
+    /// the reliable T/2 < tau < T window).
+    [[nodiscard]] static ChannelConfig nominal(double f_osc_hz,
+                                               double ckj_uirms = 0.01,
+                                               LinkRate rate = kPaperRate);
+};
+
+/// A sampler decision.
+struct Decision {
+    SimTime time;
+    bool bit;
+};
+
+class GccoChannel {
+public:
+    GccoChannel(sim::Scheduler& sched, Rng& rng, const ChannelConfig& cfg,
+                const std::string& name = "ch0");
+
+    /// Schedule a jittered edge stream onto the channel input.
+    void drive(const std::vector<jitter::Edge>& edges);
+
+    [[nodiscard]] sim::Wire& din() { return *din_; }
+    [[nodiscard]] EdgeDetector& edge_detector() { return *edet_; }
+    [[nodiscard]] GatedRingOscillator& gcco() { return *gcco_; }
+    [[nodiscard]] sim::Wire& recovered_clock() { return *sample_clk_; }
+    [[nodiscard]] sim::Wire& recovered_data() { return *q_; }
+
+    /// All sampler decisions so far (time-ordered).
+    [[nodiscard]] const std::vector<Decision>& decisions() const {
+        return decisions_;
+    }
+    /// Recovered bit values only.
+    [[nodiscard]] std::vector<bool> recovered_bits() const;
+
+    /// Clock-aligned eye of the data at the sampler input.
+    [[nodiscard]] const eye::EyeBuilder& eye() const { return eye_; }
+    [[nodiscard]] eye::EyeBuilder& eye() { return eye_; }
+
+    /// Timing margins (UI) between each data transition and the preceding
+    /// sampling-clock edge, unwrapped so near-misses go negative. Feed to
+    /// ber::extrapolate_ber_from_margins.
+    [[nodiscard]] const std::vector<double>& margins_ui() const {
+        return margins_ui_;
+    }
+
+    /// Counted BER of the recovered stream against a PRBS reference
+    /// (self-synchronizing). The first `skip_first` decisions are excluded:
+    /// they cover the oscillator start-up and the idle-to-payload boundary,
+    /// which the self-synchronizing checker would otherwise misattribute
+    /// as channel errors.
+    [[nodiscard]] double measured_prbs_ber(encoding::PrbsOrder order,
+                                           std::size_t skip_first = 64) const;
+
+private:
+    ChannelConfig cfg_;
+    sim::Scheduler* sched_;
+    std::unique_ptr<sim::Wire> din_;
+    std::unique_ptr<EdgeDetector> edet_;
+    std::unique_ptr<GatedRingOscillator> gcco_;
+    sim::Wire* sample_clk_ = nullptr;
+    std::unique_ptr<sim::Wire> q_;
+    std::unique_ptr<gates::CmlSampler> sampler_;
+    std::vector<Decision> decisions_;
+    eye::EyeBuilder eye_;
+    std::vector<double> margins_ui_;
+    std::vector<SimTime> pending_eye_edges_;
+    SimTime last_clk_rise_{-1};
+};
+
+}  // namespace gcdr::cdr

@@ -1,0 +1,30 @@
+#include "cdr/edge_detector.hpp"
+
+namespace gcdr::cdr {
+
+EdgeDetector::EdgeDetector(sim::Scheduler& sched, Rng& rng, sim::Wire& din,
+                           const EdgeDetectorParams& params,
+                           const std::string& name)
+    : params_(params),
+      line_(sched, rng, din, params.n_cells,
+            gates::CmlTiming{params.cell_delay, params.cell_jitter_rel},
+            name + "_dl") {
+    if (params_.dummy_delay < SimTime{0}) {
+        params_.dummy_delay = params_.xor_delay;
+    }
+    // EDET idles high (no pulse); XNOR of equal inputs is 1.
+    edet_ = std::make_unique<sim::Wire>(sched, name + "_edet", true);
+    ddin_ = std::make_unique<sim::Wire>(sched, name + "_ddin",
+                                        din.value());
+    const gates::CmlTiming xor_t{params_.xor_delay, params_.xor_jitter_rel};
+    // EDET = XNOR(DIN, delayed DIN): goes low for tau after each edge.
+    xnor_ = std::make_unique<gates::CmlXor>(sched, rng, din, line_.out(),
+                                            *edet_, xor_t, xor_t,
+                                            /*invert=*/true);
+    // DDIN = delayed DIN through the XOR-matching dummy gate.
+    dummy_ = std::make_unique<gates::CmlBuffer>(
+        sched, rng, line_.out(), *ddin_,
+        gates::CmlTiming{params_.dummy_delay, params_.xor_jitter_rel});
+}
+
+}  // namespace gcdr::cdr

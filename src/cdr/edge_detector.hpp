@@ -1,0 +1,56 @@
+#pragma once
+// Edge detector (Fig 7): a delay line plus an XOR gate generate the active-
+// low synchronization pulse EDET at every data transition; the pulse width
+// equals the delay-line delay tau. The data fed to the sampler (DDIN) is
+// taken at the *output* of the delay line, so the line's delay and jitter
+// do not affect sampling precision (Sec. 2.2). Parasitic XOR delay is
+// compensated by a dummy gate in the DDIN path (both modeled).
+//
+// The behavioral verification constraint found in Sec. 3.3a: reliable GCCO
+// resynchronization requires  T/2 < tau < T.
+
+#include <memory>
+#include <string>
+
+#include "gates/cml_gates.hpp"
+#include "gates/delay_line.hpp"
+
+namespace gcdr::cdr {
+
+struct EdgeDetectorParams {
+    std::size_t n_cells = 4;            ///< delay-line length
+    SimTime cell_delay = SimTime::ps(75);  ///< per-cell nominal delay
+    double cell_jitter_rel = 0.0;       ///< per-cell relative jitter sigma
+    SimTime xor_delay = SimTime::ps(20);   ///< XOR propagation delay
+    double xor_jitter_rel = 0.0;
+    /// Dummy-gate delay inserted in the DDIN path to match the XOR delay
+    /// (the paper's "compensated by dummy gates"). Defaults to xor_delay.
+    SimTime dummy_delay{-1};
+
+    [[nodiscard]] SimTime tau() const {
+        return cell_delay * static_cast<std::int64_t>(n_cells);
+    }
+};
+
+class EdgeDetector {
+public:
+    EdgeDetector(sim::Scheduler& sched, Rng& rng, sim::Wire& din,
+                 const EdgeDetectorParams& params,
+                 const std::string& name = "edet");
+
+    /// Delayed data to the sampler (through the matching dummy gate).
+    [[nodiscard]] sim::Wire& ddin() { return *ddin_; }
+    /// Active-low synchronization pulse to the GCCO.
+    [[nodiscard]] sim::Wire& edet() { return *edet_; }
+    [[nodiscard]] SimTime tau() const { return params_.tau(); }
+
+private:
+    EdgeDetectorParams params_;
+    gates::DelayLine line_;
+    std::unique_ptr<sim::Wire> edet_;
+    std::unique_ptr<sim::Wire> ddin_;
+    std::unique_ptr<gates::CmlXor> xnor_;
+    std::unique_ptr<gates::CmlBuffer> dummy_;
+};
+
+}  // namespace gcdr::cdr

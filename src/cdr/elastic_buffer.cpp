@@ -1,0 +1,53 @@
+#include "cdr/elastic_buffer.hpp"
+
+#include <cassert>
+
+namespace gcdr::cdr {
+
+ElasticBuffer::ElasticBuffer(std::size_t depth) : depth_(depth) {
+    assert(depth >= 4);
+    // Prime to half depth so both clock domains have slack from the start.
+    // Priming bits are NOT skippable: they must drain exactly once, or a
+    // consumer that empties the buffer would read duplicated filler.
+    for (std::size_t i = 0; i < depth_ / 2; ++i) {
+        fifo_.push_back(Entry{false, false});
+    }
+}
+
+void ElasticBuffer::write(bool bit, bool skippable) {
+    if (fifo_.size() >= depth_) {
+        ++overflows_;
+        recenter();
+        if (fifo_.size() >= depth_) return;  // recentering found no slack
+    }
+    fifo_.push_back(Entry{bit, skippable});
+    if (fifo_.size() > (3 * depth_) / 4) recenter();
+}
+
+std::optional<bool> ElasticBuffer::read() {
+    if (fifo_.empty()) {
+        ++underflows_;
+        return std::nullopt;
+    }
+    const Entry e = fifo_.front();
+    fifo_.pop_front();
+    if (fifo_.size() < depth_ / 4 && e.skippable) {
+        // Repeat the skippable bit to refill toward the midpoint.
+        fifo_.push_front(e);
+        ++inserted_;
+    }
+    return e.bit;
+}
+
+void ElasticBuffer::recenter() {
+    // Drop the oldest skippable entry to pull occupancy toward midpoint.
+    for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+        if (it->skippable) {
+            fifo_.erase(it);
+            ++dropped_;
+            return;
+        }
+    }
+}
+
+}  // namespace gcdr::cdr

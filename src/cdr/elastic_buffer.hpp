@@ -1,0 +1,51 @@
+#pragma once
+// Elastic buffer (Fig 4): transfers resynchronized data from the per-channel
+// recovered-clock domain into the common system-clock domain. Because the
+// recovered and system clocks may differ by up to the +-100 ppm data-rate
+// spec, the buffer recenters by dropping or repeating SKIP symbols at
+// defined boundaries (the standard 8b/10b skip-ordered-set mechanism,
+// modeled at bit granularity with marked skippable positions).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace gcdr::cdr {
+
+class ElasticBuffer {
+public:
+    /// `depth` in bits; read/write pointers start half-full apart.
+    explicit ElasticBuffer(std::size_t depth = 64);
+
+    /// Write one recovered bit. `skippable` marks bits belonging to a SKIP
+    /// symbol that recentering may drop or repeat.
+    void write(bool bit, bool skippable = false);
+
+    /// Read one bit in the system-clock domain. Returns nullopt on
+    /// underflow (and counts it).
+    [[nodiscard]] std::optional<bool> read();
+
+    [[nodiscard]] std::size_t occupancy() const { return fifo_.size(); }
+    [[nodiscard]] std::size_t depth() const { return depth_; }
+    [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+    [[nodiscard]] std::uint64_t underflows() const { return underflows_; }
+    [[nodiscard]] std::uint64_t skips_dropped() const { return dropped_; }
+    [[nodiscard]] std::uint64_t skips_inserted() const { return inserted_; }
+
+private:
+    struct Entry {
+        bool bit;
+        bool skippable;
+    };
+
+    void recenter();
+
+    std::size_t depth_;
+    std::deque<Entry> fifo_;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t underflows_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t inserted_ = 0;
+};
+
+}  // namespace gcdr::cdr

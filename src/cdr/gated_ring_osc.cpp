@@ -1,0 +1,83 @@
+#include "cdr/gated_ring_osc.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gcdr::cdr {
+
+double GccoParams::stage_sigma_for_ckj(double ckj_uirms, int cid) {
+    assert(cid >= 1);
+    // After n = 8*cid stage delays of d = T/8 each, accumulated sigma is
+    // sigma_rel * d * sqrt(n). In UI: sigma_rel * sqrt(8*cid) / 8.
+    return ckj_uirms * 8.0 / std::sqrt(8.0 * static_cast<double>(cid));
+}
+
+GatedRingOscillator::GatedRingOscillator(sim::Scheduler& sched, Rng& rng,
+                                         GccoParams params, sim::Wire& trig,
+                                         double ic_a, const std::string& name)
+    : sched_(&sched),
+      rng_(&rng),
+      params_(params),
+      trig_(&trig),
+      ic_a_(ic_a) {
+    // Initialize to the frozen-state pattern (0,1,0,1): every inverter is
+    // already consistent with its input; only the gating stage disagrees
+    // (vinv4 & trig = trig). The startup kick below therefore launches a
+    // single wavefront — a transport-delay ring would happily sustain the
+    // 3rd overtone if several fronts were injected at once, a mode real
+    // rings suppress by gate bandwidth.
+    const bool init[4] = {false, true, false, true};
+    for (int i = 0; i < 4; ++i) {
+        stage_[i] = std::make_unique<sim::Wire>(
+            sched, name + "_vinv" + std::to_string(i + 1), init[i]);
+    }
+    ckout_ = std::make_unique<sim::Wire>(sched, name + "_ckout", false);
+
+    trig_->on_change([this] { eval_stage1(); });
+    stage_[3]->on_change([this] { eval_stage1(); });
+    stage_[0]->on_change([this] { eval_inverter(1); });
+    stage_[1]->on_change([this] { eval_inverter(2); });
+    stage_[2]->on_change([this] { eval_inverter(3); });
+    stage_[3]->on_change([this] { eval_ckout(); });
+
+    // Kick: evaluate the gating stage once. With trig high this launches
+    // the single oscillation wavefront; with trig low the ring is already
+    // in its stable frozen state and nothing changes.
+    sched_->schedule_in(SimTime{0}, [this] { eval_stage1(); });
+}
+
+SimTime GatedRingOscillator::nominal_stage_delay() const {
+    const double f = params_.frequency_at(ic_a_);
+    assert(f > 0.0);
+    return SimTime::from_seconds(1.0 / (8.0 * f));
+}
+
+SimTime GatedRingOscillator::stage_delay_sample() {
+    const double f = params_.frequency_at(ic_a_);
+    assert(f > 0.0);
+    double d = 1.0 / (8.0 * f);
+    if (params_.jitter_sigma > 0.0) {
+        d *= 1.0 + rng_->gaussian(0.0, params_.jitter_sigma);
+    }
+    const auto fs = SimTime::from_seconds(d);
+    return fs > SimTime::fs(1) ? fs : SimTime::fs(1);
+}
+
+void GatedRingOscillator::eval_stage1() {
+    // vinv1 <= (vinv4 AND trig) after delay0 (Fig 12; enable/nreset tied
+    // high in this model — gating is the EDET input).
+    const bool v = stage_[3]->value() && trig_->value();
+    stage_[0]->post_transport(stage_delay_sample(), v);
+}
+
+void GatedRingOscillator::eval_inverter(int i) {
+    stage_[i]->post_transport(stage_delay_sample(), !stage_[i - 1]->value());
+}
+
+void GatedRingOscillator::eval_ckout() {
+    // ckout <= not(vinv4): the free differential inversion; modeled with a
+    // 1 fs delta so the kernel keeps strict causality.
+    ckout_->post_transport(SimTime::fs(1), !stage_[3]->value());
+}
+
+}  // namespace gcdr::cdr

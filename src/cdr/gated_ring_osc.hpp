@@ -1,0 +1,95 @@
+#pragma once
+// The gated current-controlled ring oscillator (GCCO) — the paper's core
+// block (Fig 7 / Fig 12 / Fig 15).
+//
+// Topology: a four-stage CML ring. Stage 1 ANDs the feedback from stage 4
+// with the gating input (EDET, active low). Stages 2-4 invert. Each stage
+// delay is
+//
+//     d = 1 / (8 * (fc + k * (Ic - Ic0))) * (1 + N(0, jitter_sigma))
+//
+// exactly the VHDL of Fig 12: the ring period is 8 stage delays, so the
+// oscillation frequency is fc + k*(Ic - Ic0).
+//
+// Gating: when EDET goes low, stage 1 is forced low; the frozen state
+// propagates through the ring within 4 stage delays (= T/2 — this is where
+// the Fig 13 constraint  tau > T/2  comes from). When EDET rises, the ring
+// restarts; the recovered clock output (complement of stage 4) rises T/2
+// after the release, putting the sampling edge mid-bit (Fig 8).
+//
+// Outputs:
+//  - ckout():       recovered clock of the base topology (Fig 7),
+//  - ck_improved(): the inverted third-stage output (Fig 15) whose rising
+//                   edges lead ckout() by one stage delay (T/8), the
+//                   sampling-point improvement of Sec. 3.3b.
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "sim/scheduler.hpp"
+#include "sim/wire.hpp"
+#include "util/rng.hpp"
+
+namespace gcdr::cdr {
+
+/// Electrical parameters of the gated CCO (generics of Fig 12's entity).
+struct GccoParams {
+    double k_hz_per_a = 1.0e12;   ///< CCO gain [Hz/A]
+    double fc_hz = 2.5e9;         ///< free-running frequency at Ic = Ic0
+    double ic0_a = 200e-6;        ///< control-current mid-point
+    double jitter_sigma = 0.0;    ///< relative per-stage delay sigma
+
+    /// Oscillation frequency at control current `ic`.
+    [[nodiscard]] double frequency_at(double ic_a) const {
+        return fc_hz + k_hz_per_a * (ic_a - ic0_a);
+    }
+
+    /// Per-stage relative jitter sigma that realizes a target sampling-
+    /// clock jitter of `ckj_uirms` (UI RMS) after `cid` bit periods of
+    /// free run, for a 4-stage ring at the data rate: jitter accumulates
+    /// over 8*cid independent stage delays of T/8 each.
+    [[nodiscard]] static double stage_sigma_for_ckj(double ckj_uirms,
+                                                    int cid);
+};
+
+class GatedRingOscillator {
+public:
+    /// `trig` is the gating input (EDET, active low). The oscillator runs
+    /// at params.frequency_at(ic) until trig falls.
+    GatedRingOscillator(sim::Scheduler& sched, Rng& rng, GccoParams params,
+                        sim::Wire& trig, double ic_a,
+                        const std::string& name = "gcco");
+
+    /// Recovered clock (base topology): complement of stage 4.
+    [[nodiscard]] sim::Wire& ckout() { return *ckout_; }
+    /// Advanced recovered clock (improved topology, Fig 15): stage-3 node,
+    /// whose rising edges lead ckout() by one stage delay (T/8).
+    [[nodiscard]] sim::Wire& ck_improved() { return *stage_[2]; }
+    /// Internal ring nodes (vinv1..vinv4 of Fig 12), for tracing.
+    [[nodiscard]] sim::Wire& stage(int i) { return *stage_[i]; }
+
+    /// Matched-oscillator control-current update (from the shared PLL).
+    void set_control_current(double ic_a) { ic_a_ = ic_a; }
+    [[nodiscard]] double control_current() const { return ic_a_; }
+    [[nodiscard]] double frequency_hz() const {
+        return params_.frequency_at(ic_a_);
+    }
+    [[nodiscard]] SimTime nominal_stage_delay() const;
+
+private:
+    void eval_stage1();
+    void eval_inverter(int i);  // stages 2..4: stage_[i] = !stage_[i-1]
+    void eval_ckout();
+    [[nodiscard]] SimTime stage_delay_sample();
+
+    sim::Scheduler* sched_;
+    Rng* rng_;
+    GccoParams params_;
+    sim::Wire* trig_;
+    double ic_a_;
+    std::array<std::unique_ptr<sim::Wire>, 4> stage_;
+    std::unique_ptr<sim::Wire> ckout_;
+};
+
+}  // namespace gcdr::cdr

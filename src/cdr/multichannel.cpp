@@ -1,0 +1,53 @@
+#include "cdr/multichannel.hpp"
+
+#include <string>
+
+namespace gcdr::cdr {
+
+MultiChannelConfig MultiChannelConfig::paper_receiver() {
+    MultiChannelConfig cfg;
+    cfg.n_channels = 4;
+    cfg.channel = ChannelConfig::nominal(2.5e9);
+    cfg.pll.cco = cfg.channel.gcco;
+    cfg.pll.f_ref_hz = 156.25e6;
+    cfg.pll.divider = 16;
+    return cfg;
+}
+
+MultiChannelCdr::MultiChannelCdr(sim::Scheduler& sched, Rng& rng,
+                                 const MultiChannelConfig& cfg)
+    : cfg_(cfg), pll_(cfg.pll) {
+    pll_.run_to_lock();
+    const double ic = pll_.control_current_a();
+    for (int i = 0; i < cfg_.n_channels; ++i) {
+        ChannelConfig ch = cfg_.channel;
+        ch.control_current_a = ic;
+        // Mirror/oscillator mismatch: each channel's free-running frequency
+        // deviates slightly from HFCK even with a perfect control current.
+        if (cfg_.cco_mismatch_sigma > 0.0) {
+            ch.gcco.fc_hz *= 1.0 + rng.gaussian(0.0, cfg_.cco_mismatch_sigma);
+        }
+        channels_.push_back(std::make_unique<GccoChannel>(
+            sched, rng, ch, "ch" + std::to_string(i)));
+        elastic_.push_back(std::make_unique<ElasticBuffer>(cfg_.elastic_depth));
+    }
+}
+
+std::vector<std::vector<bool>> MultiChannelCdr::drain_elastic() {
+    std::vector<std::vector<bool>> out(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        auto& eb = *elastic_[i];
+        // Both domains run at the same nominal rate: one system-clock read
+        // per recovered-clock write, then drain the residue.
+        for (const auto& d : channels_[i]->decisions()) {
+            eb.write(d.bit);
+            if (auto b = eb.read()) out[i].push_back(*b);
+        }
+        while (eb.occupancy() > 0) {
+            if (auto b = eb.read()) out[i].push_back(*b);
+        }
+    }
+    return out;
+}
+
+}  // namespace gcdr::cdr

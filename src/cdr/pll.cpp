@@ -1,0 +1,63 @@
+#include "cdr/pll.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace gcdr::cdr {
+
+BehavioralPll::BehavioralPll(const PllConfig& cfg) : cfg_(cfg) {
+    assert(cfg_.divider >= 1);
+    assert(cfg_.cco.k_hz_per_a > 0.0);
+    // Second-order loop design: K_vco in rad/s/A, wn = 2*pi*bw.
+    const double kv = 2.0 * std::numbers::pi * cfg_.cco.k_hz_per_a;
+    const double wn = 2.0 * std::numbers::pi * cfg_.loop_bw_hz;
+    kp_ = 2.0 * cfg_.damping * wn * cfg_.divider / kv;
+    ki_ = wn * wn * cfg_.divider / kv;
+    ic_a_ = cfg_.cco.ic0_a;
+    ic_filt_a_ = cfg_.cco.ic0_a;
+    integ_a_ = cfg_.cco.ic0_a;  // integral path holds the DC operating point
+}
+
+void BehavioralPll::run(double duration_s) {
+    const double dt = cfg_.dt_s;
+    const long steps = std::lround(duration_s / dt);
+    const double two_pi = 2.0 * std::numbers::pi;
+    const double alpha =
+        1.0 - std::exp(-two_pi * cfg_.ripple_pole_hz * dt);  // ripple pole
+    for (long i = 0; i < steps; ++i) {
+        const double f_vco = cfg_.cco.frequency_at(ic_a_);
+        // Phase error accumulates at the frequency difference between the
+        // reference and the divided VCO.
+        theta_err_rad_ +=
+            two_pi * (cfg_.f_ref_hz - f_vco / cfg_.divider) * dt;
+        integ_a_ += ki_ * theta_err_rad_ * dt;
+        const double raw = integ_a_ + kp_ * theta_err_rad_;
+        ic_filt_a_ += alpha * (raw - ic_filt_a_);
+        ic_a_ = ic_filt_a_;
+        t_s_ += dt;
+        if (++step_count_ % record_stride == 0) ic_hist_.push_back(ic_a_);
+    }
+}
+
+bool BehavioralPll::run_to_lock(double tol_rel, double max_s) {
+    const double tau = 1.0 / cfg_.loop_bw_hz;
+    double locked_for = 0.0;
+    while (t_s_ < max_s) {
+        run(tau / 10.0);
+        if (std::abs(frequency_error_rel()) < tol_rel) {
+            locked_for += tau / 10.0;
+            if (locked_for >= tau) return true;
+        } else {
+            locked_for = 0.0;
+        }
+    }
+    return std::abs(frequency_error_rel()) < tol_rel;
+}
+
+double BehavioralPll::frequency_error_rel() const {
+    return (vco_frequency_hz() - target_frequency_hz()) /
+           target_frequency_hz();
+}
+
+}  // namespace gcdr::cdr

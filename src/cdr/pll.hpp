@@ -1,0 +1,70 @@
+#pragma once
+// Shared behavioral PLL (Fig 6): multiplies the low-frequency crystal
+// reference (LFCK) up to the line rate and distributes a copy of its
+// control current IC to the matched gated oscillators in every channel.
+// Provided the CCOs match, every channel's free-running frequency equals
+// HFCK (Sec. 2.2).
+//
+// Discrete-time phase-domain model of a classical charge-pump PLL with a
+// proportional-integral loop filter; the "high-order" filter of the paper
+// is approximated by an extra ripple pole.
+
+#include <cstddef>
+#include <vector>
+
+#include "cdr/gated_ring_osc.hpp"
+
+namespace gcdr::cdr {
+
+struct PllConfig {
+    double f_ref_hz = 156.25e6;   ///< LFCK crystal reference
+    int divider = 16;             ///< HFCK = divider * f_ref = 2.5 GHz
+    GccoParams cco;               ///< matched CCO (same params as channels)
+    double loop_bw_hz = 2e6;      ///< closed-loop natural frequency
+    double damping = 1.0;         ///< damping factor zeta
+    double ripple_pole_hz = 20e6; ///< extra filter pole (high-order loop)
+    double dt_s = 1e-9;           ///< integration step
+};
+
+class BehavioralPll {
+public:
+    explicit BehavioralPll(const PllConfig& cfg);
+
+    /// Advance the loop by `duration` seconds.
+    void run(double duration_s);
+
+    /// Run until the frequency error is below `tol_rel` for a full loop
+    /// time constant, or `max_s` elapses. Returns true if locked.
+    bool run_to_lock(double tol_rel = 1e-6, double max_s = 200e-6);
+
+    [[nodiscard]] double control_current_a() const { return ic_a_; }
+    [[nodiscard]] double vco_frequency_hz() const {
+        return cfg_.cco.frequency_at(ic_a_);
+    }
+    [[nodiscard]] double target_frequency_hz() const {
+        return cfg_.f_ref_hz * cfg_.divider;
+    }
+    [[nodiscard]] double frequency_error_rel() const;
+    [[nodiscard]] double elapsed_s() const { return t_s_; }
+
+    /// Control-current transient recorded during run() (one point per
+    /// `record_stride` steps), for loop-dynamics tests/benches.
+    [[nodiscard]] const std::vector<double>& ic_history() const {
+        return ic_hist_;
+    }
+    std::size_t record_stride = 100;
+
+private:
+    PllConfig cfg_;
+    double t_s_ = 0.0;
+    double theta_err_rad_ = 0.0;  ///< reference minus divided VCO phase
+    double integ_a_ = 0.0;        ///< integral path charge
+    double ic_filt_a_ = 0.0;      ///< after ripple pole
+    double ic_a_ = 0.0;
+    double kp_ = 0.0;             ///< proportional gain [A/rad]
+    double ki_ = 0.0;             ///< integral gain [A/(rad*s)]
+    std::size_t step_count_ = 0;
+    std::vector<double> ic_hist_;
+};
+
+}  // namespace gcdr::cdr

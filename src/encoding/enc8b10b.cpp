@@ -1,0 +1,209 @@
+#include "encoding/enc8b10b.hpp"
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace gcdr::encoding {
+
+namespace {
+
+// 5b/6b table, RD- column, "abcdei" with 'a' in bit 5.
+constexpr std::array<std::uint8_t, 32> kD6Neg = {
+    0b100111, 0b011101, 0b101101, 0b110001, 0b110101, 0b101001, 0b011001,
+    0b111000, 0b111001, 0b100101, 0b010101, 0b110100, 0b001101, 0b101100,
+    0b011100, 0b010111, 0b011011, 0b100011, 0b010011, 0b110010, 0b001011,
+    0b101010, 0b011010, 0b111010, 0b110011, 0b100110, 0b010110, 0b110110,
+    0b001110, 0b101110, 0b011110, 0b101011,
+};
+
+// 3b/4b table for data, RD- column, "fghj" with 'f' in bit 3. Index 7 is
+// the primary (P7) encoding; the alternate (A7) is handled separately.
+constexpr std::array<std::uint8_t, 8> kD4Neg = {
+    0b1011, 0b1001, 0b0101, 0b1100, 0b1101, 0b1010, 0b0110, 0b1110,
+};
+constexpr std::uint8_t kA7Neg = 0b0111;
+
+// K-code sub-block tables (RD- column). Only x in {23,27,28,29,30} exist.
+constexpr std::uint8_t k6_neg_for_x(std::uint8_t x) {
+    switch (x) {
+        case 23: return 0b111010;
+        case 27: return 0b110110;
+        case 28: return 0b001111;
+        case 29: return 0b101110;
+        case 30: return 0b011110;
+        default: return 0;  // invalid, guarded by is_valid_control
+    }
+}
+
+constexpr std::array<std::uint8_t, 8> kK4Neg = {
+    0b1011, 0b0110, 0b1010, 0b1100, 0b1101, 0b0101, 0b1001, 0b0111,
+};
+
+int popcount6(std::uint8_t v) { return std::popcount(static_cast<unsigned>(v & 0x3F)); }
+int popcount4(std::uint8_t v) { return std::popcount(static_cast<unsigned>(v & 0x0F)); }
+
+// RD+ column of a 6b sub-block: complement when unbalanced; balanced codes
+// keep their RD- form except D.07 / K.28, which flip despite being balanced.
+std::uint8_t d6_pos(std::uint8_t x) {
+    const std::uint8_t neg = kD6Neg[x];
+    if (popcount6(neg) != 3 || x == 7) return static_cast<std::uint8_t>(~neg & 0x3F);
+    return neg;
+}
+
+std::uint8_t d4_pos(std::uint8_t y) {
+    const std::uint8_t neg = kD4Neg[y];
+    if (popcount4(neg) != 2 || y == 3) return static_cast<std::uint8_t>(~neg & 0x0F);
+    return neg;
+}
+
+// A7 replaces P7 to avoid five-bit runs across the sub-block boundary.
+bool use_alternate7(Disparity rd_after6, std::uint8_t x) {
+    if (rd_after6 == Disparity::kNegative) {
+        return x == 17 || x == 18 || x == 20;
+    }
+    return x == 11 || x == 13 || x == 14;
+}
+
+Disparity advance(Disparity rd, int block_popcount, int block_width) {
+    const int disp = 2 * block_popcount - block_width;
+    if (disp == 0) return rd;
+    return disp > 0 ? Disparity::kPositive : Disparity::kNegative;
+}
+
+struct SymbolInfo {
+    CodePoint code;
+    Disparity end_rd;
+};
+
+// symbol -> per-start-RD decode info, built once by running the encoder
+// over the full code space. Index 0: start RD-, index 1: start RD+.
+using DecodeTable = std::map<std::uint16_t, std::array<std::optional<SymbolInfo>, 2>>;
+
+const DecodeTable& decode_table() {
+    static const DecodeTable table = [] {
+        DecodeTable t;
+        auto add = [&t](CodePoint cp, Disparity start) {
+            Encoder8b10b enc(start);
+            const std::uint16_t sym = enc.encode(cp);
+            auto& slot = t[sym][start == Disparity::kNegative ? 0 : 1];
+            // The code space is a bijection per column; collisions would be
+            // a table bug and are asserted against in tests.
+            slot = SymbolInfo{cp, enc.running_disparity()};
+        };
+        for (int b = 0; b < 256; ++b) {
+            add(CodePoint{static_cast<std::uint8_t>(b), false},
+                Disparity::kNegative);
+            add(CodePoint{static_cast<std::uint8_t>(b), false},
+                Disparity::kPositive);
+        }
+        for (int b = 0; b < 256; ++b) {
+            const auto byte = static_cast<std::uint8_t>(b);
+            if (!is_valid_control(byte)) continue;
+            add(CodePoint{byte, true}, Disparity::kNegative);
+            add(CodePoint{byte, true}, Disparity::kPositive);
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+bool is_valid_control(std::uint8_t byte) {
+    const std::uint8_t x = byte & 0x1F;
+    const std::uint8_t y = byte >> 5;
+    if (x == 28) return true;  // K.28.0 .. K.28.7
+    return y == 7 && (x == 23 || x == 27 || x == 29 || x == 30);
+}
+
+std::uint16_t Encoder8b10b::encode(CodePoint cp) {
+    const std::uint8_t x = cp.byte & 0x1F;
+    const std::uint8_t y = cp.byte >> 5;
+
+    std::uint8_t six;
+    std::uint8_t four;
+    if (cp.is_control) {
+        if (!is_valid_control(cp.byte)) {
+            throw std::invalid_argument("invalid 8b/10b control code point");
+        }
+        const std::uint8_t six_neg = k6_neg_for_x(x);
+        six = (rd_ == Disparity::kNegative)
+                  ? six_neg
+                  : static_cast<std::uint8_t>(~six_neg & 0x3F);
+        const Disparity rd6 = advance(rd_, popcount6(six), 6);
+        const std::uint8_t four_neg = kK4Neg[y];
+        // K 4b codes always swap with RD (including the balanced ones).
+        four = (rd6 == Disparity::kNegative)
+                   ? four_neg
+                   : static_cast<std::uint8_t>(~four_neg & 0x0F);
+        rd_ = advance(rd6, popcount4(four), 4);
+    } else {
+        six = (rd_ == Disparity::kNegative) ? kD6Neg[x] : d6_pos(x);
+        const Disparity rd6 = advance(rd_, popcount6(six), 6);
+        if (y == 7 && use_alternate7(rd6, x)) {
+            four = (rd6 == Disparity::kNegative)
+                       ? kA7Neg
+                       : static_cast<std::uint8_t>(~kA7Neg & 0x0F);
+        } else {
+            four = (rd6 == Disparity::kNegative) ? kD4Neg[y] : d4_pos(y);
+        }
+        rd_ = advance(rd6, popcount4(four), 4);
+    }
+    return static_cast<std::uint16_t>((six << 4) | four);
+}
+
+std::vector<bool> Encoder8b10b::encode_stream(
+    const std::vector<CodePoint>& cps) {
+    std::vector<bool> bits;
+    bits.reserve(cps.size() * 10);
+    for (const auto& cp : cps) {
+        const std::uint16_t sym = encode(cp);
+        for (int b = 9; b >= 0; --b) bits.push_back((sym >> b) & 1u);
+    }
+    return bits;
+}
+
+std::optional<DecodeResult> Decoder8b10b::decode(std::uint16_t symbol) {
+    const auto& table = decode_table();
+    const auto it = table.find(symbol);
+    if (it == table.end()) {
+        // Illegal symbol. Track disparity from raw popcount so follow-on
+        // symbols are still judged sensibly.
+        const int pc = std::popcount(static_cast<unsigned>(symbol & 0x3FF));
+        if (pc != 5) rd_ = (pc > 5) ? Disparity::kPositive : Disparity::kNegative;
+        return std::nullopt;
+    }
+    const int want = (rd_ == Disparity::kNegative) ? 0 : 1;
+    if (const auto& hit = it->second[want]) {
+        rd_ = hit->end_rd;
+        return DecodeResult{hit->code, false};
+    }
+    const auto& other = it->second[1 - want];
+    assert(other.has_value());
+    rd_ = other->end_rd;
+    return DecodeResult{other->code, true};
+}
+
+std::optional<std::size_t> find_comma_alignment(const std::vector<bool>& bits) {
+    // Comma: 0011111 or 1100000 ("singular" sequence; first bit = symbol
+    // start). Appears only in K28.1/K28.5/K28.7.
+    if (bits.size() < 7) return std::nullopt;
+    for (std::size_t i = 0; i + 7 <= bits.size(); ++i) {
+        const bool b0 = bits[i];
+        if (bits[i + 1] != b0) continue;
+        bool ok = true;
+        for (std::size_t k = 2; k < 7; ++k) {
+            if (bits[i + k] == b0) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) return i;
+    }
+    return std::nullopt;
+}
+
+}  // namespace gcdr::encoding

@@ -1,0 +1,92 @@
+#pragma once
+// Full IBM 8b/10b line code (Widmer & Franaszek), as used by InfiniBand and
+// the short-distance serial links the paper targets (Sec. 1, Sec. 2.3).
+//
+// Properties the CDR design relies on and the tests verify:
+//  - DC balance via running disparity (RD) bookkeeping,
+//  - run length (consecutive identical digits, CID) bounded by 5,
+//  - comma sequences (in K28.5) for word alignment.
+//
+// Bit conventions: a 10-bit symbol is stored in a std::uint16_t with the
+// first-transmitted bit 'a' in bit 9 (MSB) down to 'j' in bit 0, so
+// serialization walks from bit 9 to bit 0.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gcdr::encoding {
+
+/// Running disparity: either -1 or +1 between symbols.
+enum class Disparity : int { kNegative = -1, kPositive = +1 };
+
+/// An 8-bit code point: data (D.x.y) or control (K.x.y).
+struct CodePoint {
+    std::uint8_t byte = 0;
+    bool is_control = false;
+
+    friend bool operator==(const CodePoint&, const CodePoint&) = default;
+};
+
+/// K28.5: the comma character used for word alignment and elastic-buffer
+/// skip management.
+inline constexpr CodePoint kK28_5{0xBC, true};
+/// K28.0: skip/idle filler.
+inline constexpr CodePoint kK28_0{0x1C, true};
+
+/// Returns true if `byte` is one of the 12 valid control code points.
+[[nodiscard]] bool is_valid_control(std::uint8_t byte);
+
+/// Stateful 8b/10b encoder tracking running disparity.
+class Encoder8b10b {
+public:
+    explicit Encoder8b10b(Disparity initial = Disparity::kNegative)
+        : rd_(initial) {}
+
+    /// Encode one code point into a 10-bit symbol (bit 9 first on the wire).
+    /// Control points must satisfy is_valid_control().
+    [[nodiscard]] std::uint16_t encode(CodePoint cp);
+
+    /// Encode a data byte.
+    [[nodiscard]] std::uint16_t encode_data(std::uint8_t byte) {
+        return encode(CodePoint{byte, false});
+    }
+
+    /// Serialize symbols to a bit stream, MSB ('a') first.
+    [[nodiscard]] std::vector<bool> encode_stream(
+        const std::vector<CodePoint>& cps);
+
+    [[nodiscard]] Disparity running_disparity() const { return rd_; }
+
+private:
+    Disparity rd_;
+};
+
+/// Result of decoding one 10-bit symbol.
+struct DecodeResult {
+    CodePoint code;
+    bool disparity_error = false;  // symbol legal but wrong RD column
+};
+
+/// Stateful 8b/10b decoder with code and disparity error detection.
+class Decoder8b10b {
+public:
+    explicit Decoder8b10b(Disparity initial = Disparity::kNegative)
+        : rd_(initial) {}
+
+    /// Decode one symbol. nullopt => not a legal 10b code in either column.
+    [[nodiscard]] std::optional<DecodeResult> decode(std::uint16_t symbol);
+
+    [[nodiscard]] Disparity running_disparity() const { return rd_; }
+
+private:
+    Disparity rd_;
+};
+
+/// Scan a serial bit stream for the comma pattern (the singular sequence
+/// 0011111 / 1100000 that only appears in K28.1/5/7); returns the bit index
+/// where the first aligned 10-bit symbol starts, or nullopt.
+[[nodiscard]] std::optional<std::size_t> find_comma_alignment(
+    const std::vector<bool>& bits);
+
+}  // namespace gcdr::encoding

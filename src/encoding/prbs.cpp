@@ -1,0 +1,74 @@
+#include "encoding/prbs.hpp"
+
+#include <cassert>
+
+namespace gcdr::encoding {
+
+namespace {
+int second_tap(PrbsOrder order) {
+    switch (order) {
+        case PrbsOrder::kPrbs7: return 6;
+        case PrbsOrder::kPrbs9: return 5;
+        case PrbsOrder::kPrbs15: return 14;
+        case PrbsOrder::kPrbs23: return 18;
+        case PrbsOrder::kPrbs31: return 28;
+    }
+    return 0;
+}
+}  // namespace
+
+PrbsGenerator::PrbsGenerator(PrbsOrder order, std::uint32_t seed)
+    : order_(static_cast<int>(order)), tap_(second_tap(order)) {
+    const std::uint32_t mask = (order_ == 31)
+                                   ? 0x7FFFFFFFu
+                                   : ((std::uint32_t{1} << order_) - 1);
+    state_ = seed & mask;
+    if (state_ == 0) state_ = mask;  // all-zero state is the LFSR fixed point
+}
+
+bool PrbsGenerator::next() {
+    const bool out = (state_ >> (order_ - 1)) & 1u;
+    const bool fb = out ^ ((state_ >> (tap_ - 1)) & 1u);
+    state_ = ((state_ << 1) | static_cast<std::uint32_t>(fb)) &
+             ((order_ == 31) ? 0x7FFFFFFFu
+                             : ((std::uint32_t{1} << order_) - 1));
+    return out;
+}
+
+std::vector<bool> PrbsGenerator::bits(std::size_t n) {
+    std::vector<bool> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+    return out;
+}
+
+PrbsChecker::PrbsChecker(PrbsOrder order)
+    : order_(static_cast<int>(order)), tap_(second_tap(order)) {}
+
+bool PrbsChecker::predict_and_shift(bool actual) {
+    const bool predicted =
+        (((shift_ >> (order_ - 1)) ^ (shift_ >> (tap_ - 1))) & 1u) != 0;
+    shift_ = ((shift_ << 1) | static_cast<std::uint32_t>(actual)) &
+             ((order_ == 31) ? 0x7FFFFFFFu
+                             : ((std::uint32_t{1} << order_) - 1));
+    return predicted;
+}
+
+bool PrbsChecker::feed(bool bit) {
+    if (!locked_) {
+        // Fill the register from the line, then verify a probation window:
+        // with the register seeded from received data, a clean stream
+        // predicts itself exactly.
+        predict_and_shift(bit);
+        if (++warmup_ >= 2 * order_) locked_ = true;
+        return true;
+    }
+    const bool predicted = predict_and_shift(bit);
+    ++checked_;
+    if (predicted != bit) {
+        ++errors_;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace gcdr::encoding

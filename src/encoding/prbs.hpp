@@ -1,0 +1,77 @@
+#pragma once
+// Pseudo-random binary sequence generators (Fibonacci LFSRs).
+//
+// The paper's eye diagrams (Figs 14/16/18) use PRBS7, chosen deliberately:
+// PRBS7 exhibits longer runs (up to 7 consecutive identical digits) than an
+// 8b/10b stream (<= 5), so it stresses the gated oscillator's free-running
+// drift harder than the real line code would.
+
+#include <cstdint>
+#include <vector>
+
+namespace gcdr::encoding {
+
+/// ITU-T standard PRBS polynomials.
+enum class PrbsOrder : int {
+    kPrbs7 = 7,    // x^7 + x^6 + 1, period 127
+    kPrbs9 = 9,    // x^9 + x^5 + 1, period 511
+    kPrbs15 = 15,  // x^15 + x^14 + 1, period 32767
+    kPrbs23 = 23,  // x^23 + x^18 + 1, period 8388607
+    kPrbs31 = 31,  // x^31 + x^28 + 1, period 2^31 - 1
+};
+
+/// Fibonacci LFSR PRBS source. Deterministic; period 2^order - 1.
+class PrbsGenerator {
+public:
+    explicit PrbsGenerator(PrbsOrder order, std::uint32_t seed = 0);
+
+    /// Next bit of the sequence.
+    bool next();
+
+    /// Generate n bits.
+    [[nodiscard]] std::vector<bool> bits(std::size_t n);
+
+    [[nodiscard]] int order() const { return order_; }
+    [[nodiscard]] std::uint64_t period() const {
+        return (std::uint64_t{1} << order_) - 1;
+    }
+    [[nodiscard]] std::uint32_t state() const { return state_; }
+
+private:
+    int order_;
+    int tap_;  // second feedback tap (first is the MSB = order)
+    std::uint32_t state_;
+};
+
+/// Self-synchronizing PRBS checker: locks onto an incoming PRBS stream and
+/// counts bit errors after lock. Mirrors hardware BERT pattern checkers.
+class PrbsChecker {
+public:
+    explicit PrbsChecker(PrbsOrder order);
+
+    /// Feed one received bit. Returns true if the bit matched the locally
+    /// re-generated sequence (only meaningful once locked()).
+    bool feed(bool bit);
+
+    [[nodiscard]] bool locked() const { return locked_; }
+    [[nodiscard]] std::uint64_t bits_checked() const { return checked_; }
+    [[nodiscard]] std::uint64_t errors() const { return errors_; }
+    [[nodiscard]] double ber() const {
+        return checked_ ? static_cast<double>(errors_) /
+                              static_cast<double>(checked_)
+                        : 0.0;
+    }
+
+private:
+    bool predict_and_shift(bool actual);
+
+    int order_;
+    int tap_;
+    std::uint32_t shift_ = 0;
+    int warmup_ = 0;       // bits consumed to fill the register
+    bool locked_ = false;
+    std::uint64_t checked_ = 0;
+    std::uint64_t errors_ = 0;
+};
+
+}  // namespace gcdr::encoding

@@ -1,0 +1,80 @@
+#include "encoding/runlength.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gcdr::encoding {
+
+std::size_t max_run_length(const std::vector<bool>& bits) {
+    std::size_t best = 0, cur = 0;
+    bool prev = false;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (i == 0 || bits[i] == prev) {
+            ++cur;
+        } else {
+            cur = 1;
+        }
+        prev = bits[i];
+        if (cur > best) best = cur;
+    }
+    return best;
+}
+
+std::vector<std::size_t> run_length_histogram(const std::vector<bool>& bits) {
+    std::vector<std::size_t> hist(max_run_length(bits) + 1, 0);
+    std::size_t cur = 0;
+    bool prev = false;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (i == 0 || bits[i] == prev) {
+            ++cur;
+        } else {
+            hist[cur]++;
+            cur = 1;
+        }
+        prev = bits[i];
+    }
+    if (cur > 0) hist[cur]++;
+    return hist;
+}
+
+std::vector<double> geometric_position_weights(std::size_t max_cid) {
+    assert(max_cid >= 1);
+    // For random NRZ data, P(position == k) = 2^-k, k >= 1. An encoding
+    // that caps runs at max_cid redistributes the tail: every bit beyond
+    // the cap would have forced a transition, so the truncated stream's
+    // position distribution is the conditional geometric re-normalized.
+    std::vector<double> w(max_cid);
+    double total = 0.0;
+    for (std::size_t k = 1; k <= max_cid; ++k) {
+        w[k - 1] = std::pow(0.5, static_cast<double>(k));
+        total += w[k - 1];
+    }
+    for (auto& v : w) v /= total;
+    return w;
+}
+
+std::vector<double> empirical_position_weights(const std::vector<bool>& bits) {
+    if (bits.size() < 2) return {};
+    std::vector<std::size_t> counts;
+    std::size_t pos = 0;  // 0 = before the first transition (skipped)
+    std::size_t counted = 0;
+    for (std::size_t i = 1; i < bits.size(); ++i) {
+        if (bits[i] != bits[i - 1]) {
+            pos = 1;
+        } else if (pos > 0) {
+            ++pos;
+        } else {
+            continue;  // leading run with no preceding transition
+        }
+        if (counts.size() < pos) counts.resize(pos, 0);
+        counts[pos - 1]++;
+        ++counted;
+    }
+    std::vector<double> w(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        w[i] = static_cast<double>(counts[i]) / static_cast<double>(counted);
+    }
+    return w;
+}
+
+}  // namespace gcdr::encoding

@@ -1,0 +1,37 @@
+#pragma once
+// Run-length (consecutive identical digits, CID) analysis.
+//
+// The gated-oscillator CDR resynchronizes on every data edge; between edges
+// the oscillator free-runs and its jitter plus any frequency offset
+// accumulate over the run (Sec. 2.3). The statistical BER model therefore
+// weights the per-position error probability by how often a bit sits k
+// positions after the last transition. This module provides those weights,
+// both theoretical (random data, truncated at a CID cap) and empirical
+// (measured from an actual bit stream).
+
+#include <cstddef>
+#include <vector>
+
+namespace gcdr::encoding {
+
+/// Longest run of identical consecutive bits in `bits`.
+[[nodiscard]] std::size_t max_run_length(const std::vector<bool>& bits);
+
+/// Histogram of run lengths: result[L] = number of runs of exactly L bits
+/// (result[0] unused).
+[[nodiscard]] std::vector<std::size_t> run_length_histogram(
+    const std::vector<bool>& bits);
+
+/// P(bit is the k-th bit after the preceding transition), k = 1..max_cid,
+/// for ideal random data truncated at max_cid (8b/10b: max_cid = 5; the
+/// remaining tail mass is folded onto the cap). Sums to 1.
+[[nodiscard]] std::vector<double> geometric_position_weights(
+    std::size_t max_cid);
+
+/// Same weights measured from an actual stream (PRBS, 8b/10b, ...).
+/// result[k-1] = fraction of bits at position k after a transition, up to
+/// the longest run present.
+[[nodiscard]] std::vector<double> empirical_position_weights(
+    const std::vector<bool>& bits);
+
+}  // namespace gcdr::encoding

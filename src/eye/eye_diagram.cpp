@@ -1,0 +1,153 @@
+#include "eye/eye_diagram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "jitter/jitter.hpp"
+#include "util/mathx.hpp"
+
+namespace gcdr::eye {
+
+EyeBuilder::EyeBuilder(LinkRate rate, std::size_t bins, double width_ui)
+    : rate_(rate), width_ui_(width_ui), counts_(bins, 0) {
+    assert(bins >= 8);
+    assert(width_ui > 0.0);
+}
+
+void EyeBuilder::add_transition(SimTime t, SimTime clock_edge) {
+    add_transition_phase(rate_.time_to_ui(t - clock_edge));
+}
+
+void EyeBuilder::add_transition_phase(double phase_ui) {
+    double folded = std::fmod(phase_ui, width_ui_);
+    if (folded < 0.0) folded += width_ui_;
+    const auto bin = std::min(
+        counts_.size() - 1,
+        static_cast<std::size_t>(folded / width_ui_ *
+                                 static_cast<double>(counts_.size())));
+    counts_[bin]++;
+    phases_.push_back(folded);
+    ++total_;
+}
+
+std::pair<std::size_t, std::size_t> EyeBuilder::widest_gap() const {
+    // Longest circular run of empty bins; returns [start, length).
+    const std::size_t n = counts_.size();
+    std::size_t best_start = 0, best_len = 0, cur_start = 0, cur_len = 0;
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        if (counts_[i % n] == 0) {
+            if (cur_len == 0) cur_start = i;
+            if (++cur_len > best_len && cur_len <= n) {
+                best_len = cur_len;
+                best_start = cur_start;
+            }
+        } else {
+            cur_len = 0;
+        }
+    }
+    return {best_start % n, std::min(best_len, n)};
+}
+
+double EyeBuilder::eye_opening_ui() const {
+    if (total_ == 0) return width_ui_;
+    const auto [start, len] = widest_gap();
+    (void)start;
+    return width_ui_ * static_cast<double>(len) /
+           static_cast<double>(counts_.size());
+}
+
+double EyeBuilder::eye_center_ui() const {
+    const auto [start, len] = widest_gap();
+    const double bin_ui = width_ui_ / static_cast<double>(counts_.size());
+    double center =
+        (static_cast<double>(start) + static_cast<double>(len) / 2.0) *
+        bin_ui;
+    if (center >= width_ui_) center -= width_ui_;
+    return center;
+}
+
+double EyeBuilder::eye_opening_at_ber(double ber) const {
+    if (phases_.size() < 64) return eye_opening_ui();
+    const double center = eye_center_ui();
+    // Split phases into the left and right edge populations relative to the
+    // gap center (circularly unwrapped so each population is contiguous).
+    std::vector<double> left, right;
+    for (double p : phases_) {
+        double d = p - center;
+        if (d > width_ui_ / 2.0) d -= width_ui_;
+        if (d < -width_ui_ / 2.0) d += width_ui_;
+        (d < 0.0 ? left : right).push_back(d);
+    }
+    if (left.size() < 16 || right.size() < 16) return eye_opening_ui();
+    const auto fit_l = jitter::fit_dual_dirac(left);
+    const auto fit_r = jitter::fit_dual_dirac(right);
+    const double q = q_inverse(ber);
+    const double l_inner =
+        *std::max_element(left.begin(), left.end()) + q * fit_l.rj_rms;
+    const double r_inner =
+        *std::min_element(right.begin(), right.end()) - q * fit_r.rj_rms;
+    return std::max(0.0, r_inner - l_inner);
+}
+
+double EyeBuilder::edge_sigma_ui(double around_ui) const {
+    std::vector<double> near;
+    for (double p : phases_) {
+        double d = p - around_ui;
+        if (d > width_ui_ / 2.0) d -= width_ui_;
+        if (d < -width_ui_ / 2.0) d += width_ui_;
+        if (std::abs(d) < 0.25 * width_ui_) near.push_back(d);
+    }
+    if (near.size() < 2) return 0.0;
+    double mean = 0.0;
+    for (double d : near) mean += d;
+    mean /= static_cast<double>(near.size());
+    double var = 0.0;
+    for (double d : near) var += (d - mean) * (d - mean);
+    var /= static_cast<double>(near.size() - 1);
+    return std::sqrt(var);
+}
+
+std::string EyeBuilder::ascii_art(std::size_t rows,
+                                  double sample_phase_ui) const {
+    std::ostringstream os;
+    const std::uint64_t peak =
+        std::max<std::uint64_t>(1, *std::max_element(counts_.begin(),
+                                                     counts_.end()));
+    // Vertical bar chart of the transition density: tall columns are the
+    // edge clouds, the empty valley between them is the eye opening.
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double threshold = static_cast<double>(rows - r) /
+                                 static_cast<double>(rows + 1);
+        for (std::size_t c = 0; c < counts_.size(); ++c) {
+            const double level = static_cast<double>(counts_[c]) /
+                                 static_cast<double>(peak);
+            os << (level >= threshold ? '#' : (level > 0.0 && r + 1 == rows ? '.' : ' '));
+        }
+        os << '\n';
+    }
+    if (sample_phase_ui >= 0.0) {
+        std::string marker(counts_.size(), ' ');
+        const auto pos = std::min(
+            counts_.size() - 1,
+            static_cast<std::size_t>(sample_phase_ui / width_ui_ *
+                                     static_cast<double>(counts_.size())));
+        marker[pos] = '^';
+        os << marker << "  (sampling instant)\n";
+    }
+    return os.str();
+}
+
+std::string EyeBuilder::to_csv() const {
+    std::ostringstream os;
+    os << "phase_ui,count\n";
+    const double bin_ui = width_ui_ / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        os << (static_cast<double>(i) + 0.5) * bin_ui << ',' << counts_[i]
+           << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace gcdr::eye

@@ -1,0 +1,82 @@
+#pragma once
+// Eye-diagram generation (paper Sec. 3.3b).
+//
+// The paper inserts a VHDL "eye generator" that — unlike conventional
+// fixed-interval eye features — aligns the data on the rising edge of the
+// *recovered* sampling clock, writes the aligned samples to a file and
+// plots them in Matlab. EyeBuilder is that block: it accumulates data
+// transitions folded into a clock-relative window and produces edge
+// histograms, eye openings and an ASCII rendering (Figs 14/16/18).
+//
+// Two-level (binary) signals: amplitude noise is neglected, as the paper
+// argues (pre-amplified binary input), so the eye is characterized by its
+// horizontal (timing) structure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace gcdr::eye {
+
+/// Folded timing histogram of data transitions relative to the aligned
+/// sampling clock, over a window of `width_ui` unit intervals.
+class EyeBuilder {
+public:
+    /// `bins` = horizontal resolution; window spans [0, width_ui) UI.
+    EyeBuilder(LinkRate rate, std::size_t bins = 256, double width_ui = 1.0);
+
+    /// Record one data transition at absolute time `t`, aligned to the most
+    /// recent recovered-clock rising edge at `clock_edge`.
+    void add_transition(SimTime t, SimTime clock_edge);
+
+    /// Record a transition by its phase within the UI directly (used by the
+    /// statistical and analog paths). Phase in UI, folded into the window.
+    void add_transition_phase(double phase_ui);
+
+    [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+    [[nodiscard]] double width_ui() const { return width_ui_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+        return counts_;
+    }
+    [[nodiscard]] std::uint64_t total_transitions() const { return total_; }
+
+    /// Raw recorded phases (UI) — kept for dual-Dirac fits on each edge.
+    [[nodiscard]] const std::vector<double>& phases() const { return phases_; }
+
+    /// Largest transition-free gap in the folded histogram, in UI: the
+    /// horizontal eye opening at the hit-count level.
+    [[nodiscard]] double eye_opening_ui() const;
+
+    /// Center of the largest transition-free gap, in UI.
+    [[nodiscard]] double eye_center_ui() const;
+
+    /// Eye opening at a BER level using per-edge dual-Dirac extrapolation:
+    /// fits the left and right edge populations around the widest gap and
+    /// subtracts their total-jitter tails at `ber`.
+    [[nodiscard]] double eye_opening_at_ber(double ber) const;
+
+    /// RMS spread of the edge population nearest `around_ui`.
+    [[nodiscard]] double edge_sigma_ui(double around_ui) const;
+
+    /// ASCII rendering: `rows` lines of the folded histogram (darker = more
+    /// transitions), plus a marker row for a sampling phase if >= 0.
+    [[nodiscard]] std::string ascii_art(std::size_t rows = 12,
+                                        double sample_phase_ui = -1.0) const;
+
+    /// CSV: bin_center_ui,count
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    [[nodiscard]] std::pair<std::size_t, std::size_t> widest_gap() const;
+
+    LinkRate rate_;
+    double width_ui_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<double> phases_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace gcdr::eye

@@ -1,0 +1,89 @@
+#include "gates/cml_gates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcdr::gates {
+
+SimTime jittered_delay(const CmlTiming& t, Rng& rng) {
+    if (t.jitter_rel <= 0.0) return std::max(t.delay, SimTime::fs(1));
+    const double factor = 1.0 + rng.gaussian(0.0, t.jitter_rel);
+    const auto fs = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(t.delay.femtoseconds()) * factor));
+    return SimTime::fs(std::max<std::int64_t>(1, fs));
+}
+
+CmlBuffer::CmlBuffer(sim::Scheduler& sched, Rng& rng, sim::Wire& in,
+                     sim::Wire& out, CmlTiming timing, bool invert)
+    : CmlGate(sched, rng),
+      in_(&in),
+      out_(&out),
+      timing_(timing),
+      invert_(invert) {
+    in_->on_change([this] { evaluate(); });
+}
+
+void CmlBuffer::evaluate() {
+    out_->post_transport(jittered_delay(timing_, *rng_),
+                         in_->value() != invert_);
+}
+
+CmlXor::CmlXor(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
+               sim::Wire& out, CmlTiming timing_a, CmlTiming timing_b,
+               bool invert)
+    : CmlGate(sched, rng),
+      a_(&a),
+      b_(&b),
+      out_(&out),
+      timing_a_(timing_a),
+      timing_b_(timing_b),
+      invert_(invert) {
+    a_->on_change([this] { evaluate(timing_a_); });
+    b_->on_change([this] { evaluate(timing_b_); });
+}
+
+void CmlXor::evaluate(const CmlTiming& timing) {
+    const bool v = (a_->value() != b_->value()) != invert_;
+    out_->post_transport(jittered_delay(timing, *rng_), v);
+}
+
+CmlAnd::CmlAnd(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
+               sim::Wire& out, CmlTiming timing_a, CmlTiming timing_b,
+               bool invert)
+    : CmlGate(sched, rng),
+      a_(&a),
+      b_(&b),
+      out_(&out),
+      timing_a_(timing_a),
+      timing_b_(timing_b),
+      invert_(invert) {
+    a_->on_change([this] { evaluate(timing_a_); });
+    b_->on_change([this] { evaluate(timing_b_); });
+}
+
+void CmlAnd::evaluate(const CmlTiming& timing) {
+    const bool v = (a_->value() && b_->value()) != invert_;
+    out_->post_transport(jittered_delay(timing, *rng_), v);
+}
+
+CmlSampler::CmlSampler(sim::Scheduler& sched, Rng& rng, sim::Wire& d,
+                       sim::Wire& clk, sim::Wire& q, CmlTiming clk_to_q,
+                       DecisionFn on_decision)
+    : CmlGate(sched, rng),
+      d_(&d),
+      clk_(&clk),
+      q_(&q),
+      clk_to_q_(clk_to_q),
+      on_decision_(std::move(on_decision)) {
+    clk_->on_change([this] { on_clk(); });
+}
+
+void CmlSampler::on_clk() {
+    if (!clk_->value()) return;  // rising edges only
+    const bool bit = d_->value();
+    const SimTime now = sched_->now();
+    q_->post_transport(jittered_delay(clk_to_q_, *rng_), bit);
+    if (on_decision_) on_decision_(now, bit);
+}
+
+}  // namespace gcdr::gates

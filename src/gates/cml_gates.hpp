@@ -1,0 +1,120 @@
+#pragma once
+// Behavioral models of the fully-differential current-mode-logic gates the
+// design is built from (Sec. 2.2: "All delay cells in the delay line and
+// the ring oscillator are built with identical current-mode logic two-input
+// gates"). Differential pairs are modeled single-ended on the true rail;
+// where the paper inverts a differential output "for free", the model reads
+// the complement of the wire.
+//
+// Each gate re-evaluates on any input change and posts its output with a
+// transport delay of  nominal * (1 + N(0, jitter_rel))  — the same per-
+// evaluation jitter injection as the VHDL model in Fig 12. Stacked CML
+// inputs see different input-to-output delays (Sec. 3.3a); per-input
+// mismatch is modeled with an additive offset.
+
+#include <functional>
+#include <string>
+
+#include "sim/scheduler.hpp"
+#include "sim/wire.hpp"
+#include "util/rng.hpp"
+
+namespace gcdr::gates {
+
+/// Timing of one CML gate evaluation path.
+struct CmlTiming {
+    SimTime delay{0};        ///< nominal propagation delay
+    double jitter_rel = 0.0; ///< sigma of the relative delay variation
+};
+
+/// Draw one jittered delay (>= 1 fs so causality holds).
+[[nodiscard]] SimTime jittered_delay(const CmlTiming& t, Rng& rng);
+
+/// Common base wiring: owns nothing, connects existing wires.
+class CmlGate {
+public:
+    virtual ~CmlGate() = default;
+
+protected:
+    CmlGate(sim::Scheduler& sched, Rng& rng) : sched_(&sched), rng_(&rng) {}
+    sim::Scheduler* sched_;
+    Rng* rng_;
+};
+
+/// Buffer / delay cell: out follows in after the (jittered) delay.
+class CmlBuffer : public CmlGate {
+public:
+    CmlBuffer(sim::Scheduler& sched, Rng& rng, sim::Wire& in, sim::Wire& out,
+              CmlTiming timing, bool invert = false);
+
+private:
+    void evaluate();
+
+    sim::Wire* in_;
+    sim::Wire* out_;
+    CmlTiming timing_;
+    bool invert_;
+};
+
+/// Two-input XOR (the edge detector comparator). Separate per-input
+/// timings model the stacked-pair delay mismatch; `invert` yields XNOR,
+/// which is how EDET is generated (free differential inversion).
+class CmlXor : public CmlGate {
+public:
+    CmlXor(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
+           sim::Wire& out, CmlTiming timing_a, CmlTiming timing_b,
+           bool invert = false);
+
+private:
+    void evaluate(const CmlTiming& timing);
+
+    sim::Wire* a_;
+    sim::Wire* b_;
+    sim::Wire* out_;
+    CmlTiming timing_a_;
+    CmlTiming timing_b_;
+    bool invert_;
+};
+
+/// Two-input AND/NAND with per-input timing (the oscillator's gating
+/// stage). The paper compensates the NAND input mismatch with dummy gates;
+/// setting both timings equal models the compensated design, distinct
+/// timings model the uncompensated one (a VHDL-model finding, Sec. 3.3a).
+class CmlAnd : public CmlGate {
+public:
+    CmlAnd(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
+           sim::Wire& out, CmlTiming timing_a, CmlTiming timing_b,
+           bool invert = false);
+
+private:
+    void evaluate(const CmlTiming& timing);
+
+    sim::Wire* a_;
+    sim::Wire* b_;
+    sim::Wire* out_;
+    CmlTiming timing_a_;
+    CmlTiming timing_b_;
+    bool invert_;
+};
+
+/// Decision flip-flop: samples `d` on each rising edge of `clk` after a
+/// clk->q delay. Also reports each (time, bit) decision to a callback —
+/// that is the recovered data stream the BERT checks.
+class CmlSampler : public CmlGate {
+public:
+    using DecisionFn = std::function<void(SimTime, bool)>;
+
+    CmlSampler(sim::Scheduler& sched, Rng& rng, sim::Wire& d, sim::Wire& clk,
+               sim::Wire& q, CmlTiming clk_to_q, DecisionFn on_decision = {});
+
+private:
+    void on_clk();
+
+    sim::Wire* d_;
+    sim::Wire* clk_;
+    sim::Wire* q_;
+    CmlTiming clk_to_q_;
+    DecisionFn on_decision_;
+};
+
+}  // namespace gcdr::gates

@@ -1,0 +1,23 @@
+#include "gates/delay_line.hpp"
+
+#include <cassert>
+
+namespace gcdr::gates {
+
+DelayLine::DelayLine(sim::Scheduler& sched, Rng& rng, sim::Wire& in,
+                     std::size_t n_cells, CmlTiming per_cell,
+                     const std::string& name_prefix)
+    : per_cell_(per_cell) {
+    assert(n_cells >= 1);
+    sim::Wire* prev = &in;
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        nodes_.push_back(std::make_unique<sim::Wire>(
+            sched, name_prefix + "_n" + std::to_string(i + 1), in.value()));
+        cells_.push_back(std::make_unique<CmlBuffer>(sched, rng, *prev,
+                                                     *nodes_.back(),
+                                                     per_cell));
+        prev = nodes_.back().get();
+    }
+}
+
+}  // namespace gcdr::gates

@@ -1,0 +1,33 @@
+#pragma once
+// Chain of identical CML delay cells — the edge detector's delay element.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/cml_gates.hpp"
+
+namespace gcdr::gates {
+
+/// N identical buffers in series; total nominal delay = n * per-cell delay.
+/// Each cell injects its own per-edge jitter (the paper's VHDL model
+/// computes every cell's phase noise independently, Sec. 3.3).
+class DelayLine {
+public:
+    DelayLine(sim::Scheduler& sched, Rng& rng, sim::Wire& in,
+              std::size_t n_cells, CmlTiming per_cell,
+              const std::string& name_prefix = "dl");
+
+    [[nodiscard]] sim::Wire& out() { return *nodes_.back(); }
+    [[nodiscard]] std::size_t cells() const { return cells_.size(); }
+    [[nodiscard]] SimTime nominal_delay() const {
+        return per_cell_.delay * static_cast<std::int64_t>(cells_.size());
+    }
+
+private:
+    CmlTiming per_cell_;
+    std::vector<std::unique_ptr<sim::Wire>> nodes_;
+    std::vector<std::unique_ptr<CmlBuffer>> cells_;
+};
+
+}  // namespace gcdr::gates

@@ -1,0 +1,120 @@
+#include "jitter/jitter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/mathx.hpp"
+
+namespace gcdr::jitter {
+
+double SinusoidalJitter::at(double t_seconds) const {
+    if (amp_ui_ == 0.0 || freq_hz_ == 0.0) return 0.0;
+    return amp_ui_ * std::sin(2.0 * std::numbers::pi * freq_hz_ * t_seconds +
+                              phase0_);
+}
+
+std::vector<Edge> jittered_edges(const std::vector<bool>& bits,
+                                 const StreamParams& params, Rng& rng) {
+    std::vector<Edge> out;
+    if (bits.empty()) return out;
+
+    const double ui_s = params.rate.ui_seconds() /
+                        (1.0 + params.data_rate_offset);
+    const SinusoidalJitter sj(params.spec.sj_uipp, params.spec.sj_freq_hz);
+
+    bool level = params.initial_level;
+    SimTime prev_time = params.start - SimTime::fs(1);
+    std::size_t run_start = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == level) continue;  // no transition at this boundary
+        const double nominal_s =
+            params.start.seconds() + static_cast<double>(i) * ui_s;
+        double disp_ui = 0.0;
+        if (params.spec.dj_uipp > 0.0) {
+            const double half = params.spec.dj_uipp / 2.0;
+            switch (params.dj_model) {
+                case DjModel::kTriangleSweep: {
+                    // Triangle wave in [-1, 1]: uniform stationary PDF.
+                    const double x =
+                        2.0 * std::numbers::pi * params.dj_sweep_freq_hz *
+                        nominal_s;
+                    disp_ui += half * (2.0 / std::numbers::pi) *
+                               std::asin(std::sin(x));
+                    break;
+                }
+                case DjModel::kIndependent:
+                    disp_ui += rng.uniform(-half, half);
+                    break;
+                case DjModel::kIsi: {
+                    const double r = std::max<std::size_t>(1, i - run_start);
+                    disp_ui +=
+                        half * (1.0 - std::pow(2.0, 2.0 - static_cast<double>(r)));
+                    break;
+                }
+            }
+        }
+        if (params.spec.rj_uirms > 0.0) {
+            disp_ui += rng.gaussian(0.0, params.spec.rj_uirms);
+        }
+        disp_ui += sj.at(nominal_s);
+
+        SimTime t = SimTime::from_seconds(nominal_s + disp_ui * ui_s);
+        if (t <= prev_time) t = prev_time + SimTime::fs(1);
+        out.push_back(Edge{t, bits[i]});
+        prev_time = t;
+        level = bits[i];
+        run_start = i;
+    }
+    return out;
+}
+
+std::vector<Edge> ideal_edges(const std::vector<bool>& bits, LinkRate rate,
+                              SimTime start, bool initial_level) {
+    std::vector<Edge> out;
+    bool level = initial_level;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == level) continue;
+        out.push_back(Edge{
+            start + SimTime::from_seconds(static_cast<double>(i) *
+                                          rate.ui_seconds()),
+            bits[i]});
+        level = bits[i];
+    }
+    return out;
+}
+
+double DualDiracFit::tj_at_ber(double ber) const {
+    return dj_pp + 2.0 * q_inverse(ber) * rj_rms;
+}
+
+DualDiracFit fit_dual_dirac(std::vector<double> samples) {
+    DualDiracFit fit;
+    if (samples.size() < 16) return fit;
+    std::sort(samples.begin(), samples.end());
+    const auto n = samples.size();
+
+    // Tail-fit at two quantile pairs: map the empirical quantiles to the
+    // Gaussian Q-scale; the slope gives RJ sigma, the intercept offset DJ.
+    const double p1 = 0.05, p2 = 0.005;
+    const double q1 = q_inverse(p1), q2 = q_inverse(p2);
+    auto at = [&](double p) {
+        const auto idx = static_cast<std::size_t>(
+            std::clamp(p * static_cast<double>(n - 1), 0.0,
+                       static_cast<double>(n - 1)));
+        return samples[idx];
+    };
+    const double left1 = at(p1), left2 = at(p2);
+    const double right1 = at(1.0 - p1), right2 = at(1.0 - p2);
+
+    const double sigma_l = (left1 - left2) / (q2 - q1);
+    const double sigma_r = (right2 - right1) / (q2 - q1);
+    fit.rj_rms = std::max(0.0, 0.5 * (sigma_l + sigma_r));
+    const double mu_l = left1 + q1 * sigma_l;
+    const double mu_r = right1 - q1 * sigma_r;
+    fit.dj_pp = std::max(0.0, mu_r - mu_l);
+    return fit;
+}
+
+}  // namespace gcdr::jitter

@@ -1,0 +1,96 @@
+#include "masks/jtol_mask.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gcdr::masks {
+
+JtolMask::JtolMask(std::string name, std::vector<MaskPoint> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+    assert(points_.size() >= 2);
+    assert(std::is_sorted(points_.begin(), points_.end(),
+                          [](const MaskPoint& a, const MaskPoint& b) {
+                              return a.freq_hz < b.freq_hz;
+                          }));
+}
+
+double JtolMask::amplitude_at(double freq_hz) const {
+    if (freq_hz <= points_.front().freq_hz) return points_.front().amp_uipp;
+    if (freq_hz >= points_.back().freq_hz) return points_.back().amp_uipp;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (freq_hz <= points_[i].freq_hz) {
+            const auto& a = points_[i - 1];
+            const auto& b = points_[i];
+            const double t = (std::log(freq_hz) - std::log(a.freq_hz)) /
+                             (std::log(b.freq_hz) - std::log(a.freq_hz));
+            return std::exp(std::log(a.amp_uipp) +
+                            t * (std::log(b.amp_uipp) - std::log(a.amp_uipp)));
+        }
+    }
+    return points_.back().amp_uipp;
+}
+
+bool JtolMask::complies(const std::vector<MaskPoint>& measured) const {
+    if (measured.empty()) return false;
+    auto measured_at = [&measured](double f) {
+        // Log-log interpolation of the measured curve; outside its span the
+        // curve provides no evidence, handled by the caller's sweep range.
+        if (f <= measured.front().freq_hz) return measured.front().amp_uipp;
+        if (f >= measured.back().freq_hz) return measured.back().amp_uipp;
+        for (std::size_t i = 1; i < measured.size(); ++i) {
+            if (f <= measured[i].freq_hz) {
+                const auto& a = measured[i - 1];
+                const auto& b = measured[i];
+                const double t = (std::log(f) - std::log(a.freq_hz)) /
+                                 (std::log(b.freq_hz) - std::log(a.freq_hz));
+                return std::exp(std::log(a.amp_uipp) +
+                                t * (std::log(b.amp_uipp) -
+                                     std::log(a.amp_uipp)));
+            }
+        }
+        return measured.back().amp_uipp;
+    };
+    for (const auto& p : points_) {
+        if (p.freq_hz < measured.front().freq_hz ||
+            p.freq_hz > measured.back().freq_hz) {
+            continue;
+        }
+        if (measured_at(p.freq_hz) < p.amp_uipp) return false;
+    }
+    for (const auto& m : measured) {
+        if (m.freq_hz < points_.front().freq_hz ||
+            m.freq_hz > points_.back().freq_hz) {
+            continue;
+        }
+        if (m.amp_uipp < amplitude_at(m.freq_hz)) return false;
+    }
+    return true;
+}
+
+JtolMask JtolMask::infiniband_2g5(LinkRate rate) {
+    const double corner = rate.bits_per_second() / 1667.0;  // ~1.5 MHz
+    const double plateau = 0.35;
+    const double lf_cap = 15.0;
+    // -20 dB/dec between the cap and the corner: f_cap = corner*plateau/cap.
+    const double f_cap = corner * plateau / lf_cap;
+    return JtolMask("InfiniBand 2.5G RX",
+                    {{f_cap / 10.0, lf_cap},
+                     {f_cap, lf_cap},
+                     {corner, plateau},
+                     {rate.bits_per_second() / 2.0, plateau}});
+}
+
+JtolMask JtolMask::sonet_oc48() {
+    // GR-253 Category II OC-48 receiver tolerance template.
+    return JtolMask("SONET OC-48 RX",
+                    {{10.0, 622.0},
+                     {600.0, 622.0},
+                     {6000.0, 62.2},
+                     {100e3, 62.2 * 6000.0 / 100e3},
+                     {1e6, 0.37 * 1e6 / 1e6},  // converges to the plateau
+                     {10e6, 0.37},
+                     {1.244e9, 0.37}});
+}
+
+}  // namespace gcdr::masks

@@ -1,0 +1,53 @@
+#pragma once
+// Jitter-tolerance masks (Fig 5): the minimum sinusoidal-jitter amplitude a
+// compliant receiver must tolerate at each jitter frequency while keeping
+// BER <= 1e-12. Masks are piecewise linear in log(f) - log(A).
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace gcdr::masks {
+
+/// One mask breakpoint.
+struct MaskPoint {
+    double freq_hz;
+    double amp_uipp;
+};
+
+/// Piecewise log-log jitter tolerance mask.
+class JtolMask {
+public:
+    JtolMask(std::string name, std::vector<MaskPoint> points);
+
+    /// Required tolerated amplitude at `freq_hz` (log-log interpolation,
+    /// clamped at the ends).
+    [[nodiscard]] double amplitude_at(double freq_hz) const;
+
+    /// True if a measured tolerance curve (freq -> max tolerated amplitude)
+    /// stays at or above the mask at every mask breakpoint and every
+    /// measured frequency inside the mask span.
+    [[nodiscard]] bool complies(const std::vector<MaskPoint>& measured) const;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::vector<MaskPoint>& points() const {
+        return points_;
+    }
+
+    /// InfiniBand-style 2.5 Gb/s receiver mask as in the paper's Fig 5:
+    /// -20 dB/decade golden slope below the corner at bitrate/1667
+    /// (~1.5 MHz), a high-frequency plateau of 0.35 UIpp, capped at
+    /// 15 UIpp at low frequencies. Breakpoint values are an approximation
+    /// of the InfiniBand 1.0a template (documented in EXPERIMENTS.md).
+    [[nodiscard]] static JtolMask infiniband_2g5(LinkRate rate = kPaperRate);
+
+    /// SONET GR-253 OC-48 mask (second reference mask for the bench suite).
+    [[nodiscard]] static JtolMask sonet_oc48();
+
+private:
+    std::string name_;
+    std::vector<MaskPoint> points_;  // sorted by frequency
+};
+
+}  // namespace gcdr::masks

@@ -1,0 +1,92 @@
+#include "noise/phase_noise.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/mathx.hpp"
+
+namespace gcdr::noise {
+
+double RingOscParams::c_load_f() const {
+    return stage_delay_s() / (r_load_ohm() * std::numbers::ln2);
+}
+
+double kappa_hajimiri(const RingOscParams& p) {
+    const double kt = kBoltzmann * p.temperature_k;
+    const double term =
+        1.0 / (p.r_load_ohm() * p.i_ss_a) + 1.0 / p.delta_v_v;
+    return std::sqrt((8.0 * kt / 3.0) * (p.gamma * p.eta / p.i_ss_a) * term);
+}
+
+double kappa_mcneill(const RingOscParams& p) {
+    const double kt = kBoltzmann * p.temperature_k;
+    return std::sqrt(8.0 * kt * p.gamma / (p.i_ss_a * p.delta_v_v));
+}
+
+double kappa_weigandt(const RingOscParams& p) {
+    const double kt = kBoltzmann * p.temperature_k;
+    const double td = p.stage_delay_s();
+    const double sigma_td =
+        td * std::sqrt(2.0 * kt * p.gamma /
+                       (p.c_load_f() * p.delta_v_v * p.delta_v_v));
+    return sigma_td / std::sqrt(td);
+}
+
+double jitter_rms_s(double kappa, double dt_s) {
+    return kappa * std::sqrt(dt_s);
+}
+
+double jitter_ui_at_cid(double kappa, LinkRate rate, int cid) {
+    const double dt = static_cast<double>(cid) * rate.ui_seconds();
+    return jitter_rms_s(kappa, dt) / rate.ui_seconds();
+}
+
+double phase_noise_dbc_hz(double kappa, double f_osc_hz, double f_offset_hz) {
+    assert(f_offset_hz > 0.0);
+    return 10.0 * std::log10(f_osc_hz * f_osc_hz * kappa * kappa /
+                             (f_offset_hz * f_offset_hz));
+}
+
+RingOscParams size_for_jitter(const RingOscParams& proto,
+                              double target_ui_rms, int cid, LinkRate rate) {
+    assert(target_ui_rms > 0.0 && cid >= 1);
+    // kappa_hajimiri is strictly decreasing in I_SS (with constant swing),
+    // so bisection brackets the minimum current meeting the budget.
+    RingOscParams p = proto;
+    double lo = 1e-7, hi = 1e-1;
+    for (int i = 0; i < 100; ++i) {
+        const double mid = std::sqrt(lo * hi);  // geometric: decades apart
+        p.i_ss_a = mid;
+        const double ui = jitter_ui_at_cid(kappa_hajimiri(p), rate, cid);
+        if (ui > target_ui_rms) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    p.i_ss_a = hi;
+    return p;
+}
+
+double min_bias_for_parasitics(const RingOscParams& proto, double c_min_f) {
+    assert(c_min_f >= 0.0);
+    return c_min_f * proto.delta_v_v * std::numbers::ln2 /
+           proto.stage_delay_s();
+}
+
+ChannelPowerBudget channel_power_budget(const RingOscParams& sized,
+                                        int delay_cells, int logic_cells,
+                                        double pll_power_w, int n_channels) {
+    assert(n_channels >= 1);
+    const double cell_w = sized.i_ss_a * sized.vdd_v;
+    ChannelPowerBudget b;
+    b.oscillator_w = sized.n_stages * cell_w;
+    b.delay_line_w = delay_cells * cell_w;
+    b.logic_w = logic_cells * cell_w;
+    b.sampler_w = cell_w;  // one CML latch pair at the same bias
+    b.pll_share_w = pll_power_w / n_channels;
+    return b;
+}
+
+}  // namespace gcdr::noise

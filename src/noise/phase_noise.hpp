@@ -1,0 +1,113 @@
+#pragma once
+// Ring-oscillator timing-jitter / phase-noise models (Sec. 3.2).
+//
+// The design flow sizes the oscillator from the jitter budget: the
+// statistical model demands sigma = 0.01 UI RMS on the sampling clock at
+// CID = 5 (Table 1); Hajimiri's kappa formula (eq. 1 of the paper) converts
+// that into a bias current, hence power. kappa is the jitter accumulation
+// constant: sigma_t(dt) = kappa * sqrt(dt) for free-running white-noise-
+// dominated oscillators.
+//
+// Three published models are implemented for the Fig 11 comparison:
+//  - Hajimiri et al., JSSC 1999 (the paper's eq. 1, "minimum kappa"),
+//  - McNeill, JSSC 1997 (first-order variation, as the paper overlays),
+//  - Weigandt et al., ISCAS 1994 (per-stage kT/C form).
+
+#include "util/units.hpp"
+
+namespace gcdr::noise {
+
+/// Electrical parameters of one differential CML delay stage and the ring.
+struct RingOscParams {
+    int n_stages = 4;          ///< ring length (paper Fig 7: 4 stages)
+    double f_osc_hz = 2.5e9;   ///< oscillation frequency
+    double i_ss_a = 200e-6;    ///< per-stage tail current
+    double delta_v_v = 0.4;    ///< differential swing (= R_L * I_SS in CML)
+    double gamma = 1.5;        ///< device excess-noise factor
+    double eta = 1.0;          ///< rise-time-to-delay proportionality
+    double vdd_v = 1.8;        ///< supply (0.18 um CMOS)
+    double temperature_k = 300.0;
+
+    /// Load resistance implied by the CML swing: R_L = dV / I_SS.
+    [[nodiscard]] double r_load_ohm() const { return delta_v_v / i_ss_a; }
+    /// Per-stage delay for the ring frequency: t_d = 1 / (2 N f).
+    [[nodiscard]] double stage_delay_s() const {
+        return 1.0 / (2.0 * n_stages * f_osc_hz);
+    }
+    /// Load capacitance implied by t_d = R_L * C_L * ln 2.
+    [[nodiscard]] double c_load_f() const;
+    /// Static power of the ring: N * I_SS * V_DD.
+    [[nodiscard]] double power_w() const {
+        return n_stages * i_ss_a * vdd_v;
+    }
+};
+
+/// Paper eq. 1: kappa_min = sqrt( (8kT/3) * (gamma*eta / I_SS) *
+///                                (1/(R_L*I_SS) + 1/dV) ).  [sqrt(s)]
+[[nodiscard]] double kappa_hajimiri(const RingOscParams& p);
+
+/// First-order McNeill form: kappa = sqrt(8 k T gamma / (I_SS * dV)).
+/// The paper overlays "a variation of McNeill's formula" without printing
+/// it; this standard form reproduces the same 1/sqrt(P) law with a
+/// slightly higher constant than Hajimiri's minimum.
+[[nodiscard]] double kappa_mcneill(const RingOscParams& p);
+
+/// Weigandt per-stage kT/C form: sigma_td = t_d * sqrt(2 k T gamma /
+/// (C_L * dV^2)); kappa = sigma_td / sqrt(t_d).
+[[nodiscard]] double kappa_weigandt(const RingOscParams& p);
+
+/// RMS timing jitter accumulated over a free-run interval dt: kappa*sqrt(dt).
+[[nodiscard]] double jitter_rms_s(double kappa, double dt_s);
+
+/// RMS sampling-clock jitter, in UI, after `cid` bit periods of free run —
+/// the figure of merit the paper budgets at 0.01 UI for CID = 5.
+[[nodiscard]] double jitter_ui_at_cid(double kappa, LinkRate rate, int cid);
+
+/// Single-sideband phase noise implied by kappa at offset f from carrier
+/// f0 (white-noise region): L(f) = 10*log10( f0^2 * kappa^2 / f^2 ) [dBc/Hz].
+[[nodiscard]] double phase_noise_dbc_hz(double kappa, double f_osc_hz,
+                                        double f_offset_hz);
+
+/// Solve (by bisection on I_SS) for the smallest per-stage bias current
+/// whose Hajimiri kappa meets a target UI-RMS jitter at the given CID.
+/// All other parameters are taken from `proto` (swing held constant, R_L
+/// re-derived — standard CML sizing practice). Thermal-noise bound only;
+/// combine with min_bias_for_parasitics for a buildable design point.
+[[nodiscard]] RingOscParams size_for_jitter(const RingOscParams& proto,
+                                            double target_ui_rms, int cid,
+                                            LinkRate rate);
+
+/// Smallest tail current that still drives a parasitic-bounded load at the
+/// ring frequency: the stage delay t_d = R_L*C_L*ln2 with C_L >= c_min
+/// forces I_SS >= c_min * dV * ln2 / t_d. Real rings are usually set by
+/// this, not by thermal noise — it is what anchors the paper's power.
+[[nodiscard]] double min_bias_for_parasitics(const RingOscParams& proto,
+                                             double c_min_f);
+
+/// Per-channel power roll-up used to check the <= 5 mW/Gbit/s claim.
+struct ChannelPowerBudget {
+    double oscillator_w = 0.0;   ///< gated 4-stage ring
+    double delay_line_w = 0.0;   ///< edge-detector delay cells
+    double logic_w = 0.0;        ///< XOR + NAND + dummies
+    double sampler_w = 0.0;      ///< decision flip-flop
+    double pll_share_w = 0.0;    ///< shared PLL split across channels
+
+    [[nodiscard]] double total_w() const {
+        return oscillator_w + delay_line_w + logic_w + sampler_w +
+               pll_share_w;
+    }
+    /// The paper's figure of merit, mW per Gbit/s.
+    [[nodiscard]] double mw_per_gbps(LinkRate rate) const {
+        return total_w() * 1e3 / (rate.bits_per_second() * 1e-9);
+    }
+};
+
+/// Build the budget from a sized oscillator stage. `delay_cells` covers the
+/// edge-detector delay line, `logic_cells` the XOR/NAND/dummy gates; all
+/// cells reuse the oscillator's CML bias (identical two-input gates,
+/// Sec. 2.2). The shared PLL power is divided by `n_channels`.
+[[nodiscard]] ChannelPowerBudget channel_power_budget(
+    const RingOscParams& sized, int delay_cells, int logic_cells,
+    double pll_power_w, int n_channels);
+
+}  // namespace gcdr::noise

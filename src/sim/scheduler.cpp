@@ -1,0 +1,40 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gcdr::sim {
+
+void Scheduler::schedule_at(SimTime t, Callback fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::schedule_in(SimTime dt, Callback fn) {
+    schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Scheduler::step() {
+    if (queue_.empty()) return false;
+    // Move out of the queue before popping: the callback may schedule.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+void Scheduler::run_until(SimTime t_end) {
+    while (!queue_.empty() && queue_.top().time <= t_end) {
+        step();
+    }
+    if (now_ < t_end) now_ = t_end;
+}
+
+void Scheduler::run() {
+    while (step()) {
+    }
+}
+
+}  // namespace gcdr::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Discrete-event scheduler: the core of the behavioral (VHDL-equivalent)
+// simulation layer. Events are (time, insertion-order) ordered, so identical
+// seeds give bit-identical runs. All gate models (gates/) and the CDR
+// topology (cdr/) execute on top of this kernel.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace gcdr::sim {
+
+class Scheduler {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedule `fn` at absolute time `t` (must be >= now()).
+    void schedule_at(SimTime t, Callback fn);
+
+    /// Schedule `fn` at now() + dt (dt >= 0).
+    void schedule_in(SimTime dt, Callback fn);
+
+    /// Current simulation time.
+    [[nodiscard]] SimTime now() const { return now_; }
+
+    /// Pop and execute the next event. Returns false when the queue is empty.
+    bool step();
+
+    /// Run until the queue drains or the next event is past `t_end`;
+    /// afterwards now() == min(t_end, last executed event time).
+    void run_until(SimTime t_end);
+
+    /// Run until the event queue is empty.
+    void run();
+
+    [[nodiscard]] bool empty() const { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+    [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+private:
+    struct Event {
+        SimTime time;
+        std::uint64_t seq;  // tie-break: FIFO among equal-time events
+        Callback fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_{0};
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace gcdr::sim

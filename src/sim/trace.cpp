@@ -1,0 +1,69 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace gcdr::sim {
+
+void Tracer::watch(Wire& w) {
+    const std::size_t idx = names_.size();
+    names_.push_back(w.name());
+    initial_values_.push_back(w.value());
+    w.on_change([this, idx, &w] {
+        samples_.push_back(TraceSample{w.scheduler().now(), idx, w.value()});
+    });
+}
+
+std::vector<SimTime> Tracer::edges_of(const std::string& wire_name,
+                                      bool rising_only) const {
+    std::vector<SimTime> out;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] != wire_name) continue;
+        for (const auto& s : samples_) {
+            if (s.wire == i && (!rising_only || s.value)) out.push_back(s.time);
+        }
+    }
+    return out;
+}
+
+std::string Tracer::ascii_diagram(SimTime t0, SimTime t1,
+                                  std::size_t columns) const {
+    std::ostringstream os;
+    const double span = static_cast<double>((t1 - t0).femtoseconds());
+    for (std::size_t w = 0; w < names_.size(); ++w) {
+        // Reconstruct the level in each time bin from the transition list.
+        bool level = initial_values_[w];
+        std::size_t si = 0;
+        std::string row(columns, ' ');
+        for (std::size_t c = 0; c < columns; ++c) {
+            const SimTime bin_end =
+                t0 + SimTime{static_cast<std::int64_t>(
+                         span * static_cast<double>(c + 1) /
+                         static_cast<double>(columns))};
+            bool toggled = false;
+            while (si < samples_.size() && samples_[si].time <= bin_end) {
+                if (samples_[si].wire == w) {
+                    level = samples_[si].value;
+                    toggled = true;
+                }
+                ++si;
+            }
+            row[c] = toggled ? '|' : (level ? '#' : '_');
+        }
+        os << names_[w];
+        for (std::size_t pad = names_[w].size(); pad < 10; ++pad) os << ' ';
+        os << row << '\n';
+    }
+    return os.str();
+}
+
+std::string Tracer::to_csv() const {
+    std::ostringstream os;
+    os << "time_ps,wire,value\n";
+    for (const auto& s : samples_) {
+        os << s.time.picoseconds() << ',' << names_[s.wire] << ','
+           << (s.value ? 1 : 0) << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace gcdr::sim

@@ -1,0 +1,54 @@
+#pragma once
+// Waveform tracing for the behavioral model: records committed transitions
+// of selected wires so benches can print the paper's timing diagrams (Fig 8)
+// and tests can assert on edge sequences.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+#include "util/sim_time.hpp"
+
+namespace gcdr::sim {
+
+struct TraceSample {
+    SimTime time;
+    std::size_t wire;  // index into wire_names()
+    bool value;
+};
+
+class Tracer {
+public:
+    /// Attach to a wire; all subsequent transitions are recorded. The wire
+    /// must outlive the tracer's use of it.
+    void watch(Wire& w);
+
+    [[nodiscard]] const std::vector<TraceSample>& samples() const {
+        return samples_;
+    }
+    [[nodiscard]] const std::vector<std::string>& wire_names() const {
+        return names_;
+    }
+
+    /// Transition times of one watched wire, optionally rising edges only.
+    [[nodiscard]] std::vector<SimTime> edges_of(const std::string& wire_name,
+                                                bool rising_only = false) const;
+
+    /// Render an ASCII timing diagram (one row per wire) over [t0, t1] with
+    /// `columns` time bins — a textual Fig 8.
+    [[nodiscard]] std::string ascii_diagram(SimTime t0, SimTime t1,
+                                            std::size_t columns = 100) const;
+
+    /// CSV dump: time_ps,wire,value per transition.
+    [[nodiscard]] std::string to_csv() const;
+
+    void clear() { samples_.clear(); }
+
+private:
+    std::vector<std::string> names_;
+    std::vector<bool> initial_values_;
+    std::vector<TraceSample> samples_;
+};
+
+}  // namespace gcdr::sim

@@ -1,0 +1,73 @@
+#include "sim/vcd.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace gcdr::sim {
+
+void VcdWriter::watch(Wire& w) {
+    const std::size_t idx = names_.size();
+    // VCD identifiers must not contain whitespace; replace just in case.
+    std::string name = w.name();
+    for (char& c : name) {
+        if (c == ' ') c = '_';
+    }
+    names_.push_back(name);
+    initial_.push_back(w.value());
+    w.on_change([this, idx, &w] {
+        changes_.push_back(Change{w.scheduler().now().femtoseconds(), idx,
+                                  w.value()});
+    });
+}
+
+std::string VcdWriter::id_of(std::size_t index) const {
+    // Printable-ASCII identifier code, base 94 starting at '!'.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index != 0);
+    return id;
+}
+
+std::string VcdWriter::to_string(const std::string& module_name) const {
+    std::ostringstream os;
+    os << "$comment gcco-cdr behavioral simulation $end\n";
+    if (timescale_fs_ >= 1'000'000) {
+        os << "$timescale " << timescale_fs_ / 1'000'000 << " ns $end\n";
+    } else if (timescale_fs_ >= 1000) {
+        os << "$timescale " << timescale_fs_ / 1000 << " ps $end\n";
+    } else {
+        os << "$timescale " << timescale_fs_ << " fs $end\n";
+    }
+    os << "$scope module " << module_name << " $end\n";
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        os << "$var wire 1 " << id_of(i) << ' ' << names_[i] << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+    os << "$dumpvars\n";
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        os << (initial_[i] ? '1' : '0') << id_of(i) << '\n';
+    }
+    os << "$end\n";
+    std::int64_t last_time = -1;
+    for (const auto& c : changes_) {
+        const std::int64_t t = c.time_fs / timescale_fs_;
+        if (t != last_time) {
+            os << '#' << t << '\n';
+            last_time = t;
+        }
+        os << (c.value ? '1' : '0') << id_of(c.signal) << '\n';
+    }
+    return os.str();
+}
+
+bool VcdWriter::write_file(const std::string& path,
+                           const std::string& module_name) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << to_string(module_name);
+    return static_cast<bool>(f);
+}
+
+}  // namespace gcdr::sim

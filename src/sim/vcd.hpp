@@ -1,0 +1,50 @@
+#pragma once
+// IEEE 1364 VCD (value change dump) writer for the behavioral simulation:
+// attach wires, run, then emit a dump readable by GTKWave & co. The
+// behavioral layer replaces the paper's VHDL simulator; this replaces its
+// waveform viewer hookup.
+
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+
+namespace gcdr::sim {
+
+class VcdWriter {
+public:
+    /// `timescale_fs` sets the VCD timescale unit in femtoseconds
+    /// (default 1 ps, matching the paper's VHDL resolution).
+    explicit VcdWriter(std::int64_t timescale_fs = 1000)
+        : timescale_fs_(timescale_fs) {}
+
+    /// Attach a wire; transitions from now on are recorded.
+    void watch(Wire& w);
+
+    /// Render the complete VCD document.
+    [[nodiscard]] std::string to_string(
+        const std::string& module_name = "gcco_cdr") const;
+
+    /// Write to a file; returns false on I/O failure.
+    bool write_file(const std::string& path,
+                    const std::string& module_name = "gcco_cdr") const;
+
+    [[nodiscard]] std::size_t signal_count() const { return names_.size(); }
+    [[nodiscard]] std::size_t change_count() const { return changes_.size(); }
+
+private:
+    struct Change {
+        std::int64_t time_fs;
+        std::size_t signal;
+        bool value;
+    };
+
+    [[nodiscard]] std::string id_of(std::size_t index) const;
+
+    std::int64_t timescale_fs_;
+    std::vector<std::string> names_;
+    std::vector<bool> initial_;
+    std::vector<Change> changes_;
+};
+
+}  // namespace gcdr::sim

@@ -1,0 +1,48 @@
+#include "sim/wire.hpp"
+
+#include <cassert>
+
+namespace gcdr::sim {
+
+void Wire::post_transport(SimTime delay, bool v) {
+    assert(delay >= SimTime{0});
+    const SimTime when = sched_->now() + delay;
+    // Transport rule: the new transaction overrides anything scheduled at or
+    // after its own time. Pending is kept time-sorted, so cut from the back.
+    while (!pending_.empty() && pending_.back().time >= when) {
+        pending_.pop_back();
+    }
+    // Collapsing transactions that repeat the preceding value is observably
+    // equivalent (commits of an unchanged value fire no listeners, and the
+    // cancellation rule removes a suffix, which dedup preserves).
+    if (pending_.empty() ? (v == value_) : (pending_.back().value == v)) {
+        return;
+    }
+    const std::uint64_t id = next_id_++;
+    pending_.push_back(Pending{when, id, v});
+    sched_->schedule_at(when, [this, id] { commit(id); });
+}
+
+void Wire::set_now(bool v) {
+    pending_.clear();
+    apply(v);
+}
+
+void Wire::commit(std::uint64_t id) {
+    // The transaction may have been cancelled by a later transport post; in
+    // that case its id is no longer at the queue front (or anywhere at all).
+    if (pending_.empty() || pending_.front().id != id) return;
+    const bool v = pending_.front().value;
+    pending_.pop_front();
+    apply(v);
+}
+
+void Wire::apply(bool v) {
+    if (v == value_) return;
+    value_ = v;
+    last_change_ = sched_->now();
+    ++transitions_;
+    for (const auto& fn : listeners_) fn();
+}
+
+}  // namespace gcdr::sim

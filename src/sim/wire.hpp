@@ -1,0 +1,75 @@
+#pragma once
+// Boolean signal with VHDL `transport` delay semantics.
+//
+// The paper's behavioral model (Fig 12) drives every oscillator and delay-
+// line node with `transport ... after delay`. Transport semantics matter:
+// they propagate arbitrarily narrow pulses (the EDET gating pulse can be a
+// sizeable fraction of a bit) and a new assignment cancels pending
+// transactions scheduled at-or-after its own effective time. Wire implements
+// exactly that rule on top of sim::Scheduler.
+//
+// Differential CML nets are modeled single-ended (true rail); gates/ applies
+// the sign flips explicitly where the paper inverts a differential pair.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/sim_time.hpp"
+
+namespace gcdr::sim {
+
+class Wire {
+public:
+    using Listener = std::function<void()>;
+
+    Wire(Scheduler& sched, std::string name, bool initial = false)
+        : sched_(&sched), name_(std::move(name)), value_(initial) {}
+
+    Wire(const Wire&) = delete;
+    Wire& operator=(const Wire&) = delete;
+
+    [[nodiscard]] bool value() const { return value_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] Scheduler& scheduler() const { return *sched_; }
+
+    /// Time of the most recent committed value change.
+    [[nodiscard]] SimTime last_change() const { return last_change_; }
+    /// Number of committed value changes so far.
+    [[nodiscard]] std::uint64_t transition_count() const { return transitions_; }
+
+    /// VHDL `transport` assignment: value takes effect at now() + delay.
+    /// Pending transactions at or after that time are cancelled.
+    void post_transport(SimTime delay, bool v);
+
+    /// Immediate (delta-free) assignment. Cancels all pending transactions.
+    void set_now(bool v);
+
+    /// Register a callback invoked after every committed value change.
+    /// Listeners are permanent for the wire's lifetime (static netlists).
+    void on_change(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+private:
+    struct Pending {
+        SimTime time;
+        std::uint64_t id;
+        bool value;
+    };
+
+    void commit(std::uint64_t id);
+    void apply(bool v);
+
+    Scheduler* sched_;
+    std::string name_;
+    bool value_;
+    SimTime last_change_{0};
+    std::uint64_t transitions_ = 0;
+    std::uint64_t next_id_ = 0;
+    std::deque<Pending> pending_;
+    std::vector<Listener> listeners_;
+};
+
+}  // namespace gcdr::sim

@@ -1,0 +1,54 @@
+#include "statmodel/bathtub.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gcdr::statmodel {
+
+std::vector<BathtubPoint> bathtub_curve(ModelConfig base, int n_points,
+                                        double phase_min, double phase_max) {
+    assert(n_points >= 2);
+    assert(phase_min > 0.0 && phase_max < 1.0 && phase_min < phase_max);
+    std::vector<BathtubPoint> out;
+    out.reserve(static_cast<std::size_t>(n_points));
+    for (int i = 0; i < n_points; ++i) {
+        const double phase =
+            phase_min + (phase_max - phase_min) * static_cast<double>(i) /
+                            static_cast<double>(n_points - 1);
+        ModelConfig cfg = base;
+        // sample_instant = (k - 1/2 - advance): phase within the bit is
+        // 0.5 - advance at zero offset.
+        cfg.sampling_advance_ui = 0.5 - phase;
+        out.push_back(BathtubPoint{phase, ber_of(cfg)});
+    }
+    return out;
+}
+
+BathtubPoint optimal_sampling_phase(const ModelConfig& base, int n_points) {
+    const auto curve = bathtub_curve(base, n_points);
+    double min_ber = curve.front().ber;
+    for (const auto& p : curve) min_ber = std::min(min_ber, p.ber);
+    // The bathtub floor is often numerically flat; return the middle of
+    // the tied minimum region, not its first sample.
+    std::size_t first = curve.size(), last = 0;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (curve[i].ber <= min_ber * 1.001 + 1e-300) {
+            first = std::min(first, i);
+            last = i;
+        }
+    }
+    return curve[(first + last) / 2];
+}
+
+double bathtub_opening_ui(const ModelConfig& base, double ber_target,
+                          int n_points) {
+    const auto curve = bathtub_curve(base, n_points, 0.02, 0.98);
+    int inside = 0;
+    for (const auto& p : curve) {
+        if (p.ber <= ber_target) ++inside;
+    }
+    const double step = (0.98 - 0.02) / static_cast<double>(n_points - 1);
+    return inside * step;
+}
+
+}  // namespace gcdr::statmodel

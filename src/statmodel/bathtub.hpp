@@ -1,0 +1,38 @@
+#pragma once
+// Bathtub-curve analysis: BER as a function of the sampling phase inside
+// the bit cell. The standard way to visualize the Fig 10/17 trade-off —
+// the mid-bit point (0.5 UI) is optimal at zero offset, while frequency
+// offset and run-length accumulation skew the optimum toward the paper's
+// advanced (-T/8) point.
+
+#include <utility>
+#include <vector>
+
+#include "statmodel/gated_osc_model.hpp"
+
+namespace gcdr::statmodel {
+
+struct BathtubPoint {
+    double phase_ui;  ///< sampling position within the bit (0..1)
+    double ber;
+};
+
+/// BER vs sampling phase over (phase_min, phase_max), n points. Everything
+/// else (jitter, offset, CID) is taken from `base`; its sampling_advance
+/// is overridden per point.
+[[nodiscard]] std::vector<BathtubPoint> bathtub_curve(ModelConfig base,
+                                                      int n_points = 49,
+                                                      double phase_min = 0.05,
+                                                      double phase_max = 0.95);
+
+/// Optimal sampling phase (minimum-BER point of the bathtub).
+[[nodiscard]] BathtubPoint optimal_sampling_phase(const ModelConfig& base,
+                                                  int n_points = 49);
+
+/// Horizontal eye opening at `ber_target`: width of the bathtub region
+/// whose BER stays at or below the target (0 if never reached).
+[[nodiscard]] double bathtub_opening_ui(const ModelConfig& base,
+                                        double ber_target = 1e-12,
+                                        int n_points = 97);
+
+}  // namespace gcdr::statmodel

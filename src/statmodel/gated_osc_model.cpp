@@ -1,0 +1,242 @@
+#include "statmodel/gated_osc_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/mathx.hpp"
+
+namespace gcdr::statmodel {
+
+namespace {
+
+/// Truncated-geometric run-length probabilities P(L = l), l = 1..cap.
+/// Random data forces P(l) = 2^-l; the encoding folds the tail onto the cap
+/// (a transition is inserted at the latest after `cap` identical bits).
+std::vector<double> run_length_probs(int cap) {
+    assert(cap >= 1);
+    std::vector<double> p(cap);
+    for (int l = 1; l < cap; ++l) {
+        p[l - 1] = std::pow(0.5, l);
+    }
+    p[cap - 1] = std::pow(0.5, cap - 1);  // P(L >= cap)
+    return p;
+}
+
+double mean_run_length(const std::vector<double>& p) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        m += static_cast<double>(i + 1) * p[i];
+    }
+    return m;
+}
+
+}  // namespace
+
+GatedOscStatModel::GatedOscStatModel(const ModelConfig& cfg) : cfg_(cfg) {
+    assert(cfg_.max_cid >= 1);
+    assert(cfg_.grid_dx > 0.0);
+}
+
+double GatedOscStatModel::sample_instant_ui(int k) const {
+    return (static_cast<double>(k) - 0.5 - cfg_.sampling_advance_ui) *
+           (1.0 + cfg_.freq_offset);
+}
+
+double GatedOscStatModel::osc_sigma_ui(int k) const {
+    // CKJ is quoted at cid_ref bit periods of free run; white-noise
+    // accumulation scales as sqrt(elapsed time).
+    const double elapsed_ui =
+        std::max(0.0, static_cast<double>(k) - 0.5 - cfg_.sampling_advance_ui);
+    return cfg_.spec.ckj_uirms *
+           std::sqrt(elapsed_ui / static_cast<double>(cfg_.cid_ref));
+}
+
+stats::GridPdf GatedOscStatModel::relative_edge_pdf(int run_length) const {
+    // PDF of (closing-edge jitter) - (sample-instant jitter), in UI.
+    const double dx = cfg_.grid_dx;
+    std::vector<stats::GridPdf> parts;
+
+    // DJ enters once, not from both edges: deterministic jitter in serial
+    // links is pattern-correlated (ISI, duty-cycle distortion), and the
+    // Table 1 DJ number quantifies the total deterministic eye closure
+    // relative to the recovered clock. Treating the trigger and closing
+    // edges' DJ as independent would double-count it and push the Table 1
+    // budget's BER floor to ~1e-7, contradicting the paper's Fig 9.
+    if (cfg_.spec.dj_uipp > 0.0) {
+        parts.push_back(stats::GridPdf::uniform(cfg_.spec.dj_uipp, dx));
+    }
+    // RJ of both edges and the oscillator's accumulated jitter are
+    // independent Gaussians; combine into one.
+    const double rj2 = 2.0 * cfg_.spec.rj_uirms * cfg_.spec.rj_uirms;
+    const double osc = osc_sigma_ui(run_length);
+    const double sigma = std::sqrt(rj2 + osc * osc);
+    if (sigma > 0.0) {
+        parts.push_back(stats::GridPdf::gaussian(sigma, dx));
+    }
+    return stats::convolve_all(parts, dx);
+}
+
+double GatedOscStatModel::sj_effective_amplitude(int run_length) const {
+    // Coherent sinusoid sampled `run_length` UI apart: the difference is a
+    // sinusoid of amplitude A_pp * |sin(pi * f_norm * L)|. (A_pp because
+    // the jitter sinusoid's own amplitude is A_pp/2 and the difference
+    // doubles it at the resonant spacing.)
+    if (cfg_.spec.sj_uipp <= 0.0 || cfg_.sj_freq_norm <= 0.0) return 0.0;
+    return cfg_.spec.sj_uipp *
+           std::abs(std::sin(std::numbers::pi * cfg_.sj_freq_norm *
+                             static_cast<double>(run_length)));
+}
+
+double GatedOscStatModel::late_error_prob(int run_length) const {
+    // Error when  L + dJ  <  s_L  + osc_jitter:  P(X + S < margin)  with
+    // X = (DJ + RJ + osc) relative PDF, S the effective SJ sinusoid and
+    // margin = s_L - L (in UI). The SJ average is taken exactly over the
+    // sinusoid phase (512-point rectangle rule) instead of convolving an
+    // arcsine PDF — same math, no grid blow-up at multi-UI amplitudes.
+    const double margin =
+        sample_instant_ui(run_length) - static_cast<double>(run_length);
+    const auto pdf = relative_edge_pdf(run_length);
+    const double a_eff = sj_effective_amplitude(run_length);
+    if (a_eff <= 0.0) {
+        return std::min(1.0, pdf.tail_below(margin));
+    }
+    constexpr int kPhases = 512;
+    double acc = 0.0;
+    for (int i = 0; i < kPhases; ++i) {
+        const double theta = 2.0 * std::numbers::pi *
+                             (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(kPhases);
+        acc += pdf.tail_below(margin - a_eff * std::sin(theta));
+    }
+    return std::min(1.0, acc / static_cast<double>(kPhases));
+}
+
+double GatedOscStatModel::early_error_prob() const {
+    // First bit of a run sampled before its own trigger: the trigger is
+    // the common time reference, so only the oscillator's short-horizon
+    // jitter and the EDET/DDIN path mismatch apply.
+    const double s1 = sample_instant_ui(1);
+    const double osc = osc_sigma_ui(1);
+    const double mm = cfg_.trigger_mismatch_uirms;
+    const double sigma = std::sqrt(osc * osc + mm * mm);
+    if (sigma <= 0.0) return s1 < 0.0 ? 1.0 : 0.0;
+    return q_function(s1 / sigma);
+}
+
+double GatedOscStatModel::ber() const {
+    if (cfg_.run_model == RunModel::kWorstCase) {
+        return std::min(1.0,
+                        late_error_prob(cfg_.max_cid) + early_error_prob());
+    }
+    const auto probs = run_length_probs(cfg_.max_cid);
+    const double mean_l = mean_run_length(probs);
+    double errors_per_run = early_error_prob();
+    for (int l = 1; l <= cfg_.max_cid; ++l) {
+        errors_per_run += probs[l - 1] * late_error_prob(l);
+    }
+    return std::min(1.0, errors_per_run / mean_l);
+}
+
+double GatedOscStatModel::eye_margin_ui(double ber_target) const {
+    const int L = cfg_.max_cid;
+    const auto pdf = relative_edge_pdf(L);
+    const double a_eff = sj_effective_amplitude(L);
+    // SJ-phase-averaged lower tail at offset x.
+    auto tail_at = [&](double x) {
+        if (a_eff <= 0.0) return pdf.tail_below(x);
+        constexpr int kPhases = 128;
+        double acc = 0.0;
+        for (int i = 0; i < kPhases; ++i) {
+            const double theta = 2.0 * std::numbers::pi *
+                                 (static_cast<double>(i) + 0.5) /
+                                 static_cast<double>(kPhases);
+            acc += pdf.tail_below(x - a_eff * std::sin(theta));
+        }
+        return acc / static_cast<double>(kPhases);
+    };
+    const double margin =
+        sample_instant_ui(L) - static_cast<double>(L);
+    // Walk the margin left until the tail mass drops below target: the
+    // distance walked is the margin to the 1e-12 contour.
+    const double dx = cfg_.grid_dx;
+    double x = margin;
+    if (tail_at(x) <= ber_target) {
+        // Already compliant: how much later could we sample?
+        while (tail_at(x + dx) <= ber_target && x < 2.0) x += dx;
+        return x - margin;
+    }
+    while (tail_at(x) > ber_target && x > -2.0) x -= dx;
+    return x - margin;  // negative: how far the eye is closed
+}
+
+double ber_of(const ModelConfig& cfg) {
+    return GatedOscStatModel(cfg).ber();
+}
+
+double jtol_amplitude(ModelConfig base, double sj_freq_norm,
+                      double ber_target, double amp_cap) {
+    base.sj_freq_norm = sj_freq_norm;
+
+    auto ber_at = [&base](double amp) {
+        ModelConfig c = base;
+        c.spec.sj_uipp = amp;
+        return ber_of(c);
+    };
+
+    if (ber_at(amp_cap) <= ber_target) return amp_cap;
+    if (ber_at(0.0) > ber_target) return 0.0;
+
+    double lo = 0.0, hi = amp_cap;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (ber_at(mid) <= ber_target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+std::vector<masks::MaskPoint> jtol_curve(const ModelConfig& base,
+                                         const std::vector<double>& sj_freq_norms,
+                                         LinkRate rate, double ber_target) {
+    std::vector<masks::MaskPoint> out;
+    out.reserve(sj_freq_norms.size());
+    for (double fn : sj_freq_norms) {
+        out.push_back(masks::MaskPoint{fn * rate.bits_per_second(),
+                                       jtol_amplitude(base, fn, ber_target)});
+    }
+    return out;
+}
+
+double ftol(ModelConfig base, double ber_target) {
+    auto ber_at = [&base](double delta) {
+        ModelConfig c = base;
+        c.freq_offset = delta;
+        return ber_of(c);
+    };
+    // FTOL is quoted as a symmetric bound: the smaller of the two one-sided
+    // tolerances (a slow oscillator fails sooner than a fast one at the
+    // mid-bit sampling point, and vice versa for the advanced one).
+    double worst = 0.5;
+    for (double sign : {+1.0, -1.0}) {
+        if (ber_at(sign * 0.5) <= ber_target) continue;
+        if (ber_at(0.0) > ber_target) return 0.0;
+        double lo = 0.0, hi = 0.5;
+        for (int i = 0; i < 60; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            if (ber_at(sign * mid) <= ber_target) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        worst = std::min(worst, lo);
+    }
+    return worst;
+}
+
+}  // namespace gcdr::statmodel

@@ -1,0 +1,126 @@
+#pragma once
+// Statistical BER model of the gated-oscillator CDR (paper Sec. 3.1).
+//
+// Operating principle being modeled: the GCCO resynchronizes to every
+// incoming data edge and free-runs between edges. Take the triggering edge
+// as the time reference. The bit at position k of a run is sampled at the
+// k-th recovered-clock rising edge,
+//
+//     s_k = (k - 1/2 - a) * (1 + delta)      [UI, a = sampling advance,
+//                                             delta = CCO period offset]
+//
+// plus the oscillator jitter accumulated since the trigger (Gaussian,
+// sigma = CKJ * sqrt((k - 1/2 - a)/CID_ref), CKJ specified at CID_ref = 5).
+//
+// Errors are dominated by the LAST bit of a run of length L: its sample
+// falls after the next data transition at L + dJ, where dJ is the jitter of
+// the closing edge *relative to* the triggering edge:
+//   - DJ: one uniform(+-DJpp/2). Deterministic jitter is pattern-correlated
+//         (ISI/DCD), and the Table 1 figure quantifies total deterministic
+//         eye closure, so it enters the relative budget once,
+//   - RJ: difference of two independent Gaussians -> sigma*sqrt(2)
+//         (random noise really is independent per edge),
+//   - SJ: coherent sinusoid difference -> arcsine with effective amplitude
+//         A_pp * |sin(pi * f_j/f_data * L)|  (the reason low-frequency
+//         jitter is harmless to this topology and near-rate jitter is not,
+//         exactly the shape of Figs 9/10).
+// The early-side error (first bit sampled before the trigger) is included
+// for completeness; it only matters with the advanced sampling point under
+// large negative frequency offset (the caveat the paper notes for Fig 17).
+//
+// BER = sum over run lengths of P(run = L) * P_err(L) / E[L], with the run
+// length law truncated at the encoding's CID cap (5 for 8b/10b, 7 for
+// PRBS7), or the paper's conservative "all runs = CID" worst case.
+
+#include <vector>
+
+#include "jitter/jitter.hpp"
+#include "masks/jtol_mask.hpp"
+#include "stats/grid_pdf.hpp"
+
+namespace gcdr::statmodel {
+
+/// How run lengths are weighted when rolling per-run error into a BER.
+enum class RunModel {
+    kWeighted,   ///< truncated-geometric run lengths (random data, CID cap)
+    kWorstCase,  ///< every run at the CID cap (paper's conservative view)
+};
+
+struct ModelConfig {
+    jitter::JitterSpec spec = jitter::JitterSpec::paper_table1();
+    /// Sinusoidal jitter frequency normalized to the data rate (f_j/f_d).
+    double sj_freq_norm = 0.1;
+    /// Relative CCO period offset: (T_cco - T_data)/T_data. Positive =
+    /// oscillator slow. A -1% oscillator *frequency* error is delta ~ +1%.
+    double freq_offset = 0.0;
+    /// Sampling advance in UI: 0 = mid-bit (Fig 7), 1/8 = improved
+    /// topology using the inverted third-stage output (Fig 15).
+    double sampling_advance_ui = 0.0;
+    /// Maximum run length of the encoding (8b/10b: 5, PRBS7: 7).
+    int max_cid = 5;
+    /// Run length at which the CKJ spec is quoted (paper: 5).
+    int cid_ref = 5;
+    /// RMS mismatch (UI) between the EDET trigger path (delay line + XOR)
+    /// and the DDIN data path (delay line + dummy): the residual timing
+    /// error of the retrigger itself. Sets the left (early) bathtub wall;
+    /// without it the model would let the sampler sit arbitrarily close to
+    /// the opening edge for free.
+    double trigger_mismatch_uirms = 0.01;
+    /// Grid step for PDF convolution, in UI.
+    double grid_dx = 5e-4;
+    RunModel run_model = RunModel::kWeighted;
+};
+
+/// Statistical model instance; precomputes per-run-length error PDFs.
+class GatedOscStatModel {
+public:
+    explicit GatedOscStatModel(const ModelConfig& cfg);
+
+    /// P(sample of the last bit of a run of length L lands past the
+    /// closing transition).
+    [[nodiscard]] double late_error_prob(int run_length) const;
+
+    /// P(sample of the first bit of a run lands before the triggering
+    /// transition).
+    [[nodiscard]] double early_error_prob() const;
+
+    /// Bit error ratio under the configured run model.
+    [[nodiscard]] double ber() const;
+
+    /// Statistical eye margin for the worst run: distance in UI between the
+    /// sample point and the 1e-12 quantile of the closing-edge
+    /// distribution. Negative = eye closed at 1e-12.
+    [[nodiscard]] double eye_margin_ui(double ber_target = 1e-12) const;
+
+    [[nodiscard]] const ModelConfig& config() const { return cfg_; }
+
+private:
+    [[nodiscard]] stats::GridPdf relative_edge_pdf(int run_length) const;
+    [[nodiscard]] double sj_effective_amplitude(int run_length) const;
+    [[nodiscard]] double sample_instant_ui(int k) const;
+    [[nodiscard]] double osc_sigma_ui(int k) const;
+
+    ModelConfig cfg_;
+};
+
+/// Convenience: BER for a config (builds a model and evaluates it).
+[[nodiscard]] double ber_of(const ModelConfig& cfg);
+
+/// Jitter tolerance at one normalized SJ frequency: the largest SJ
+/// amplitude (UIpp) keeping BER <= target. Binary search; `amp_cap` bounds
+/// the search (low-frequency tolerance diverges for this topology).
+[[nodiscard]] double jtol_amplitude(ModelConfig base, double sj_freq_norm,
+                                    double ber_target = 1e-12,
+                                    double amp_cap = 100.0);
+
+/// Full JTOL curve over normalized frequencies, as absolute-frequency mask
+/// points for comparison against masks::JtolMask.
+[[nodiscard]] std::vector<masks::MaskPoint> jtol_curve(
+    const ModelConfig& base, const std::vector<double>& sj_freq_norms,
+    LinkRate rate, double ber_target = 1e-12);
+
+/// Frequency tolerance: largest |delta| (both signs checked) keeping
+/// BER <= target with no sinusoidal jitter beyond the base config.
+[[nodiscard]] double ftol(ModelConfig base, double ber_target = 1e-12);
+
+}  // namespace gcdr::statmodel

@@ -1,0 +1,205 @@
+#include "stats/grid_pdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "util/fft.hpp"
+
+namespace gcdr::stats {
+
+GridPdf::GridPdf(double x0, double dx, std::vector<double> density)
+    : x0_(x0), dx_(dx), density_(std::move(density)) {
+    assert(dx_ > 0.0);
+}
+
+GridPdf GridPdf::dirac(double x, double dx) {
+    return GridPdf{x, dx, std::vector<double>{1.0 / dx}};
+}
+
+GridPdf GridPdf::uniform(double width_pp, double dx) {
+    assert(width_pp >= 0.0);
+    const auto n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(width_pp / dx)) + 1);
+    if (n == 1) return dirac(0.0, dx);
+    const double half = dx * static_cast<double>(n - 1) / 2.0;
+    std::vector<double> d(n, 1.0);
+    GridPdf p{-half, dx, std::move(d)};
+    p.normalize();
+    return p;
+}
+
+GridPdf GridPdf::gaussian(double sigma, double dx, double n_sigmas) {
+    assert(sigma >= 0.0);
+    if (sigma == 0.0) return dirac(0.0, dx);
+    const auto half_n =
+        static_cast<std::size_t>(std::ceil(n_sigmas * sigma / dx));
+    const std::size_t n = 2 * half_n + 1;
+    std::vector<double> d(n);
+    const double norm = 1.0 / (sigma * std::sqrt(2.0 * std::numbers::pi));
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x =
+            dx * (static_cast<double>(i) - static_cast<double>(half_n));
+        d[i] = norm * std::exp(-0.5 * (x / sigma) * (x / sigma));
+    }
+    GridPdf p{-dx * static_cast<double>(half_n), dx, std::move(d)};
+    p.normalize();
+    return p;
+}
+
+GridPdf GridPdf::arcsine(double amp, double dx) {
+    assert(amp >= 0.0);
+    if (amp < dx) return dirac(0.0, dx);
+    const auto half_n = static_cast<std::size_t>(std::floor(amp / dx));
+    const std::size_t n = 2 * half_n + 1;
+    std::vector<double> d(n, 0.0);
+    // Integrate the analytic arcsine CDF over each bin to avoid the
+    // endpoint singularities: F(x) = 1/2 + asin(x/amp)/pi.
+    auto cdf = [amp](double x) {
+        const double z = std::clamp(x / amp, -1.0, 1.0);
+        return 0.5 + std::asin(z) / std::numbers::pi;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xc =
+            dx * (static_cast<double>(i) - static_cast<double>(half_n));
+        d[i] = (cdf(xc + dx / 2.0) - cdf(xc - dx / 2.0)) / dx;
+    }
+    GridPdf p{-dx * static_cast<double>(half_n), dx, std::move(d)};
+    p.normalize();
+    return p;
+}
+
+GridPdf GridPdf::from_samples(const std::vector<double>& xs, double dx) {
+    if (xs.empty()) return {};
+    const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+    const double lo = *lo_it;
+    const auto n = static_cast<std::size_t>(
+                       std::floor((*hi_it - lo) / dx)) + 1;
+    std::vector<double> d(n, 0.0);
+    for (double x : xs) {
+        auto idx = static_cast<std::size_t>(std::floor((x - lo) / dx));
+        if (idx >= n) idx = n - 1;
+        d[idx] += 1.0;
+    }
+    const double norm = 1.0 / (static_cast<double>(xs.size()) * dx);
+    for (auto& v : d) v *= norm;
+    return GridPdf{lo, dx, std::move(d)};
+}
+
+double GridPdf::mass() const {
+    double s = 0.0;
+    for (double v : density_) s += v;
+    return s * dx_;
+}
+
+double GridPdf::mean() const {
+    double s = 0.0, m = 0.0;
+    for (std::size_t i = 0; i < density_.size(); ++i) {
+        s += density_[i];
+        m += density_[i] * x_at(i);
+    }
+    return s > 0.0 ? m / s : 0.0;
+}
+
+double GridPdf::variance() const {
+    const double mu = mean();
+    double s = 0.0, v = 0.0;
+    for (std::size_t i = 0; i < density_.size(); ++i) {
+        s += density_[i];
+        const double d = x_at(i) - mu;
+        v += density_[i] * d * d;
+    }
+    return s > 0.0 ? v / s : 0.0;
+}
+
+double GridPdf::stddev() const { return std::sqrt(variance()); }
+
+void GridPdf::normalize() {
+    const double m = mass();
+    if (m <= 0.0) return;
+    for (auto& v : density_) v /= m;
+}
+
+void GridPdf::shift(double offset) {
+    x0_ += offset;
+}
+
+double GridPdf::cdf(double x) const {
+    if (empty()) return 0.0;
+    // Each bin's mass is spread uniformly over [x_i - dx/2, x_i + dx/2);
+    // integrate exactly, including the partial bin at x.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < density_.size(); ++i) {
+        const double left = x_at(i) - dx_ / 2.0;
+        if (x >= left + dx_) {
+            acc += density_[i] * dx_;
+        } else if (x > left) {
+            acc += density_[i] * (x - left);
+            break;
+        } else {
+            break;
+        }
+    }
+    return std::min(acc, mass());
+}
+
+double GridPdf::tail_below(double x) const { return cdf(x); }
+
+double GridPdf::tail_above(double x) const {
+    if (empty()) return 0.0;
+    // Computed from the right so far-tail values are not lost to rounding
+    // against the bulk mass.
+    double acc = 0.0;
+    for (std::size_t i = density_.size(); i-- > 0;) {
+        const double left = x_at(i) - dx_ / 2.0;
+        if (x <= left) {
+            acc += density_[i] * dx_;
+        } else if (x < left + dx_) {
+            acc += density_[i] * (left + dx_ - x);
+            break;
+        } else {
+            break;
+        }
+    }
+    return acc;
+}
+
+double GridPdf::tail_outside(double lo, double hi) const {
+    return tail_below(lo) + tail_above(hi);
+}
+
+GridPdf GridPdf::convolve(const GridPdf& other) const {
+    if (empty() || other.empty()) return {};
+    assert(std::abs(dx_ - other.dx_) < 1e-12 * dx_ &&
+           "convolution requires a shared grid step");
+    // FFT pays off for large kernels, but rounding in the FFT path can turn
+    // ~1e-17 relative error into fake tail mass, which matters when we
+    // integrate 1e-12 tails. Use direct convolution unless both operands
+    // are large, then clamp tiny negatives.
+    std::vector<double> conv;
+    if (density_.size() > 2048 && other.density_.size() > 2048) {
+        conv = convolve_fft(density_, other.density_);
+        for (auto& v : conv) {
+            if (v < 0.0) v = 0.0;
+        }
+    } else {
+        conv = convolve_direct(density_, other.density_);
+    }
+    for (auto& v : conv) v *= dx_;  // discrete conv -> density scaling
+    return GridPdf{x0_ + other.x0_, dx_, std::move(conv)};
+}
+
+GridPdf convolve_all(const std::vector<GridPdf>& pdfs, double dx) {
+    GridPdf acc = GridPdf::dirac(0.0, dx);
+    for (const auto& p : pdfs) {
+        if (p.empty() || p.size() == 1) {
+            if (!p.empty()) acc.shift(p.x0());
+            continue;
+        }
+        acc = acc.convolve(p);
+    }
+    return acc;
+}
+
+}  // namespace gcdr::stats

@@ -1,0 +1,83 @@
+#pragma once
+// Probability density functions on a uniform grid, with convolution.
+//
+// This is the engine behind the paper's "statistical model" (Sec. 3.1): the
+// exact contributions of the different jitter types are combined by
+// convolving their PDFs — uniform (DJ), Gaussian (RJ), arcsine (SJ) and
+// Gaussian (oscillator) — then integrating the tails that fall outside the
+// timing margin to get the BER.
+
+#include <cstddef>
+#include <vector>
+
+namespace gcdr::stats {
+
+/// A real-valued PDF sampled on a uniform grid [x0, x0 + (n-1)*dx].
+/// Values are densities; sum(values)*dx ~= 1 for a normalized PDF.
+class GridPdf {
+public:
+    GridPdf() = default;
+    GridPdf(double x0, double dx, std::vector<double> density);
+
+    /// Delta distribution at `x` (mass 1 in a single bin).
+    [[nodiscard]] static GridPdf dirac(double x, double dx);
+    /// Uniform on [-width/2, +width/2] (DJ with peak-peak `width`).
+    [[nodiscard]] static GridPdf uniform(double width_pp, double dx);
+    /// Gaussian, truncated at +/- n_sigmas (default far enough for 1e-16
+    /// tail mass to be represented).
+    [[nodiscard]] static GridPdf gaussian(double sigma, double dx,
+                                          double n_sigmas = 9.0);
+    /// Arcsine on [-amp, +amp]: stationary PDF of a sinusoid with amplitude
+    /// `amp` (i.e. sinusoidal jitter of peak-peak 2*amp).
+    [[nodiscard]] static GridPdf arcsine(double amp, double dx);
+    /// Empirical PDF from samples, binned over their range.
+    [[nodiscard]] static GridPdf from_samples(const std::vector<double>& xs,
+                                              double dx);
+
+    [[nodiscard]] bool empty() const { return density_.size() == 0; }
+    [[nodiscard]] std::size_t size() const { return density_.size(); }
+    [[nodiscard]] double x0() const { return x0_; }
+    [[nodiscard]] double dx() const { return dx_; }
+    [[nodiscard]] double x_at(std::size_t i) const {
+        return x0_ + dx_ * static_cast<double>(i);
+    }
+    [[nodiscard]] const std::vector<double>& density() const {
+        return density_;
+    }
+
+    [[nodiscard]] double mass() const;
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+
+    /// Scale densities so mass() == 1.
+    void normalize();
+
+    /// Shift the support by `offset` (exactly representable on the grid:
+    /// rounds to an integer number of bins, adjusting x0 for the residue).
+    void shift(double offset);
+
+    /// P(X <= x): trapezoidal CDF evaluated from the left.
+    [[nodiscard]] double cdf(double x) const;
+    /// P(X < lo) + P(X > hi): the "error tail" mass outside [lo, hi].
+    [[nodiscard]] double tail_outside(double lo, double hi) const;
+    /// P(X > x).
+    [[nodiscard]] double tail_above(double x) const;
+    /// P(X < x).
+    [[nodiscard]] double tail_below(double x) const;
+
+    /// Convolution (distribution of the sum of independent variables).
+    /// Grids must share dx. Uses FFT above a size threshold.
+    [[nodiscard]] GridPdf convolve(const GridPdf& other) const;
+
+private:
+    double x0_ = 0.0;
+    double dx_ = 1.0;
+    std::vector<double> density_;
+};
+
+/// Convolve a set of PDFs (skipping empties); returns dirac(0) if none.
+[[nodiscard]] GridPdf convolve_all(const std::vector<GridPdf>& pdfs,
+                                   double dx);
+
+}  // namespace gcdr::stats

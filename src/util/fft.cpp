@@ -1,0 +1,78 @@
+#include "util/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace gcdr {
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+    const std::size_t n = data.size();
+    assert(n != 0 && (n & (n - 1)) == 0 && "FFT size must be a power of two");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang =
+            (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+        const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w{1.0, 0.0};
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (auto& x : data) x *= inv_n;
+    }
+}
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+std::vector<double> convolve_fft(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+    if (a.empty() || b.empty()) return {};
+    const std::size_t out_len = a.size() + b.size() - 1;
+    const std::size_t n = next_pow2(out_len);
+    std::vector<std::complex<double>> fa(n), fb(n);
+    for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+    for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+    fft_inplace(fa, false);
+    fft_inplace(fb, false);
+    for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+    fft_inplace(fa, true);
+    std::vector<double> out(out_len);
+    for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+    return out;
+}
+
+std::vector<double> convolve_direct(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+    if (a.empty() || b.empty()) return {};
+    std::vector<double> out(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            out[i + j] += a[i] * b[j];
+        }
+    }
+    return out;
+}
+
+}  // namespace gcdr

@@ -1,0 +1,30 @@
+#pragma once
+// Radix-2 complex FFT used by stats/ to convolve jitter PDFs on a grid.
+// Self-contained (no external DSP dependency) because the statistical BER
+// model convolves four PDFs per run length and the direct O(n^2) product is
+// the bottleneck for fine grids.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace gcdr {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
+/// of two. inverse=true applies the conjugate transform and 1/N scaling.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Next power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// Linear convolution of two real sequences via FFT.
+/// Result length is a.size() + b.size() - 1.
+[[nodiscard]] std::vector<double> convolve_fft(const std::vector<double>& a,
+                                               const std::vector<double>& b);
+
+/// Direct O(n*m) linear convolution; reference implementation for testing
+/// and faster for very short kernels.
+[[nodiscard]] std::vector<double> convolve_direct(const std::vector<double>& a,
+                                                  const std::vector<double>& b);
+
+}  // namespace gcdr

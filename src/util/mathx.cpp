@@ -1,0 +1,79 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace gcdr {
+
+double q_function(double x) {
+    return 0.5 * std::erfc(x / std::numbers::sqrt2);
+}
+
+double q_inverse(double p) {
+    assert(p > 0.0 && p <= 0.5);
+    // Bisection on log10 Q(x): Q is strictly decreasing, well conditioned.
+    double lo = 0.0, hi = 40.0;
+    const double target = std::log10(p);
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (log10_q_function(mid) > target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double log10_q_function(double x) {
+    if (x < 30.0) {
+        return std::log10(q_function(x));
+    }
+    // Far tail: Q(x) ~ phi(x)/x * (1 - 1/x^2 + 3/x^4).
+    const double log_phi =
+        -0.5 * x * x - 0.5 * std::log(2.0 * std::numbers::pi);
+    const double corr = 1.0 - 1.0 / (x * x) + 3.0 / (x * x * x * x);
+    return (log_phi - std::log(x) + std::log(corr)) / std::numbers::ln10;
+}
+
+double to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+    assert(n >= 2);
+    std::vector<double> out(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;
+    return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+    assert(lo > 0.0 && hi > 0.0);
+    auto exps = linspace(std::log10(lo), std::log10(hi), n);
+    for (auto& e : exps) e = std::pow(10.0, e);
+    return exps;
+}
+
+double interp_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys, double x) {
+    assert(xs.size() == ys.size() && !xs.empty());
+    if (x <= xs.front()) return ys.front();
+    if (x >= xs.back()) return ys.back();
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    const std::size_t i = static_cast<std::size_t>(it - xs.begin());
+    const double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+    return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+}
+
+double trapz(const std::vector<double>& ys, double dx) {
+    if (ys.size() < 2) return 0.0;
+    double acc = 0.5 * (ys.front() + ys.back());
+    for (std::size_t i = 1; i + 1 < ys.size(); ++i) acc += ys[i];
+    return acc * dx;
+}
+
+}  // namespace gcdr

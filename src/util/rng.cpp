@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gcdr {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+    // All-zero state is invalid; splitmix64 of any seed cannot produce it,
+    // but keep the guard for belt and braces.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+void Xoshiro256::long_jump() {
+    static constexpr std::uint64_t kJump[] = {
+        0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull,
+        0x77710069854ee241ull, 0x39109bb02acbe635ull};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (jump & (std::uint64_t{1} << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (*this)();
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+}
+
+double Rng::uniform() {
+    // 53-bit mantissa: top bits of the 64-bit output.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+}
+
+double Rng::gaussian() {
+    if (has_cached_) {
+        has_cached_ = false;
+        return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_ = true;
+    return u * factor;
+}
+
+double Rng::gaussian(double mean, double sigma) {
+    return mean + sigma * gaussian();
+}
+
+double Rng::arcsine(double amp) {
+    return amp * std::sin(2.0 * std::numbers::pi * uniform());
+}
+
+double Rng::dual_dirac(double delta) {
+    return coin() ? delta : -delta;
+}
+
+std::uint64_t Rng::index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded integer.
+    if (n == 0) return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>(gen_()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::coin() {
+    return (gen_() >> 63) != 0;
+}
+
+}  // namespace gcdr

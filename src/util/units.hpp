@@ -1,0 +1,45 @@
+#pragma once
+// Link-rate bookkeeping: conversions between seconds, unit intervals (UI)
+// and frequencies for a serial link. The paper's channel runs at
+// 2.5 Gbit/s, i.e. 1 UI = 400 ps (Sec. 2.1).
+
+#include "util/sim_time.hpp"
+
+namespace gcdr {
+
+/// Data-rate context for UI <-> time conversions.
+class LinkRate {
+public:
+    constexpr explicit LinkRate(double bits_per_second)
+        : rate_(bits_per_second) {}
+
+    [[nodiscard]] static constexpr LinkRate gbps(double g) {
+        return LinkRate{g * 1e9};
+    }
+
+    [[nodiscard]] constexpr double bits_per_second() const { return rate_; }
+    [[nodiscard]] constexpr double ui_seconds() const { return 1.0 / rate_; }
+    [[nodiscard]] SimTime ui_time() const {
+        return SimTime::from_seconds(ui_seconds());
+    }
+    [[nodiscard]] constexpr double seconds_to_ui(double s) const {
+        return s * rate_;
+    }
+    [[nodiscard]] constexpr double ui_to_seconds(double ui) const {
+        return ui / rate_;
+    }
+    [[nodiscard]] double time_to_ui(SimTime t) const {
+        return seconds_to_ui(t.seconds());
+    }
+    [[nodiscard]] SimTime ui_to_time(double ui) const {
+        return SimTime::from_seconds(ui_to_seconds(ui));
+    }
+
+private:
+    double rate_;
+};
+
+/// The paper's per-channel rate: 2.5 Gbit/s, 1 UI = 400 ps.
+inline constexpr LinkRate kPaperRate = LinkRate::gbps(2.5);
+
+}  // namespace gcdr

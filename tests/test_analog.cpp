@@ -1,0 +1,300 @@
+// Tests for analog/: the SPICE-lite MNA solver (linear solve, DC operating
+// points, RC transients, MOS characteristics) and the CML cell library up
+// to the transistor-level ring oscillator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/circuit.hpp"
+#include "analog/cml_cells.hpp"
+#include "analog/transient.hpp"
+
+namespace gcdr::analog {
+namespace {
+
+TEST(Dense, SolvesKnownSystem) {
+    // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+    std::vector<double> a{2, 1, 1, 3};
+    std::vector<double> b{5, 10};
+    ASSERT_TRUE(solve_dense(a, b, 2));
+    EXPECT_NEAR(b[0], 1.0, 1e-12);
+    EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Dense, PivotsOnZeroDiagonal) {
+    std::vector<double> a{0, 1, 1, 0};
+    std::vector<double> b{2, 3};
+    ASSERT_TRUE(solve_dense(a, b, 2));
+    EXPECT_NEAR(b[0], 3.0, 1e-12);
+    EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Dense, DetectsSingular) {
+    std::vector<double> a{1, 1, 1, 1};
+    std::vector<double> b{1, 2};
+    EXPECT_FALSE(solve_dense(a, b, 2));
+}
+
+TEST(Dc, ResistorDivider) {
+    Circuit ckt;
+    const auto vin = ckt.node("vin");
+    const auto mid = ckt.node("mid");
+    ckt.add_voltage_source(vin, kGround, 1.8);
+    ckt.add_resistor(vin, mid, 1000.0);
+    ckt.add_resistor(mid, kGround, 3000.0);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    EXPECT_NEAR(sim.v(mid), 1.35, 1e-5);
+    EXPECT_NEAR(sim.v(vin), 1.8, 1e-9);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+    Circuit ckt;
+    const auto n = ckt.node("n");
+    ckt.add_current_source(kGround, n, 1e-3);  // 1 mA into n
+    ckt.add_resistor(n, kGround, 2000.0);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    EXPECT_NEAR(sim.v(n), 2.0, 1e-4);
+}
+
+TEST(Transient, RcStepResponseTimeConstant) {
+    Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    // Step at t=0 through R into C.
+    ckt.add_voltage_source(in, kGround,
+                           [](double t) { return t > 0.0 ? 1.0 : 0.0; });
+    ckt.add_resistor(in, out, 1000.0);
+    ckt.add_capacitor(out, kGround, 1e-12);  // tau = 1 ns
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    ASSERT_TRUE(sim.run_until(1e-9, 1e-12));
+    // v(tau) = 1 - 1/e ~ 0.632 (backward Euler: slight overdamping).
+    EXPECT_NEAR(sim.v(out), 0.632, 0.01);
+    ASSERT_TRUE(sim.run_until(10e-9, 1e-12));
+    EXPECT_NEAR(sim.v(out), 1.0, 1e-3);
+}
+
+TEST(Mosfet, SquareLawSaturationCurrent) {
+    // NMOS with vgs = 1.0, vth = 0.45, k = 2e-3, lambda = 0 -> in
+    // saturation Id = k/2 * vov^2 = 1e-3 * 0.3025 = 302.5 uA.
+    Circuit ckt;
+    const auto d = ckt.node("d");
+    const auto g = ckt.node("g");
+    ckt.add_voltage_source(g, kGround, 1.0);
+    ckt.add_voltage_source(d, kGround, 1.8);
+    MosParams p;
+    p.vth = 0.45;
+    p.k = 2e-3;
+    p.lambda = 0.0;
+    ckt.add_mosfet(d, g, kGround, p);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    EXPECT_NEAR(sim.mosfet_id(0), 1e-3 * 0.55 * 0.55 / 2.0 * 2.0, 5e-6);
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+    Circuit ckt;
+    const auto d = ckt.node("d");
+    ckt.add_voltage_source(d, kGround, 1.8);
+    MosParams p;
+    ckt.add_mosfet(d, kGround, kGround, p);  // vgs = 0
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    EXPECT_LT(std::abs(sim.mosfet_id(0)), 1e-8);
+}
+
+TEST(Mosfet, SourceFollowerSettles) {
+    // NMOS source follower: vout ~ vg - vth - vov.
+    Circuit ckt;
+    const auto vdd = ckt.node("vdd");
+    const auto g = ckt.node("g");
+    const auto s = ckt.node("s");
+    ckt.add_voltage_source(vdd, kGround, 1.8);
+    ckt.add_voltage_source(g, kGround, 1.2);
+    ckt.add_mosfet(vdd, g, s, MosParams::nmos_018(10.0));
+    ckt.add_resistor(s, kGround, 10e3);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    EXPECT_GT(sim.v(s), 0.4);
+    EXPECT_LT(sim.v(s), 1.2 - 0.45 + 0.05);
+}
+
+TEST(CmlBuffer, DcLevelsSwitchFully) {
+    Circuit ckt;
+    CmlNetlist nl(ckt, CmlCellParams{});
+    auto in = nl.net("in");
+    auto out = nl.net("out");
+    // Drive in.p high, in.n low (CML levels).
+    ckt.add_voltage_source(in.p, kGround, 1.8);
+    ckt.add_voltage_source(in.n, kGround, 1.4);
+    nl.buffer(in, out);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    // The in.n side transistor is off: out.p stays at vdd; out.n drops by
+    // the full swing.
+    EXPECT_NEAR(sim.v(out.p), 1.8, 0.02);
+    EXPECT_NEAR(sim.v(out.n), 1.8 - nl.params().swing_v(), 0.05);
+    EXPECT_GT(diff_v(sim, out), 0.3);
+}
+
+TEST(CmlBuffer, TransientDelayNearFirstOrderEstimate) {
+    Circuit ckt;
+    CmlCellParams p;
+    CmlNetlist nl(ckt, p);
+    auto in = nl.net("in");
+    auto out = nl.net("out");
+    nl.drive_nrz(in, {false, true, false}, 400e-12, 30e-12);
+    nl.buffer(in, out);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    // Find the output differential zero crossing after the input edge at
+    // 400 ps (input crosses zero at ~415 ps with the 30 ps ramp).
+    double crossing = -1.0;
+    double prev = diff_v(sim, out);
+    ASSERT_TRUE(sim.run_until(900e-12, 1e-12, [&](const TransientSim& s) {
+        const double d = diff_v(s, out);
+        if (crossing < 0.0 && prev < 0.0 && d >= 0.0 &&
+            s.time_s() > 400e-12) {
+            crossing = s.time_s();
+        }
+        prev = d;
+    }));
+    ASSERT_GT(crossing, 0.0);
+    const double delay = crossing - 415e-12;
+    // First-order estimate 0.69*RC = 50 ps; allow generous margin for the
+    // large-signal behaviour.
+    EXPECT_GT(delay, 15e-12);
+    EXPECT_LT(delay, 120e-12);
+}
+
+TEST(CmlAnd2, TruthTable) {
+    struct Case {
+        bool a, b;
+    };
+    for (const auto c : {Case{false, false}, Case{false, true},
+                         Case{true, false}, Case{true, true}}) {
+        Circuit ckt;
+        CmlNetlist nl(ckt, CmlCellParams{});
+        auto a = nl.net("a");
+        auto b = nl.net("b");
+        auto out = nl.net("out");
+        const double hi = 1.8, lo = 1.4;
+        ckt.add_voltage_source(a.p, kGround, c.a ? hi : lo);
+        ckt.add_voltage_source(a.n, kGround, c.a ? lo : hi);
+        ckt.add_voltage_source(b.p, kGround, c.b ? hi : lo);
+        ckt.add_voltage_source(b.n, kGround, c.b ? lo : hi);
+        nl.and2(a, b, out);
+        TransientSim sim(ckt);
+        ASSERT_TRUE(sim.solve_dc()) << c.a << c.b;
+        const double d = diff_v(sim, out);
+        if (c.a && c.b) {
+            EXPECT_GT(d, 0.2) << c.a << c.b;
+        } else {
+            EXPECT_LT(d, -0.2) << c.a << c.b;
+        }
+    }
+}
+
+TEST(CmlXor2, TruthTable) {
+    struct Case {
+        bool a, b;
+    };
+    for (const auto c : {Case{false, false}, Case{false, true},
+                         Case{true, false}, Case{true, true}}) {
+        Circuit ckt;
+        CmlNetlist nl(ckt, CmlCellParams{});
+        auto a = nl.net("a");
+        auto b = nl.net("b");
+        auto out = nl.net("out");
+        const double hi = 1.8, lo = 1.4;
+        ckt.add_voltage_source(a.p, kGround, c.a ? hi : lo);
+        ckt.add_voltage_source(a.n, kGround, c.a ? lo : hi);
+        ckt.add_voltage_source(b.p, kGround, c.b ? hi : lo);
+        ckt.add_voltage_source(b.n, kGround, c.b ? lo : hi);
+        nl.xor2(a, b, out);
+        TransientSim sim(ckt);
+        ASSERT_TRUE(sim.solve_dc()) << c.a << c.b;
+        const double d = diff_v(sim, out);
+        if (c.a != c.b) {
+            EXPECT_GT(d, 0.2) << c.a << c.b;
+        } else {
+            EXPECT_LT(d, -0.2) << c.a << c.b;
+        }
+    }
+}
+
+TEST(CmlDelayLine, PropagatesDifferentialEdge) {
+    Circuit ckt;
+    CmlNetlist nl(ckt, CmlCellParams{});
+    auto in = nl.net("in");
+    nl.drive_nrz(in, {false, true}, 400e-12, 30e-12);
+    auto out = nl.delay_line(in, 3, "dl");
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    EXPECT_LT(diff_v(sim, out), -0.3);
+    ASSERT_TRUE(sim.run_until(1.2e-9, 1e-12));
+    EXPECT_GT(diff_v(sim, out), 0.3);
+}
+
+TEST(CmlRing, OscillatesNearFirstOrderFrequency) {
+    Circuit ckt;
+    CmlCellParams p;
+    CmlNetlist nl(ckt, p);
+    // Tie the gating input high (free run).
+    auto trig = nl.net("trig");
+    ckt.add_voltage_source(trig.p, kGround, 1.8);
+    ckt.add_voltage_source(trig.n, kGround, 1.4);
+    const auto ring = build_cml_ring(nl, trig);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    // Count output zero crossings over 20 ns after a 4 ns settle.
+    std::vector<double> rises;
+    double prev = diff_v(sim, ring.ckout);
+    ASSERT_TRUE(sim.run_until(24e-9, 2e-12, [&](const TransientSim& s) {
+        const double d = diff_v(s, ring.ckout);
+        if (prev < 0.0 && d >= 0.0 && s.time_s() > 4e-9) {
+            rises.push_back(s.time_s());
+        }
+        prev = d;
+    }));
+    ASSERT_GT(rises.size(), 5u) << "ring did not oscillate";
+    const double period =
+        (rises.back() - rises.front()) / static_cast<double>(rises.size() - 1);
+    // First-order: T = 8 * 0.69 * R * C = 400 ps for the defaults. The
+    // square-law large-signal delay lands in the same decade.
+    EXPECT_GT(period, 150e-12);
+    EXPECT_LT(period, 1200e-12);
+}
+
+TEST(CmlRing, GatingFreezesOscillation) {
+    Circuit ckt;
+    CmlCellParams p;
+    CmlNetlist nl(ckt, p);
+    auto trig = nl.net("trig");
+    // Gate low from 10 ns on.
+    ckt.add_voltage_source(trig.p, kGround, [](double t) {
+        return t < 10e-9 ? 1.8 : 1.4;
+    });
+    ckt.add_voltage_source(trig.n, kGround, [](double t) {
+        return t < 10e-9 ? 1.4 : 1.8;
+    });
+    const auto ring = build_cml_ring(nl, trig);
+    TransientSim sim(ckt);
+    ASSERT_TRUE(sim.solve_dc());
+    int crossings_while_gated = 0;
+    double prev = diff_v(sim, ring.ckout);
+    ASSERT_TRUE(sim.run_until(20e-9, 2e-12, [&](const TransientSim& s) {
+        const double d = diff_v(s, ring.ckout);
+        if (s.time_s() > 12e-9 && ((prev < 0.0) != (d < 0.0))) {
+            ++crossings_while_gated;
+        }
+        prev = d;
+    }));
+    EXPECT_EQ(crossings_while_gated, 0);
+}
+
+}  // namespace
+}  // namespace gcdr::analog

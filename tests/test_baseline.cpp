@@ -1,0 +1,132 @@
+// Tests for the baseline CDRs (bang-bang PLL and phase interpolator):
+// tracking behaviour, frequency-offset absorption, and the loop-bandwidth
+// JTOL corner that distinguishes them from the gated oscillator.
+
+#include <gtest/gtest.h>
+
+#include "cdr/baseline.hpp"
+#include "encoding/prbs.hpp"
+
+namespace gcdr::cdr {
+namespace {
+
+jitter::JitterSpec mild_spec() {
+    jitter::JitterSpec s;
+    s.dj_uipp = 0.1;
+    s.rj_uirms = 0.01;
+    s.sj_uipp = 0.0;
+    return s;
+}
+
+std::vector<bool> prbs_bits(std::size_t n) {
+    encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+    return gen.bits(n);
+}
+
+TEST(BangBang, CleanTrackingIsErrorFree) {
+    BangBangCdr cdr({});
+    Rng rng(1);
+    const auto res = cdr.run(prbs_bits(50000), mild_spec(), kPaperRate, rng);
+    EXPECT_EQ(res.errors, 0u);
+    EXPECT_GT(res.bits, 40000u);
+    EXPECT_LT(res.extrapolated_ber(), 1e-12);
+}
+
+TEST(BangBang, AbsorbsFrequencyOffsetViaIntegralPath) {
+    BangBangCdr::Config cfg;
+    cfg.freq_offset = 200e-6;  // 200 ppm, in-spec
+    BangBangCdr cdr(cfg);
+    Rng rng(2);
+    const auto res = cdr.run(prbs_bits(50000), mild_spec(), kPaperRate, rng);
+    EXPECT_EQ(res.errors, 0u);
+}
+
+TEST(BangBang, TracksLowFrequencySjOfManyUi) {
+    // 8 UIpp at f/100000: far beyond the eye, but the loop follows it.
+    jitter::JitterSpec spec = mild_spec();
+    spec.sj_uipp = 8.0;
+    spec.sj_freq_hz = kPaperRate.bits_per_second() / 100000.0;
+    BangBangCdr cdr({});
+    Rng rng(3);
+    const auto res = cdr.run(prbs_bits(200000), spec, kPaperRate, rng);
+    EXPECT_EQ(res.errors, 0u);
+}
+
+TEST(BangBang, FailsOnLargeSjAboveLoopBandwidth) {
+    jitter::JitterSpec spec = mild_spec();
+    spec.sj_uipp = 1.5;
+    spec.sj_freq_hz = kPaperRate.bits_per_second() / 20.0;  // f/20
+    BangBangCdr cdr({});
+    Rng rng(4);
+    const auto res = cdr.run(prbs_bits(50000), spec, kPaperRate, rng);
+    EXPECT_GT(res.errors, 0u);
+}
+
+TEST(BangBang, JtolRollsOffWithFrequency) {
+    const auto base = mild_spec();
+    BangBangCdr cdr({});
+    const double lo = baseline_jtol_amplitude(cdr, 1e-5, base, kPaperRate,
+                                              30000, 11);
+    const double hi = baseline_jtol_amplitude(cdr, 0.05, base, kPaperRate,
+                                              30000, 11);
+    EXPECT_GT(lo, hi);
+    EXPECT_GT(lo, 2.0);
+    EXPECT_LT(hi, 2.0);
+}
+
+TEST(PhaseInterpolator, CleanTrackingIsErrorFree) {
+    PhaseInterpolatorCdr cdr({});
+    Rng rng(5);
+    const auto res = cdr.run(prbs_bits(50000), mild_spec(), kPaperRate, rng);
+    EXPECT_EQ(res.errors, 0u);
+}
+
+TEST(PhaseInterpolator, AbsorbsSmallFrequencyOffset) {
+    PhaseInterpolatorCdr::Config cfg;
+    cfg.freq_offset = 100e-6;
+    PhaseInterpolatorCdr cdr(cfg);
+    Rng rng(6);
+    const auto res = cdr.run(prbs_bits(100000), mild_spec(), kPaperRate, rng);
+    EXPECT_EQ(res.errors, 0u);
+}
+
+TEST(PhaseInterpolator, SlewLimitFailsLargeFastSj) {
+    // Max slew = 1 step / update: SJ slope beyond that cannot be tracked.
+    jitter::JitterSpec spec = mild_spec();
+    spec.sj_uipp = 2.0;
+    spec.sj_freq_hz = kPaperRate.bits_per_second() / 50.0;
+    PhaseInterpolatorCdr cdr({});
+    Rng rng(7);
+    const auto res = cdr.run(prbs_bits(50000), spec, kPaperRate, rng);
+    EXPECT_GT(res.errors, 0u);
+}
+
+TEST(PhaseInterpolator, QuantizationLeavesResidualMarginLoss) {
+    // Coarser interpolator -> larger dither -> smaller minimum margin.
+    jitter::JitterSpec spec = mild_spec();
+    PhaseInterpolatorCdr::Config fine_cfg;
+    fine_cfg.phase_steps = 128;
+    PhaseInterpolatorCdr::Config coarse_cfg;
+    coarse_cfg.phase_steps = 8;
+    Rng rng_a(8), rng_b(8);
+    const auto fine =
+        PhaseInterpolatorCdr(fine_cfg).run(prbs_bits(30000), spec,
+                                           kPaperRate, rng_a);
+    const auto coarse =
+        PhaseInterpolatorCdr(coarse_cfg).run(prbs_bits(30000), spec,
+                                             kPaperRate, rng_b);
+    const auto min_of = [](const std::vector<double>& v) {
+        return *std::min_element(v.begin(), v.end());
+    };
+    EXPECT_GT(min_of(fine.margins_ui), min_of(coarse.margins_ui));
+}
+
+TEST(BaselineResult, CountedBerMath) {
+    BaselineResult r;
+    r.bits = 1000;
+    r.errors = 5;
+    EXPECT_DOUBLE_EQ(r.counted_ber(), 5e-3);
+}
+
+}  // namespace
+}  // namespace gcdr::cdr

@@ -1,0 +1,124 @@
+// Tests for the bathtub-curve analysis (statmodel/bathtub) and the VCD
+// waveform writer (sim/vcd).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/vcd.hpp"
+#include "statmodel/bathtub.hpp"
+
+namespace gcdr {
+namespace {
+
+statmodel::ModelConfig quick_cfg() {
+    statmodel::ModelConfig cfg;
+    cfg.grid_dx = 2e-3;
+    return cfg;
+}
+
+TEST(Bathtub, IsBathtubShaped) {
+    // High BER at both cell edges, low in the middle.
+    const auto curve = statmodel::bathtub_curve(quick_cfg(), 25);
+    ASSERT_EQ(curve.size(), 25u);
+    const double left = curve.front().ber;
+    const double right = curve.back().ber;
+    const double middle = curve[curve.size() / 2].ber;
+    EXPECT_GT(left, middle * 1e3);
+    EXPECT_GT(right, middle * 1e3);
+}
+
+TEST(Bathtub, OptimumNearMidBitWithoutOffset) {
+    const auto best = statmodel::optimal_sampling_phase(quick_cfg(), 49);
+    EXPECT_GT(best.phase_ui, 0.3);
+    EXPECT_LT(best.phase_ui, 0.7);
+}
+
+TEST(Bathtub, OffsetSkewsOptimumEarly) {
+    // A slow oscillator drifts samples late, so the best static phase
+    // moves earlier — the rationale for the paper's Fig 15 T/8 advance.
+    auto cfg = quick_cfg();
+    cfg.freq_offset = 0.02;
+    const auto best_offset = statmodel::optimal_sampling_phase(cfg, 49);
+    const auto best_clean = statmodel::optimal_sampling_phase(quick_cfg(), 49);
+    EXPECT_LT(best_offset.phase_ui, best_clean.phase_ui);
+}
+
+TEST(Bathtub, OpeningShrinksWithJitter) {
+    auto clean = quick_cfg();
+    const double open_clean = statmodel::bathtub_opening_ui(clean, 1e-12);
+    auto noisy = quick_cfg();
+    noisy.spec.sj_uipp = 0.3;
+    noisy.sj_freq_norm = 0.1;
+    const double open_noisy = statmodel::bathtub_opening_ui(noisy, 1e-12);
+    EXPECT_GT(open_clean, open_noisy);
+    EXPECT_GT(open_clean, 0.1);
+}
+
+TEST(Vcd, ProducesWellFormedDocument) {
+    sim::Scheduler sched;
+    sim::Wire clk(sched, "clk");
+    sim::Wire data(sched, "data", true);
+    sim::VcdWriter vcd;
+    vcd.watch(clk);
+    vcd.watch(data);
+    for (int i = 1; i <= 4; ++i) {
+        sched.schedule_at(SimTime::ps(i * 100),
+                          [&clk, i] { clk.set_now(i % 2 == 1); });
+    }
+    sched.schedule_at(SimTime::ps(250), [&data] { data.set_now(false); });
+    sched.run();
+
+    const auto doc = vcd.to_string("tb");
+    EXPECT_NE(doc.find("$timescale 1 ps $end"), std::string::npos);
+    EXPECT_NE(doc.find("$scope module tb $end"), std::string::npos);
+    EXPECT_NE(doc.find("$var wire 1 ! clk $end"), std::string::npos);
+    EXPECT_NE(doc.find("$var wire 1 \" data $end"), std::string::npos);
+    EXPECT_NE(doc.find("$enddefinitions $end"), std::string::npos);
+    // Initial dump: clk = 0, data = 1.
+    EXPECT_NE(doc.find("0!"), std::string::npos);
+    EXPECT_NE(doc.find("1\""), std::string::npos);
+    // Timestamped changes.
+    EXPECT_NE(doc.find("#100"), std::string::npos);
+    EXPECT_NE(doc.find("#250"), std::string::npos);
+    EXPECT_EQ(vcd.change_count(), 5u);
+    EXPECT_EQ(vcd.signal_count(), 2u);
+}
+
+TEST(Vcd, SharesTimestampLines) {
+    sim::Scheduler sched;
+    sim::Wire a(sched, "a");
+    sim::Wire b(sched, "b");
+    sim::VcdWriter vcd;
+    vcd.watch(a);
+    vcd.watch(b);
+    sched.schedule_at(SimTime::ps(100), [&] {
+        a.set_now(true);
+        b.set_now(true);
+    });
+    sched.run();
+    const auto doc = vcd.to_string();
+    // Only one #100 line for both changes.
+    const auto first = doc.find("#100");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(doc.find("#100", first + 1), std::string::npos);
+}
+
+TEST(Vcd, WritesFile) {
+    sim::Scheduler sched;
+    sim::Wire w(sched, "sig");
+    sim::VcdWriter vcd;
+    vcd.watch(w);
+    sched.schedule_at(SimTime::ps(10), [&] { w.set_now(true); });
+    sched.run();
+    const std::string path = "/tmp/gcdr_vcd_test.vcd";
+    ASSERT_TRUE(vcd.write_file(path));
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string line;
+    std::getline(f, line);
+    EXPECT_NE(line.find("$comment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcdr

@@ -1,0 +1,97 @@
+// Tests for ber/: error counting, confidence bounds and the Q-scale
+// margin extrapolation used to bridge 25k-bit simulations to 1e-12 claims.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ber/bert.hpp"
+#include "util/rng.hpp"
+
+namespace gcdr::ber {
+namespace {
+
+TEST(ErrorCounter, CountsAndRatio) {
+    ErrorCounter c;
+    for (int i = 0; i < 1000; ++i) c.record(i % 100 == 0);
+    EXPECT_EQ(c.bits(), 1000u);
+    EXPECT_EQ(c.errors(), 10u);
+    EXPECT_DOUBLE_EQ(c.ber(), 0.01);
+    c.reset();
+    EXPECT_EQ(c.bits(), 0u);
+    EXPECT_DOUBLE_EQ(c.ber(), 0.0);
+}
+
+TEST(ErrorCounter, RecordBitsBulk) {
+    ErrorCounter c;
+    c.record_bits(1000000, 3);
+    EXPECT_DOUBLE_EQ(c.ber(), 3e-6);
+}
+
+TEST(ErrorCounter, RuleOfThreeForZeroErrors) {
+    ErrorCounter c;
+    c.record_bits(1000000, 0);
+    // 95%: -ln(0.05)/N ~ 3/N.
+    EXPECT_NEAR(c.ber_upper_bound(0.95), 3.0 / 1e6, 0.01 / 1e6);
+}
+
+TEST(ErrorCounter, UpperBoundAboveEstimateWithErrors) {
+    ErrorCounter c;
+    c.record_bits(100000, 10);
+    const double ub = c.ber_upper_bound(0.95);
+    EXPECT_GT(ub, c.ber());
+    EXPECT_LT(ub, 10 * c.ber());
+}
+
+TEST(ErrorCounter, NoBitsGivesVacuousBound) {
+    ErrorCounter c;
+    EXPECT_DOUBLE_EQ(c.ber_upper_bound(), 1.0);
+}
+
+TEST(BitsNeeded, MatchesRuleOfThree) {
+    EXPECT_NEAR(bits_needed_for(1e-12, 0.95), 3.0e12, 0.01e12);
+    // Tighter confidence costs more bits.
+    EXPECT_GT(bits_needed_for(1e-12, 0.99), bits_needed_for(1e-12, 0.95));
+}
+
+TEST(Extrapolation, GaussianMarginsMatchQFunction) {
+    // Margins ~ N(mu, sigma): expected extrapolated BER ~ Q(mu/sigma).
+    Rng rng(41);
+    std::vector<double> margins;
+    const double mu = 0.35, sigma = 0.05;
+    for (int i = 0; i < 200000; ++i) {
+        margins.push_back(rng.gaussian(mu, sigma));
+    }
+    const double est = extrapolate_ber_from_margins(margins);
+    const double expected = std::pow(10.0, log10_q_function(mu / sigma));
+    EXPECT_GT(est, expected * 1e-3);
+    EXPECT_LT(est, expected * 1e3);
+}
+
+TEST(Extrapolation, WiderMarginsGiveLowerBer) {
+    Rng rng(43);
+    std::vector<double> narrow, wide;
+    for (int i = 0; i < 50000; ++i) {
+        const double g = rng.gaussian();
+        narrow.push_back(0.2 + 0.05 * g);
+        wide.push_back(0.4 + 0.05 * g);
+    }
+    EXPECT_LT(extrapolate_ber_from_margins(wide),
+              extrapolate_ber_from_margins(narrow));
+}
+
+TEST(Extrapolation, TooFewSamplesIsConservative) {
+    EXPECT_DOUBLE_EQ(extrapolate_ber_from_margins({0.5, 0.4}), 1.0);
+}
+
+TEST(Extrapolation, NegativeMeanMarginsSaturate) {
+    Rng rng(47);
+    std::vector<double> margins;
+    for (int i = 0; i < 10000; ++i) {
+        margins.push_back(rng.gaussian(-0.1, 0.02));
+    }
+    EXPECT_GT(extrapolate_ber_from_margins(margins), 0.1);
+}
+
+}  // namespace
+}  // namespace gcdr::ber

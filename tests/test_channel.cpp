@@ -1,0 +1,240 @@
+// End-to-end tests of one GCCO CDR channel: clean recovery, frequency-
+// offset resilience (the topology's defining property), the Fig 13
+// edge-detector delay constraint, and the Fig 15 sampling-point shift.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ber/bert.hpp"
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+
+namespace gcdr::cdr {
+namespace {
+
+constexpr auto kPrbs = encoding::PrbsOrder::kPrbs7;
+
+struct ChannelRun {
+    sim::Scheduler sched;
+    Rng rng;
+    std::unique_ptr<GccoChannel> ch;
+
+    ChannelRun(const ChannelConfig& cfg, const jitter::JitterSpec& spec,
+        std::size_t n_bits, std::uint64_t seed = 2024,
+        double data_rate_offset = 0.0)
+        : rng(seed) {
+        ch = std::make_unique<GccoChannel>(sched, rng, cfg);
+        encoding::PrbsGenerator gen(kPrbs);
+        jitter::StreamParams sp;
+        sp.rate = cfg.rate;
+        sp.spec = spec;
+        sp.data_rate_offset = data_rate_offset;
+        sp.start = SimTime::ns(4);  // let the oscillator start up first
+        ch->drive(jitter::jittered_edges(gen.bits(n_bits), sp, rng));
+        // The ring free-runs forever; stop slightly BEFORE the data ends,
+        // otherwise the sampler keeps clocking the frozen line level and
+        // the self-synchronizing checker scores the tail as errors.
+        sched.run_until(sp.start +
+                        cfg.rate.ui_to_time(static_cast<double>(n_bits) - 4));
+    }
+};
+
+jitter::JitterSpec clean_spec() {
+    jitter::JitterSpec s;
+    s.dj_uipp = s.rj_uirms = s.sj_uipp = 0.0;
+    s.ckj_uirms = 0.0;
+    return s;
+}
+
+TEST(Channel, CleanMatchedRecoveryIsErrorFree) {
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9, /*ckj=*/0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    ChannelRun run(cfg, clean_spec(), 3000);
+    EXPECT_GT(run.ch->decisions().size(), 2500u);
+    EXPECT_EQ(run.ch->measured_prbs_ber(kPrbs), 0.0);
+}
+
+TEST(Channel, ToleratesFivePercentSlowOscillator) {
+    // The Fig 14 condition: CCO at 2.375 GHz vs 2.5 Gb/s data (-5%).
+    // Retriggering absorbs the offset for PRBS7 run lengths.
+    ChannelConfig cfg = ChannelConfig::nominal(2.375e9, 0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    ChannelRun run(cfg, clean_spec(), 5000);
+    EXPECT_EQ(run.ch->measured_prbs_ber(kPrbs), 0.0);
+}
+
+TEST(Channel, ToleratesFastOscillator) {
+    ChannelConfig cfg = ChannelConfig::nominal(2.625e9, 0.0);  // +5%
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    ChannelRun run(cfg, clean_spec(), 5000);
+    EXPECT_EQ(run.ch->measured_prbs_ber(kPrbs), 0.0);
+}
+
+TEST(Channel, LargeOffsetBreaksRecovery) {
+    // 20% slow: over a 7-bit PRBS run the sample drifts more than half a
+    // bit — the gated oscillator's FTOL cliff.
+    ChannelConfig cfg = ChannelConfig::nominal(2.0e9, 0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    ChannelRun run(cfg, clean_spec(), 5000);
+    EXPECT_GT(run.ch->measured_prbs_ber(kPrbs), 1e-3);
+}
+
+TEST(Channel, Table1JitterStillRecoversMostBits) {
+    // Note: the behavioral stream generator injects DJ independently per
+    // edge (as the paper's VHDL does), which is pessimistic versus the
+    // statistical model's correlated-DJ budget — a rare error in 10k bits
+    // is possible, wholesale failure is not.
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9);
+    jitter::JitterSpec spec;  // Table 1: DJ 0.4, RJ 0.021, CKJ via config
+    ChannelRun run(cfg, spec, 10000);
+    EXPECT_LT(run.ch->measured_prbs_ber(kPrbs), 2e-4);
+    // Margin population must support extrapolation to small BERs.
+    EXPECT_LT(ber::extrapolate_ber_from_margins(run.ch->margins_ui()), 1e-4);
+}
+
+TEST(Channel, EyeOpensAroundSamplingInstant) {
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9);
+    jitter::JitterSpec spec;
+    ChannelRun run(cfg, spec, 10000);
+    const auto& eye = run.ch->eye();
+    EXPECT_GT(eye.total_transitions(), 4000u);
+    // Swept DJ is tracked by the retriggering; RJ and CKJ tails remain.
+    EXPECT_GT(eye.eye_opening_ui(), 0.3);
+    EXPECT_LT(eye.eye_opening_ui(), 0.95);
+}
+
+TEST(Channel, SjNearRateDegradesMargins) {
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9);
+    jitter::JitterSpec base;
+    ChannelRun quiet(cfg, base, 8000, 1);
+    jitter::JitterSpec sj = base;
+    sj.sj_uipp = 0.3;
+    sj.sj_freq_hz = 250e6;  // f/10, the Fig 14 stress condition
+    ChannelRun noisy(cfg, sj, 8000, 1);
+    EXPECT_LT(noisy.ch->eye().eye_opening_ui(),
+              quiet.ch->eye().eye_opening_ui());
+}
+
+class TauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauSweep, ReliableOnlyInsideHalfToFullBit) {
+    // Fig 13: tau <= T/2 releases the oscillator before the frozen state
+    // reaches stage 4 -> the resync silently fails on many edges and the
+    // sampling phase wanders (visible as a smeared margin population);
+    // T/2 < tau < T is safe; tau >= T merges EDET pulses on dense
+    // transitions and loses samples outright.
+    const double tau_ui = GetParam();
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9, 0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    cfg.edge_detector.n_cells = 4;
+    cfg.edge_detector.cell_delay =
+        SimTime::from_seconds(tau_ui * cfg.rate.ui_seconds() / 4.0);
+    // A -2% frequency offset forces reliance on resynchronization.
+    cfg.gcco.fc_hz = 2.45e9;
+    ChannelRun run(cfg, clean_spec(), 4000);
+    const double ber = run.ch->measured_prbs_ber(kPrbs);
+    const auto& margins = run.ch->margins_ui();
+    ASSERT_GT(margins.size(), 500u);
+    double mean_margin = 0.0;
+    for (double m : margins) mean_margin += m;
+    mean_margin /= static_cast<double>(margins.size());
+
+    if (tau_ui > 0.55 && tau_ui < 0.8) {
+        // Safe window at this offset. (The clean-edge bound is tau < T,
+        // but a slow oscillator tightens it: the last sample of a run of
+        // L survives only while tau + (L-1)*delta < 1, so tau = 0.9 at
+        // -2% already loses L = 7 samples — see the 0.9 branch.)
+        EXPECT_EQ(ber, 0.0) << "tau = " << tau_ui << " UI";
+        EXPECT_GT(mean_margin, 0.4) << "tau = " << tau_ui << " UI";
+    } else if (tau_ui < 0.45) {
+        // Fig 13 hazard as this model exhibits it: the ring re-anchors to
+        // the EDET *fall* plus the drain time instead of the rise, so the
+        // sampling instant lands (T/2 - tau) late in the eye — directly
+        // eating closing-edge margin ("poor jitter tolerance").
+        // The loss grows as tau shrinks below T/2.
+        EXPECT_LT(mean_margin, 0.45 - 0.7 * (0.5 - tau_ui))
+            << "tau = " << tau_ui << " UI";
+    } else if (tau_ui > 1.05) {
+        EXPECT_GT(ber, 1e-4) << "tau = " << tau_ui << " UI";
+    } else if (tau_ui > 0.85 && tau_ui < 0.95) {
+        // Freeze-swallowed last samples of the longest runs: bit slips.
+        EXPECT_GT(ber, 1e-4) << "tau = " << tau_ui << " UI";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig13, TauSweep,
+                         ::testing::Values(0.25, 0.4, 0.6, 0.75, 0.9, 1.2));
+
+TEST(Channel, ImprovedSamplingAdvancesMarginCenter) {
+    // Fig 15/16: the inverted third-stage clock samples T/8 earlier, so
+    // the margin to the closing edge grows by ~1/8 UI.
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9, 0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    cfg.edge_detector.cell_jitter_rel = 0.0;
+    ChannelRun base(cfg, clean_spec(), 4000);
+    cfg.improved_sampling = true;
+    ChannelRun improved(cfg, clean_spec(), 4000);
+
+    auto mean_of = [](const std::vector<double>& v) {
+        double s = 0.0;
+        for (double x : v) s += x;
+        return s / static_cast<double>(v.size());
+    };
+    ASSERT_GT(base.ch->margins_ui().size(), 1000u);
+    ASSERT_GT(improved.ch->margins_ui().size(), 1000u);
+    const double shift = mean_of(improved.ch->margins_ui()) -
+                         mean_of(base.ch->margins_ui());
+    EXPECT_NEAR(shift, 0.125, 0.02);
+}
+
+TEST(Channel, ImprovedSamplingWidensClosingMarginUnderSlowOffset) {
+    // Fig 16/17 behaviorally: at the Fig 14 operating point (-5% CCO) the
+    // advanced sampling point recovers right-edge margin. Note a finding
+    // of this behavioral model the paper's statistical Fig 17 does not
+    // capture (and the paper caveats): the ultimate slow-offset BER cliff
+    // is set by the next trigger's freeze swallowing the in-flight clock
+    // wavefront, which is the SAME wavefront for both clock taps — so the
+    // improvement shows up in margin, not in the slip-dominated cliff.
+    auto min_margin = [](bool improved) {
+        ChannelConfig cfg = ChannelConfig::nominal(2.375e9, 0.0);
+        cfg.gcco.jitter_sigma = 0.0;
+        cfg.edge_detector.cell_jitter_rel = 0.0;
+        cfg.improved_sampling = improved;
+        ChannelRun run(cfg, clean_spec(), 4000);
+        const auto& m = run.ch->margins_ui();
+        double worst = 1.0;
+        for (double x : m) worst = std::min(worst, x);
+        return worst;
+    };
+    const double base = min_margin(false);
+    const double improved = min_margin(true);
+    // Closing-edge margin: distance from the last sample to the closing
+    // transition is 1 - pos; larger min margin = safer.
+    EXPECT_GT(improved, base + 0.08);
+}
+
+TEST(Channel, DecisionsArriveAtRecoveredClockRate) {
+    ChannelConfig cfg = ChannelConfig::nominal(2.5e9, 0.0);
+    cfg.gcco.jitter_sigma = 0.0;
+    ChannelRun run(cfg, clean_spec(), 2000);
+    const auto& d = run.ch->decisions();
+    ASSERT_GT(d.size(), 1000u);
+    // Median spacing must be the bit period.
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < d.size(); ++i) {
+        gaps.push_back((d[i].time - d[i - 1].time).picoseconds());
+    }
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2,
+                     gaps.end());
+    EXPECT_NEAR(gaps[gaps.size() / 2], 400.0, 5.0);
+}
+
+}  // namespace
+}  // namespace gcdr::cdr

@@ -1,0 +1,121 @@
+// Tests for the edge detector (Fig 7): EDET pulse generation, DDIN delay
+// matching, and the tau parameterization.
+
+#include <gtest/gtest.h>
+
+#include "cdr/edge_detector.hpp"
+
+namespace gcdr::cdr {
+namespace {
+
+struct Fixture {
+    sim::Scheduler sched;
+    Rng rng{99};
+    std::unique_ptr<sim::Wire> din;
+    std::unique_ptr<EdgeDetector> ed;
+
+    explicit Fixture(EdgeDetectorParams p = {}) {
+        din = std::make_unique<sim::Wire>(sched, "din", false);
+        ed = std::make_unique<EdgeDetector>(sched, rng, *din, p);
+    }
+};
+
+TEST(EdgeDetector, TauIsCellsTimesDelay) {
+    EdgeDetectorParams p;
+    p.n_cells = 4;
+    p.cell_delay = SimTime::ps(75);
+    EXPECT_EQ(p.tau(), SimTime::ps(300));
+    Fixture f(p);
+    EXPECT_EQ(f.ed->tau(), SimTime::ps(300));
+}
+
+TEST(EdgeDetector, EdetIdlesHigh) {
+    Fixture f;
+    f.sched.run_until(SimTime::ns(2));
+    EXPECT_TRUE(f.ed->edet().value());
+}
+
+TEST(EdgeDetector, PulsesLowForTauOnEachEdge) {
+    EdgeDetectorParams p;
+    p.n_cells = 4;
+    p.cell_delay = SimTime::ps(75);
+    p.xor_delay = SimTime::ps(20);
+    Fixture f(p);
+    std::vector<std::pair<SimTime, bool>> edet_events;
+    f.ed->edet().on_change([&] {
+        edet_events.emplace_back(f.sched.now(), f.ed->edet().value());
+    });
+    f.sched.schedule_at(SimTime::ns(2), [&] { f.din->set_now(true); });
+    f.sched.run_until(SimTime::ns(4));
+    ASSERT_EQ(edet_events.size(), 2u);
+    // Falls one XOR delay after the data edge...
+    EXPECT_EQ(edet_events[0].first, SimTime::ns(2) + SimTime::ps(20));
+    EXPECT_FALSE(edet_events[0].second);
+    // ...and rises tau later.
+    EXPECT_EQ(edet_events[1].first - edet_events[0].first, SimTime::ps(300));
+    EXPECT_TRUE(edet_events[1].second);
+}
+
+TEST(EdgeDetector, PulsesOnBothPolarities) {
+    Fixture f;
+    int falls = 0;
+    f.ed->edet().on_change([&] {
+        if (!f.ed->edet().value()) ++falls;
+    });
+    f.sched.schedule_at(SimTime::ns(2), [&] { f.din->set_now(true); });
+    f.sched.schedule_at(SimTime::ns(4), [&] { f.din->set_now(false); });
+    f.sched.run_until(SimTime::ns(6));
+    EXPECT_EQ(falls, 2);
+}
+
+TEST(EdgeDetector, DdinIsDelayedCopyThroughDummy) {
+    EdgeDetectorParams p;
+    p.n_cells = 4;
+    p.cell_delay = SimTime::ps(75);
+    p.xor_delay = SimTime::ps(20);  // dummy defaults to the same
+    Fixture f(p);
+    f.sched.schedule_at(SimTime::ns(1), [&] { f.din->set_now(true); });
+    f.sched.run_until(SimTime::ns(3));
+    EXPECT_TRUE(f.ed->ddin().value());
+    // din -> 4 cells (300) -> dummy (20).
+    EXPECT_EQ(f.ed->ddin().last_change(), SimTime::ns(1) + SimTime::ps(320));
+}
+
+TEST(EdgeDetector, ConsecutiveEdgesEachGetAPulse) {
+    // Alternating data at 400 ps spacing with tau = 300 ps: EDET must
+    // return high between edges (tau < T).
+    EdgeDetectorParams p;
+    p.n_cells = 4;
+    p.cell_delay = SimTime::ps(75);
+    Fixture f(p);
+    int falls = 0;
+    f.ed->edet().on_change([&] {
+        if (!f.ed->edet().value()) ++falls;
+    });
+    for (int i = 0; i < 10; ++i) {
+        const bool v = i % 2 == 0;
+        f.sched.schedule_at(SimTime::ns(2) + SimTime::ps(400) * i,
+                            [&f, v] { f.din->set_now(v); });
+    }
+    f.sched.run_until(SimTime::ns(10));
+    EXPECT_EQ(falls, 10);
+}
+
+TEST(EdgeDetector, TauAboveBitPeriodMergesPulses) {
+    // tau = 1.2 UI with alternating data: DIN and delayed DIN never agree,
+    // EDET stays low — the upper bound of the reliable window (Sec. 3.3a).
+    EdgeDetectorParams p;
+    p.n_cells = 4;
+    p.cell_delay = SimTime::ps(120);  // tau = 480 ps > 400 ps
+    Fixture f(p);
+    for (int i = 0; i < 20; ++i) {
+        const bool v = i % 2 == 0;
+        f.sched.schedule_at(SimTime::ns(2) + SimTime::ps(400) * i,
+                            [&f, v] { f.din->set_now(v); });
+    }
+    f.sched.run_until(SimTime::ns(2) + SimTime::ps(400 * 10));
+    EXPECT_FALSE(f.ed->edet().value());
+}
+
+}  // namespace
+}  // namespace gcdr::cdr

@@ -1,0 +1,91 @@
+// Tests for the elastic buffer (Fig 4): FIFO ordering, skip-based
+// recentering, and overflow/underflow accounting.
+
+#include <gtest/gtest.h>
+
+#include "cdr/elastic_buffer.hpp"
+
+namespace gcdr::cdr {
+namespace {
+
+TEST(Elastic, StartsHalfFull) {
+    ElasticBuffer eb(32);
+    EXPECT_EQ(eb.occupancy(), 16u);
+    EXPECT_EQ(eb.depth(), 32u);
+}
+
+TEST(Elastic, FifoOrderPreserved) {
+    ElasticBuffer eb(32);
+    // Drain the priming fill first.
+    for (int i = 0; i < 16; ++i) (void)eb.read();
+    const std::vector<bool> pattern{1, 0, 0, 1, 1, 1, 0, 1};
+    for (bool b : pattern) eb.write(b);
+    for (bool expected : pattern) {
+        const auto got = eb.read();
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, expected);
+    }
+}
+
+TEST(Elastic, UnderflowCountedAndReported) {
+    ElasticBuffer eb(8);
+    for (int i = 0; i < 4; ++i) (void)eb.read();
+    EXPECT_EQ(eb.underflows(), 0u);
+    EXPECT_FALSE(eb.read().has_value());
+    EXPECT_EQ(eb.underflows(), 1u);
+}
+
+TEST(Elastic, SkippableBitsAbsorbFastWriter) {
+    // Writer 25% faster than reader: skippable bits must be dropped rather
+    // than overflowing.
+    ElasticBuffer eb(16);
+    std::uint64_t wrote = 0;
+    for (int cycle = 0; cycle < 400; ++cycle) {
+        eb.write(cycle % 2 == 0, /*skippable=*/cycle % 4 == 0);
+        ++wrote;
+        if (cycle % 4 != 3) (void)eb.read();
+    }
+    EXPECT_EQ(eb.overflows(), 0u);
+    EXPECT_GT(eb.skips_dropped(), 0u);
+    EXPECT_LE(eb.occupancy(), eb.depth());
+}
+
+TEST(Elastic, SkipInsertionRefillsSlowWriter) {
+    ElasticBuffer eb(16);
+    // Reader much faster than writer; the skippable priming bits repeat.
+    std::uint64_t reads_ok = 0;
+    for (int cycle = 0; cycle < 64; ++cycle) {
+        if (cycle % 8 == 0) eb.write(true, /*skippable=*/true);
+        if (eb.read().has_value()) ++reads_ok;
+    }
+    EXPECT_GT(eb.skips_inserted(), 0u);
+    EXPECT_GT(reads_ok, 32u);
+}
+
+TEST(Elastic, NonSkippablePayloadNeverDropped) {
+    ElasticBuffer eb(64);
+    for (int i = 0; i < 32; ++i) (void)eb.read();  // drain priming
+    // Interleave payload with skippable filler; overfill on purpose.
+    int payload_in = 0;
+    for (int i = 0; i < 96; ++i) {
+        const bool skippable = i % 2 == 0;
+        eb.write(!skippable, skippable);
+        if (!skippable) ++payload_in;
+    }
+    int payload_out = 0;
+    while (eb.occupancy() > 0) {
+        const auto b = eb.read();
+        if (b.has_value() && *b) ++payload_out;
+    }
+    EXPECT_EQ(payload_out, payload_in);
+}
+
+TEST(Elastic, OverflowWithNoSkippableSlackIsCounted) {
+    ElasticBuffer eb(8);
+    for (int i = 0; i < 4; ++i) (void)eb.read();  // drain priming
+    for (int i = 0; i < 16; ++i) eb.write(true, /*skippable=*/false);
+    EXPECT_GT(eb.overflows(), 0u);
+}
+
+}  // namespace
+}  // namespace gcdr::cdr

@@ -1,0 +1,283 @@
+// Tests for encoding/: PRBS generators/checkers, the full 8b/10b codec
+// (round trips, disparity bookkeeping, run-length bound, comma alignment)
+// and run-length statistics.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <set>
+
+#include "encoding/enc8b10b.hpp"
+#include "encoding/prbs.hpp"
+#include "encoding/runlength.hpp"
+
+namespace gcdr::encoding {
+namespace {
+
+class PrbsPeriodTest : public ::testing::TestWithParam<PrbsOrder> {};
+
+TEST_P(PrbsPeriodTest, SequenceHasFullPeriod) {
+    const PrbsOrder order = GetParam();
+    if (order == PrbsOrder::kPrbs23 || order == PrbsOrder::kPrbs31) {
+        GTEST_SKIP() << "period too long for exhaustive check";
+    }
+    PrbsGenerator gen(order);
+    const std::uint32_t s0 = gen.state();
+    std::uint64_t period = 0;
+    do {
+        gen.next();
+        ++period;
+    } while (gen.state() != s0 && period <= gen.period() + 1);
+    EXPECT_EQ(period, gen.period());
+}
+
+TEST_P(PrbsPeriodTest, BalancedOnesAndZeros) {
+    PrbsGenerator gen(GetParam());
+    const std::size_t n = 100000;
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (gen.next()) ++ones;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+TEST_P(PrbsPeriodTest, CheckerLocksAndSeesNoErrorsOnCleanStream) {
+    PrbsGenerator gen(GetParam());
+    PrbsChecker chk(GetParam());
+    for (int i = 0; i < 5000; ++i) chk.feed(gen.next());
+    EXPECT_TRUE(chk.locked());
+    EXPECT_EQ(chk.errors(), 0u);
+    EXPECT_GT(chk.bits_checked(), 4000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, PrbsPeriodTest,
+                         ::testing::Values(PrbsOrder::kPrbs7,
+                                           PrbsOrder::kPrbs9,
+                                           PrbsOrder::kPrbs15,
+                                           PrbsOrder::kPrbs23,
+                                           PrbsOrder::kPrbs31));
+
+TEST(Prbs, Prbs7MaxRunIsSeven) {
+    PrbsGenerator gen(PrbsOrder::kPrbs7);
+    const auto bits = gen.bits(254);  // two periods
+    EXPECT_EQ(max_run_length(bits), 7u);
+}
+
+TEST(Prbs, CheckerCountsInjectedErrors) {
+    PrbsGenerator gen(PrbsOrder::kPrbs7);
+    PrbsChecker chk(PrbsOrder::kPrbs7);
+    for (int i = 0; i < 100; ++i) chk.feed(gen.next());
+    ASSERT_TRUE(chk.locked());
+    const auto before = chk.errors();
+    chk.feed(!gen.next());  // one flipped line bit
+    for (int i = 0; i < 100; ++i) chk.feed(gen.next());
+    // A single line error corrupts the checker register briefly: between 1
+    // and 3 mismatches for a 2-tap polynomial.
+    const auto delta = chk.errors() - before;
+    EXPECT_GE(delta, 1u);
+    EXPECT_LE(delta, 3u);
+    // And the checker must re-align afterwards (no persistent errors).
+    const auto after = chk.errors();
+    for (int i = 0; i < 100; ++i) chk.feed(gen.next());
+    EXPECT_EQ(chk.errors(), after);
+}
+
+TEST(Prbs, ZeroSeedAvoidsStuckState) {
+    PrbsGenerator gen(PrbsOrder::kPrbs7, 0);
+    bool any_one = false, any_zero = false;
+    for (int i = 0; i < 127; ++i) {
+        (gen.next() ? any_one : any_zero) = true;
+    }
+    EXPECT_TRUE(any_one);
+    EXPECT_TRUE(any_zero);
+}
+
+TEST(Enc8b10b, AllDataBytesRoundTripBothDisparities) {
+    for (int start = 0; start < 2; ++start) {
+        const auto rd = start ? Disparity::kPositive : Disparity::kNegative;
+        for (int b = 0; b < 256; ++b) {
+            Encoder8b10b enc(rd);
+            Decoder8b10b dec(rd);
+            const auto sym = enc.encode_data(static_cast<std::uint8_t>(b));
+            const auto res = dec.decode(sym);
+            ASSERT_TRUE(res.has_value()) << "byte " << b;
+            EXPECT_FALSE(res->disparity_error) << "byte " << b;
+            EXPECT_EQ(res->code.byte, b);
+            EXPECT_FALSE(res->code.is_control);
+            EXPECT_EQ(dec.running_disparity(), enc.running_disparity());
+        }
+    }
+}
+
+TEST(Enc8b10b, AllControlCodesRoundTrip) {
+    int n_controls = 0;
+    for (int b = 0; b < 256; ++b) {
+        if (!is_valid_control(static_cast<std::uint8_t>(b))) continue;
+        ++n_controls;
+        for (const auto rd : {Disparity::kNegative, Disparity::kPositive}) {
+            Encoder8b10b enc(rd);
+            Decoder8b10b dec(rd);
+            const auto sym =
+                enc.encode(CodePoint{static_cast<std::uint8_t>(b), true});
+            const auto res = dec.decode(sym);
+            ASSERT_TRUE(res.has_value()) << "K-byte " << b;
+            EXPECT_EQ(res->code.byte, b);
+            EXPECT_TRUE(res->code.is_control);
+        }
+    }
+    EXPECT_EQ(n_controls, 12);  // K28.0-7 + K23/27/29/30.7
+}
+
+TEST(Enc8b10b, SymbolDisparityIsAlwaysBalancedOrPlusMinusTwo) {
+    for (const auto rd : {Disparity::kNegative, Disparity::kPositive}) {
+        for (int b = 0; b < 256; ++b) {
+            Encoder8b10b enc(rd);
+            const auto sym = enc.encode_data(static_cast<std::uint8_t>(b));
+            const int pc = std::popcount(static_cast<unsigned>(sym));
+            EXPECT_TRUE(pc == 5 || pc == 4 || pc == 6) << "byte " << b;
+            // RD- encoders must not emit net-negative symbols and vice
+            // versa: disparity alternates toward balance.
+            if (pc != 5) {
+                EXPECT_EQ(pc == 6, rd == Disparity::kNegative) << b;
+            }
+        }
+    }
+}
+
+TEST(Enc8b10b, RunningDisparityStaysBounded) {
+    Encoder8b10b enc;
+    int disp = -1;
+    for (int i = 0; i < 1000; ++i) {
+        const auto sym =
+            enc.encode_data(static_cast<std::uint8_t>((i * 37) & 0xFF));
+        const int pc = std::popcount(static_cast<unsigned>(sym));
+        disp += 2 * pc - 10;
+        EXPECT_TRUE(disp == -1 || disp == 1);
+        EXPECT_EQ(disp == 1, enc.running_disparity() == Disparity::kPositive);
+    }
+}
+
+TEST(Enc8b10b, EncodedStreamRunLengthAtMostFive) {
+    Encoder8b10b enc;
+    std::vector<CodePoint> cps;
+    // Adversarial payload: runs of 0x00/0xFF and everything in between.
+    for (int i = 0; i < 256; ++i) cps.push_back({static_cast<std::uint8_t>(i), false});
+    for (int i = 0; i < 64; ++i) cps.push_back({0x00, false});
+    for (int i = 0; i < 64; ++i) cps.push_back({0xFF, false});
+    for (int i = 0; i < 64; ++i) cps.push_back({0xAA, false});
+    const auto bits = enc.encode_stream(cps);
+    EXPECT_LE(max_run_length(bits), 5u);
+}
+
+TEST(Enc8b10b, TenBitCodesAreUniquePerColumn) {
+    // No two code points may share a symbol within one starting disparity.
+    for (const auto rd : {Disparity::kNegative, Disparity::kPositive}) {
+        std::map<std::uint16_t, int> seen;
+        for (int b = 0; b < 256; ++b) {
+            Encoder8b10b enc(rd);
+            const auto sym = enc.encode_data(static_cast<std::uint8_t>(b));
+            const auto it = seen.find(sym);
+            EXPECT_TRUE(it == seen.end())
+                << "collision between D-bytes " << it->second << " and " << b;
+            seen[sym] = b;
+        }
+    }
+}
+
+TEST(Enc8b10b, InvalidSymbolRejected) {
+    Decoder8b10b dec;
+    // 0b1111111111 (all ones) is never a legal 10b code.
+    EXPECT_FALSE(dec.decode(0x3FF).has_value());
+    EXPECT_FALSE(dec.decode(0x000).has_value());
+}
+
+TEST(Enc8b10b, WrongColumnFlagsDisparityError) {
+    // Encode D.0.0 from RD- (an unbalanced symbol), then decode it with a
+    // decoder that believes RD is already positive.
+    Encoder8b10b enc(Disparity::kNegative);
+    const auto sym = enc.encode_data(0x00);
+    Decoder8b10b dec(Disparity::kPositive);
+    const auto res = dec.decode(sym);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(res->disparity_error);
+    EXPECT_EQ(res->code.byte, 0x00);
+}
+
+TEST(Enc8b10b, InvalidControlThrows) {
+    Encoder8b10b enc;
+    EXPECT_THROW((void)enc.encode(CodePoint{0x00, true}),
+                 std::invalid_argument);
+}
+
+TEST(Enc8b10b, CommaAlignmentFindsK28_5) {
+    Encoder8b10b enc;
+    std::vector<CodePoint> cps{{0x4A, false}, {0x7E, false}, kK28_5,
+                               {0x33, false}};
+    const auto bits = enc.encode_stream(cps);
+    const auto idx = find_comma_alignment(bits);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx % 10, 0u);  // commas start exactly on symbol boundaries
+    EXPECT_EQ(*idx, 20u);      // third symbol
+}
+
+TEST(Enc8b10b, NoFalseCommaInDataOnlyStream) {
+    Encoder8b10b enc;
+    std::vector<CodePoint> cps;
+    for (int i = 0; i < 256; ++i) {
+        cps.push_back({static_cast<std::uint8_t>(i * 73), false});
+    }
+    const auto bits = enc.encode_stream(cps);
+    // The comma sequence is "singular": it must not appear across any data
+    // symbol boundary.
+    EXPECT_FALSE(find_comma_alignment(bits).has_value());
+}
+
+TEST(RunLength, MaxAndHistogram) {
+    const std::vector<bool> bits{0, 0, 0, 1, 1, 0, 1, 1, 1, 1};
+    EXPECT_EQ(max_run_length(bits), 4u);
+    const auto hist = run_length_histogram(bits);
+    ASSERT_EQ(hist.size(), 5u);
+    EXPECT_EQ(hist[1], 1u);  // the single 0
+    EXPECT_EQ(hist[2], 1u);  // the 11 pair
+    EXPECT_EQ(hist[3], 1u);  // 000
+    EXPECT_EQ(hist[4], 1u);  // 1111
+}
+
+TEST(RunLength, GeometricWeightsNormalizedAndDecreasing) {
+    const auto w = geometric_position_weights(5);
+    ASSERT_EQ(w.size(), 5u);
+    double sum = 0.0;
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+        EXPECT_GT(w[i], w[i + 1]);
+        sum += w[i];
+    }
+    sum += w.back();
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Untruncated ratios are exactly 1/2.
+    EXPECT_NEAR(w[1] / w[0], 0.5, 1e-12);
+}
+
+TEST(RunLength, EmpiricalWeightsMatchGeometricOnRandomData) {
+    PrbsGenerator gen(PrbsOrder::kPrbs23);
+    const auto bits = gen.bits(200000);
+    const auto w = empirical_position_weights(bits);
+    ASSERT_GE(w.size(), 5u);
+    EXPECT_NEAR(w[0], 0.5, 0.01);
+    EXPECT_NEAR(w[1], 0.25, 0.01);
+    EXPECT_NEAR(w[2], 0.125, 0.01);
+}
+
+TEST(RunLength, EmpiricalWeightsOf8b10bCapAtFive) {
+    Encoder8b10b enc;
+    std::vector<CodePoint> cps;
+    for (int i = 0; i < 4096; ++i) {
+        cps.push_back({static_cast<std::uint8_t>((i * 151 + 17) & 0xFF),
+                       false});
+    }
+    const auto w = empirical_position_weights(enc.encode_stream(cps));
+    EXPECT_LE(w.size(), 5u);
+}
+
+}  // namespace
+}  // namespace gcdr::encoding

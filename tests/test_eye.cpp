@@ -1,0 +1,110 @@
+// Tests for eye/: the clock-aligned eye generator (Sec. 3.3b) — folding,
+// opening metrics, edge statistics and rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eye/eye_diagram.hpp"
+#include "util/rng.hpp"
+
+namespace gcdr::eye {
+namespace {
+
+EyeBuilder make_two_edge_eye(double left, double right, double sigma,
+                             int n, Rng& rng) {
+    EyeBuilder eye(kPaperRate, 200);
+    for (int i = 0; i < n; ++i) {
+        eye.add_transition_phase(left + sigma * rng.gaussian());
+        eye.add_transition_phase(right + sigma * rng.gaussian());
+    }
+    return eye;
+}
+
+TEST(Eye, FoldsAbsoluteTimesAgainstClock) {
+    EyeBuilder eye(kPaperRate, 100);
+    // Clock edge at 10 ns; transition 100 ps later -> phase 0.25 UI.
+    eye.add_transition(SimTime::ns(10) + SimTime::ps(100), SimTime::ns(10));
+    ASSERT_EQ(eye.total_transitions(), 1u);
+    ASSERT_EQ(eye.phases().size(), 1u);
+    EXPECT_NEAR(eye.phases()[0], 0.25, 1e-9);
+}
+
+TEST(Eye, PhaseWrapsIntoWindow) {
+    EyeBuilder eye(kPaperRate, 100);
+    eye.add_transition_phase(2.3);   // folds to 0.3
+    eye.add_transition_phase(-0.2);  // folds to 0.8
+    EXPECT_NEAR(eye.phases()[0], 0.3, 1e-9);
+    EXPECT_NEAR(eye.phases()[1], 0.8, 1e-9);
+}
+
+TEST(Eye, EmptyEyeIsFullyOpen) {
+    EyeBuilder eye(kPaperRate, 64);
+    EXPECT_DOUBLE_EQ(eye.eye_opening_ui(), 1.0);
+}
+
+TEST(Eye, OpeningMatchesInjectedGap) {
+    Rng rng(3);
+    // Edges at 0.0 and 0.5 with tiny sigma: two gaps of ~0.5; opening ~0.5.
+    auto eye = make_two_edge_eye(0.05, 0.55, 0.005, 5000, rng);
+    EXPECT_NEAR(eye.eye_opening_ui(), 0.5, 0.05);
+}
+
+TEST(Eye, CenterFallsInsideTheGap) {
+    Rng rng(5);
+    auto eye = make_two_edge_eye(0.1, 0.6, 0.005, 5000, rng);
+    const double c = eye.eye_center_ui();
+    // The widest gap is (0.6, 1.1 mod 1): center ~0.85.
+    EXPECT_GT(c, 0.6);
+    EXPECT_LT(c, 1.0);
+}
+
+TEST(Eye, OpeningShrinksWithJitter) {
+    Rng rng(7);
+    auto crisp = make_two_edge_eye(0.0, 0.5, 0.005, 4000, rng);
+    auto smeared = make_two_edge_eye(0.0, 0.5, 0.05, 4000, rng);
+    EXPECT_GT(crisp.eye_opening_ui(), smeared.eye_opening_ui());
+}
+
+TEST(Eye, BerOpeningSmallerThanHitOpening) {
+    Rng rng(9);
+    auto eye = make_two_edge_eye(0.0, 0.5, 0.02, 20000, rng);
+    const double at_hits = eye.eye_opening_ui();
+    const double at_1e12 = eye.eye_opening_at_ber(1e-12);
+    EXPECT_LT(at_1e12, at_hits);
+    EXPECT_GT(at_1e12, 0.0);
+}
+
+TEST(Eye, EdgeSigmaRecoversInjectedSigma) {
+    Rng rng(11);
+    auto eye = make_two_edge_eye(0.2, 0.7, 0.03, 20000, rng);
+    EXPECT_NEAR(eye.edge_sigma_ui(0.2), 0.03, 0.005);
+    EXPECT_NEAR(eye.edge_sigma_ui(0.7), 0.03, 0.005);
+}
+
+TEST(Eye, AsciiArtHasMarkerAndRows) {
+    Rng rng(13);
+    auto eye = make_two_edge_eye(0.1, 0.6, 0.02, 2000, rng);
+    const auto art = eye.ascii_art(8, 0.35);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('^'), std::string::npos);
+    EXPECT_NE(art.find("sampling instant"), std::string::npos);
+}
+
+TEST(Eye, CsvHasOneRowPerBin) {
+    EyeBuilder eye(kPaperRate, 64);
+    eye.add_transition_phase(0.5);
+    const auto csv = eye.to_csv();
+    // Header + 64 rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 65);
+}
+
+TEST(Eye, TwoUiWindowForDoubleEyes) {
+    EyeBuilder eye(kPaperRate, 128, 2.0);
+    eye.add_transition_phase(1.5);
+    EXPECT_NEAR(eye.phases()[0], 1.5, 1e-9);
+    EXPECT_DOUBLE_EQ(eye.width_ui(), 2.0);
+}
+
+}  // namespace
+}  // namespace gcdr::eye

@@ -1,0 +1,236 @@
+// Tests for gates/: CML gate behavioral models — truth tables through
+// transport delays, per-edge jitter statistics, sampler decisions and the
+// delay line.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gates/cml_gates.hpp"
+#include "gates/delay_line.hpp"
+
+namespace gcdr::gates {
+namespace {
+
+struct Fixture {
+    sim::Scheduler sched;
+    Rng rng{1234};
+};
+
+TEST(JitteredDelay, NoJitterReturnsNominal) {
+    Fixture f;
+    const CmlTiming t{SimTime::ps(75), 0.0};
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(jittered_delay(t, f.rng), SimTime::ps(75));
+    }
+}
+
+TEST(JitteredDelay, StatisticsMatchSigma) {
+    Fixture f;
+    const CmlTiming t{SimTime::ps(100), 0.02};
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double d = jittered_delay(t, f.rng).picoseconds();
+        sum += d;
+        sum2 += d * d;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 100.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(JitteredDelay, NeverNonPositive) {
+    Fixture f;
+    const CmlTiming t{SimTime::fs(5), 3.0};  // absurd jitter
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GE(jittered_delay(t, f.rng), SimTime::fs(1));
+    }
+}
+
+TEST(CmlBuffer, PropagatesWithDelay) {
+    Fixture f;
+    sim::Wire in(f.sched, "in");
+    sim::Wire out(f.sched, "out");
+    CmlBuffer buf(f.sched, f.rng, in, out, CmlTiming{SimTime::ps(50), 0.0});
+    f.sched.schedule_at(SimTime::ps(100), [&] { in.set_now(true); });
+    f.sched.run();
+    EXPECT_TRUE(out.value());
+    EXPECT_EQ(out.last_change(), SimTime::ps(150));
+}
+
+TEST(CmlBuffer, InvertingVariant) {
+    Fixture f;
+    sim::Wire in(f.sched, "in");
+    sim::Wire out(f.sched, "out", true);
+    CmlBuffer buf(f.sched, f.rng, in, out, CmlTiming{SimTime::ps(50), 0.0},
+                  /*invert=*/true);
+    f.sched.schedule_at(SimTime::ps(0), [&] { in.set_now(true); });
+    f.sched.run();
+    EXPECT_FALSE(out.value());
+}
+
+TEST(CmlXor, TruthTableThroughTransitions) {
+    Fixture f;
+    sim::Wire a(f.sched, "a");
+    sim::Wire b(f.sched, "b");
+    sim::Wire out(f.sched, "out");
+    const CmlTiming t{SimTime::ps(10), 0.0};
+    CmlXor gate(f.sched, f.rng, a, b, out, t, t);
+    // a=1,b=0 -> 1; a=1,b=1 -> 0; a=0,b=1 -> 1; a=0,b=0 -> 0.
+    f.sched.schedule_at(SimTime::ps(100), [&] { a.set_now(true); });
+    f.sched.run_until(SimTime::ps(150));
+    EXPECT_TRUE(out.value());
+    f.sched.schedule_at(SimTime::ps(200), [&] { b.set_now(true); });
+    f.sched.run_until(SimTime::ps(250));
+    EXPECT_FALSE(out.value());
+    f.sched.schedule_at(SimTime::ps(300), [&] { a.set_now(false); });
+    f.sched.run_until(SimTime::ps(350));
+    EXPECT_TRUE(out.value());
+    f.sched.schedule_at(SimTime::ps(400), [&] { b.set_now(false); });
+    f.sched.run();
+    EXPECT_FALSE(out.value());
+}
+
+TEST(CmlXor, XnorIdlesHighOnEqualInputs) {
+    Fixture f;
+    sim::Wire a(f.sched, "a");
+    sim::Wire b(f.sched, "b");
+    sim::Wire out(f.sched, "out", true);
+    const CmlTiming t{SimTime::ps(10), 0.0};
+    CmlXor gate(f.sched, f.rng, a, b, out, t, t, /*invert=*/true);
+    f.sched.schedule_at(SimTime::ps(100), [&] { a.set_now(true); });
+    f.sched.schedule_at(SimTime::ps(100), [&] { b.set_now(true); });
+    f.sched.run();
+    EXPECT_TRUE(out.value());  // equal inputs -> XNOR high
+}
+
+TEST(CmlXor, PerInputDelayMismatch) {
+    // Stacked CML inputs have different input-to-output delays (Sec. 3.3a):
+    // the same output toggle arrives at different times depending on which
+    // input moved.
+    Fixture f;
+    sim::Wire a(f.sched, "a");
+    sim::Wire b(f.sched, "b");
+    sim::Wire out(f.sched, "out");
+    CmlXor gate(f.sched, f.rng, a, b, out, CmlTiming{SimTime::ps(10), 0.0},
+                CmlTiming{SimTime::ps(30), 0.0});
+    f.sched.schedule_at(SimTime::ps(100), [&] { a.set_now(true); });
+    f.sched.run();
+    EXPECT_EQ(out.last_change(), SimTime::ps(110));
+    f.sched.schedule_at(f.sched.now() + SimTime::ps(100),
+                        [&] { b.set_now(true); });
+    f.sched.run();
+    EXPECT_EQ(out.last_change(), SimTime::ps(240));  // 210 + 30
+}
+
+TEST(CmlAnd, TruthTable) {
+    Fixture f;
+    sim::Wire a(f.sched, "a");
+    sim::Wire b(f.sched, "b", true);
+    sim::Wire out(f.sched, "out");
+    const CmlTiming t{SimTime::ps(10), 0.0};
+    CmlAnd gate(f.sched, f.rng, a, b, out, t, t);
+    f.sched.schedule_at(SimTime::ps(100), [&] { a.set_now(true); });
+    f.sched.run();
+    EXPECT_TRUE(out.value());
+    f.sched.schedule_at(f.sched.now() + SimTime::ps(10),
+                        [&] { b.set_now(false); });
+    f.sched.run();
+    EXPECT_FALSE(out.value());
+}
+
+TEST(CmlAnd, NandVariant) {
+    Fixture f;
+    sim::Wire a(f.sched, "a", true);
+    sim::Wire b(f.sched, "b", true);
+    sim::Wire out(f.sched, "out");
+    const CmlTiming t{SimTime::ps(10), 0.0};
+    CmlAnd gate(f.sched, f.rng, a, b, out, t, t, /*invert=*/true);
+    f.sched.schedule_at(SimTime::ps(50), [&] { a.set_now(false); });
+    f.sched.run();
+    EXPECT_TRUE(out.value());  // NAND(0,1) = 1
+}
+
+TEST(CmlSampler, SamplesOnRisingEdgeOnly) {
+    Fixture f;
+    sim::Wire d(f.sched, "d");
+    sim::Wire clk(f.sched, "clk");
+    sim::Wire q(f.sched, "q");
+    std::vector<std::pair<SimTime, bool>> decisions;
+    CmlSampler ff(f.sched, f.rng, d, clk, q, CmlTiming{SimTime::ps(20), 0.0},
+                  [&](SimTime t, bool bit) { decisions.emplace_back(t, bit); });
+    f.sched.schedule_at(SimTime::ps(100), [&] { d.set_now(true); });
+    f.sched.schedule_at(SimTime::ps(200), [&] { clk.set_now(true); });   // sample 1
+    f.sched.schedule_at(SimTime::ps(300), [&] { clk.set_now(false); });  // no sample
+    f.sched.schedule_at(SimTime::ps(350), [&] { d.set_now(false); });
+    f.sched.schedule_at(SimTime::ps(400), [&] { clk.set_now(true); });   // sample 0
+    f.sched.run();
+    ASSERT_EQ(decisions.size(), 2u);
+    EXPECT_EQ(decisions[0], std::make_pair(SimTime::ps(200), true));
+    EXPECT_EQ(decisions[1], std::make_pair(SimTime::ps(400), false));
+    EXPECT_FALSE(q.value());
+    EXPECT_EQ(q.last_change(), SimTime::ps(420));
+}
+
+TEST(DelayLine, TotalDelayIsSumOfCells) {
+    Fixture f;
+    sim::Wire in(f.sched, "in");
+    DelayLine dl(f.sched, f.rng, in, 4, CmlTiming{SimTime::ps(75), 0.0});
+    EXPECT_EQ(dl.nominal_delay(), SimTime::ps(300));
+    EXPECT_EQ(dl.cells(), 4u);
+    f.sched.schedule_at(SimTime::ps(0), [&] { in.set_now(true); });
+    f.sched.run();
+    EXPECT_TRUE(dl.out().value());
+    EXPECT_EQ(dl.out().last_change(), SimTime::ps(300));
+}
+
+TEST(DelayLine, PropagatesPulsesNarrowerThanDelay) {
+    // Transport semantics end-to-end: a 50 ps pulse must survive a 300 ps
+    // line — the EDET pulse depends on this.
+    Fixture f;
+    sim::Wire in(f.sched, "in");
+    DelayLine dl(f.sched, f.rng, in, 4, CmlTiming{SimTime::ps(75), 0.0});
+    int transitions = 0;
+    dl.out().on_change([&] { ++transitions; });
+    f.sched.schedule_at(SimTime::ps(100), [&] { in.set_now(true); });
+    f.sched.schedule_at(SimTime::ps(150), [&] { in.set_now(false); });
+    f.sched.run();
+    EXPECT_EQ(transitions, 2);
+}
+
+TEST(DelayLine, JitterAccumulatesAcrossCells) {
+    // With per-cell sigma s, the output edge sigma is s*sqrt(n)*delay.
+    Fixture f;
+    sim::Wire in(f.sched, "in");
+    DelayLine dl(f.sched, f.rng, in, 16, CmlTiming{SimTime::ps(100), 0.01});
+    std::vector<double> arrival_ps;
+    dl.out().on_change([&] {
+        arrival_ps.push_back(f.sched.now().picoseconds());
+    });
+    SimTime t{0};
+    bool level = false;
+    for (int i = 0; i < 4000; ++i) {
+        t += SimTime::ns(10);  // far apart: edges never interact
+        level = !level;
+        const bool v = level;
+        f.sched.schedule_at(t, [&in, v] { in.set_now(v); });
+    }
+    f.sched.run();
+    ASSERT_EQ(arrival_ps.size(), 4000u);
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i = 0; i < arrival_ps.size(); ++i) {
+        const double latency =
+            arrival_ps[i] - (static_cast<double>(i + 1) * 10000.0);
+        sum += latency;
+        sum2 += latency * latency;
+    }
+    const double n = static_cast<double>(arrival_ps.size());
+    const double mean = sum / n;
+    const double sigma = std::sqrt(sum2 / n - mean * mean);
+    EXPECT_NEAR(mean, 1600.0, 2.0);          // 16 * 100 ps
+    EXPECT_NEAR(sigma, 4.0, 0.4);            // 1 ps * sqrt(16)
+}
+
+}  // namespace
+}  // namespace gcdr::gates

@@ -1,0 +1,214 @@
+// Tests for the gated ring oscillator: free-running frequency vs control
+// current, the Fig 8 gating sequence (freeze within T/2, clock rise T/2
+// after release), the T/8 lead of the improved clock tap (Fig 15), and
+// white-noise jitter accumulation matching the CKJ budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "cdr/gated_ring_osc.hpp"
+
+namespace gcdr::cdr {
+namespace {
+
+struct Fixture {
+    sim::Scheduler sched;
+    Rng rng{77};
+};
+
+/// Measure the mean period of a wire's rising edges over [t0, t1].
+double measured_period_ps(sim::Scheduler& sched, sim::Wire& w, SimTime t0,
+                          SimTime t1) {
+    std::vector<double> rises;
+    w.on_change([&] {
+        if (w.value() && sched.now() >= t0 && sched.now() <= t1) {
+            rises.push_back(sched.now().picoseconds());
+        }
+    });
+    sched.run_until(t1);
+    if (rises.size() < 2) return 0.0;
+    return (rises.back() - rises.front()) /
+           static_cast<double>(rises.size() - 1);
+}
+
+TEST(Gcco, FreeRunsAtFcWithMidpointCurrent) {
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);  // never gated
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    const double period =
+        measured_period_ps(f.sched, osc.ckout(), SimTime::ns(20),
+                           SimTime::ns(420));
+    EXPECT_NEAR(period, 400.0, 0.5);
+    EXPECT_NEAR(osc.frequency_hz(), 2.5e9, 1.0);
+}
+
+TEST(Gcco, ControlCurrentShiftsFrequency) {
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    p.k_hz_per_a = 1.0e13;
+    p.ic0_a = 200e-6;
+    // +12.5 uA * 1e13 Hz/A = +125 MHz -> 2.625 GHz.
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, 212.5e-6);
+    EXPECT_NEAR(osc.frequency_hz(), 2.625e9, 1.0);
+    const double period =
+        measured_period_ps(f.sched, osc.ckout(), SimTime::ns(20),
+                           SimTime::ns(420));
+    EXPECT_NEAR(period, 1e12 / 2.625e9, 0.5);
+}
+
+TEST(Gcco, NominalStageDelayIsEighthPeriod) {
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    EXPECT_EQ(osc.nominal_stage_delay(), SimTime::ps(50));
+}
+
+TEST(Gcco, GatingFreezesAndReleasesPerFig8) {
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    // Let it oscillate, then gate for 300 ps (tau = 0.75 UI).
+    const SimTime t_gate = SimTime::ns(40);
+    const SimTime t_release = t_gate + SimTime::ps(300);
+    f.sched.schedule_at(t_gate, [&] { trig.set_now(false); });
+    f.sched.schedule_at(t_release, [&] { trig.set_now(true); });
+
+    std::vector<SimTime> rises_after_release;
+    osc.ckout().on_change([&] {
+        if (osc.ckout().value() && f.sched.now() >= t_release) {
+            rises_after_release.push_back(f.sched.now());
+        }
+    });
+    f.sched.run_until(t_release + SimTime::ns(4));
+
+    // During the frozen state ckout is low; the first rise lands T/2 after
+    // the release edge (Fig 8), subsequent rises every T.
+    ASSERT_GE(rises_after_release.size(), 3u);
+    const double first_ps =
+        (rises_after_release[0] - t_release).picoseconds();
+    EXPECT_NEAR(first_ps, 200.0, 3.0);  // T/2 = 200 ps
+    const double second_gap =
+        (rises_after_release[1] - rises_after_release[0]).picoseconds();
+    EXPECT_NEAR(second_gap, 400.0, 3.0);
+}
+
+TEST(Gcco, FrozenStateSettlesWithinHalfPeriod) {
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    const SimTime t_gate = SimTime::ns(40);
+    f.sched.schedule_at(t_gate, [&] { trig.set_now(false); });
+    // After T/2 = 200 ps of gating, the ring must hold: vinv4 high, ckout
+    // low, and stay there.
+    f.sched.run_until(t_gate + SimTime::ps(210));
+    EXPECT_TRUE(osc.stage(3).value());
+    EXPECT_FALSE(osc.ckout().value());
+    const auto changes_before = osc.ckout().transition_count();
+    f.sched.run_until(t_gate + SimTime::ns(10));
+    EXPECT_EQ(osc.ckout().transition_count(), changes_before);
+}
+
+TEST(Gcco, ImprovedClockLeadsCkoutByStageDelay) {
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    std::vector<double> ck_rises, imp_rises;
+    osc.ckout().on_change([&] {
+        if (osc.ckout().value()) ck_rises.push_back(f.sched.now().picoseconds());
+    });
+    osc.ck_improved().on_change([&] {
+        if (osc.ck_improved().value()) {
+            imp_rises.push_back(f.sched.now().picoseconds());
+        }
+    });
+    f.sched.run_until(SimTime::ns(100));
+    ASSERT_GT(ck_rises.size(), 10u);
+    ASSERT_GT(imp_rises.size(), 10u);
+    // Match each ckout rise to the nearest preceding improved-clock rise:
+    // the lead must be one stage delay (50 ps).
+    int matched = 0;
+    for (double c : ck_rises) {
+        for (double m : imp_rises) {
+            if (std::abs(c - m - 50.0) < 2.0) {
+                ++matched;
+                break;
+            }
+        }
+    }
+    EXPECT_GT(matched, static_cast<int>(ck_rises.size()) - 3);
+}
+
+TEST(Gcco, StageSigmaForCkjInvertsAccumulation) {
+    // sigma_rel chosen for 0.01 UI at CID 5 must reproduce 0.01 UI when
+    // accumulated back: sigma_ui = sigma_rel * sqrt(8*cid)/8.
+    const double s = GccoParams::stage_sigma_for_ckj(0.01, 5);
+    EXPECT_NEAR(s * std::sqrt(8.0 * 5.0) / 8.0, 0.01, 1e-12);
+}
+
+TEST(Gcco, JitterAccumulationMatchesCkjBudget) {
+    // Free-run the jittered oscillator and measure the deviation of the
+    // edge at 5 UI horizons: must be ~0.01 UI RMS.
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", true);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    p.jitter_sigma = GccoParams::stage_sigma_for_ckj(0.01, 5);
+
+    // Collect rising-edge times over a long run; measure sigma of
+    // (t[i+5] - t[i] - 5T) across the population.
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    std::vector<double> rises;
+    osc.ckout().on_change([&] {
+        if (osc.ckout().value()) rises.push_back(f.sched.now().picoseconds());
+    });
+    f.sched.run_until(SimTime::us(4));  // ~10k cycles
+    ASSERT_GT(rises.size(), 5000u);
+    std::vector<double> dev;
+    for (std::size_t i = 0; i + 5 < rises.size(); i += 5) {
+        dev.push_back((rises[i + 5] - rises[i] - 5.0 * 400.0) / 400.0);
+    }
+    double sum = 0.0, sum2 = 0.0;
+    for (double d : dev) {
+        sum += d;
+        sum2 += d * d;
+    }
+    const double n = static_cast<double>(dev.size());
+    const double mean = sum / n;
+    const double sigma = std::sqrt(sum2 / n - mean * mean);
+    EXPECT_NEAR(sigma, 0.01, 0.0015);
+    EXPECT_NEAR(mean, 0.0, 0.002);
+}
+
+TEST(Gcco, StartsFromGatedState) {
+    // If trig is low at construction, the ring must settle frozen and only
+    // start oscillating after the first release.
+    Fixture f;
+    sim::Wire trig(f.sched, "trig", false);
+    GccoParams p;
+    p.fc_hz = 2.5e9;
+    GatedRingOscillator osc(f.sched, f.rng, p, trig, p.ic0_a);
+    f.sched.run_until(SimTime::ns(5));
+    const auto frozen_count = osc.ckout().transition_count();
+    f.sched.run_until(SimTime::ns(10));
+    EXPECT_EQ(osc.ckout().transition_count(), frozen_count);
+    f.sched.schedule_at(SimTime::ns(12), [&] { trig.set_now(true); });
+    f.sched.run_until(SimTime::ns(20));
+    EXPECT_GT(osc.ckout().transition_count(), frozen_count + 10);
+}
+
+}  // namespace
+}  // namespace gcdr::cdr

@@ -1,0 +1,76 @@
+// Tests for masks/: log-log interpolation and compliance checking of the
+// jitter-tolerance templates (Fig 5).
+
+#include <gtest/gtest.h>
+
+#include "masks/jtol_mask.hpp"
+
+namespace gcdr::masks {
+namespace {
+
+TEST(JtolMask, InterpolatesLogLog) {
+    JtolMask mask("test", {{1e3, 10.0}, {1e5, 0.1}});
+    // -20 dB/dec in log-log: halfway in log f is the geometric mean in A.
+    EXPECT_NEAR(mask.amplitude_at(1e4), 1.0, 1e-9);
+    EXPECT_NEAR(mask.amplitude_at(1e3), 10.0, 1e-12);
+    EXPECT_NEAR(mask.amplitude_at(1e5), 0.1, 1e-12);
+}
+
+TEST(JtolMask, ClampsOutsideSpan) {
+    JtolMask mask("test", {{1e3, 10.0}, {1e5, 0.1}});
+    EXPECT_DOUBLE_EQ(mask.amplitude_at(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(mask.amplitude_at(1e9), 0.1);
+}
+
+TEST(JtolMask, InfinibandShape) {
+    const auto mask = JtolMask::infiniband_2g5();
+    const double corner = 2.5e9 / 1667.0;
+    // High-frequency plateau.
+    EXPECT_NEAR(mask.amplitude_at(100e6), 0.35, 1e-6);
+    EXPECT_NEAR(mask.amplitude_at(corner), 0.35, 0.01);
+    // One decade below the corner: 10x the plateau (-20 dB/dec).
+    EXPECT_NEAR(mask.amplitude_at(corner / 10.0), 3.5, 0.05);
+    // Low-frequency cap.
+    EXPECT_NEAR(mask.amplitude_at(1e3), 15.0, 1e-6);
+}
+
+TEST(JtolMask, SonetOc48Plateau) {
+    const auto mask = JtolMask::sonet_oc48();
+    EXPECT_NEAR(mask.amplitude_at(50e6), 0.37, 1e-6);
+    EXPECT_GT(mask.amplitude_at(100.0), 100.0);
+}
+
+TEST(JtolMask, ComplianceAcceptsCurveAboveMask) {
+    const auto mask = JtolMask::infiniband_2g5();
+    std::vector<MaskPoint> good;
+    for (double f = 1e3; f < 1.25e9; f *= 3.0) {
+        good.push_back({f, mask.amplitude_at(f) * 2.0});
+    }
+    EXPECT_TRUE(mask.complies(good));
+}
+
+TEST(JtolMask, ComplianceRejectsDipBelowMask) {
+    const auto mask = JtolMask::infiniband_2g5();
+    std::vector<MaskPoint> bad;
+    for (double f = 1e3; f < 1.25e9; f *= 3.0) {
+        bad.push_back({f, mask.amplitude_at(f) * 2.0});
+    }
+    bad[bad.size() / 2].amp_uipp = mask.amplitude_at(bad[bad.size() / 2].freq_hz) * 0.5;
+    EXPECT_FALSE(mask.complies(bad));
+}
+
+TEST(JtolMask, ComplianceIgnoresOutOfSpanPoints) {
+    JtolMask mask("narrow", {{1e6, 1.0}, {1e7, 1.0}});
+    // A measured curve that only covers part of the mask span but is above
+    // it there, plus arbitrary points outside the mask span.
+    std::vector<MaskPoint> curve{{1e5, 0.001}, {1e6, 2.0}, {1e7, 2.0},
+                                 {1e8, 0.001}};
+    EXPECT_TRUE(mask.complies(curve));
+}
+
+TEST(JtolMask, EmptyMeasurementFails) {
+    EXPECT_FALSE(JtolMask::infiniband_2g5().complies({}));
+}
+
+}  // namespace
+}  // namespace gcdr::masks

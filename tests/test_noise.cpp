@@ -1,0 +1,148 @@
+// Tests for noise/: the Hajimiri / McNeill / Weigandt kappa models, their
+// scaling laws, the oscillator sizing procedure and the power roll-up that
+// backs the paper's 5 mW/Gbit/s claim.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/phase_noise.hpp"
+#include "util/mathx.hpp"
+
+namespace gcdr::noise {
+namespace {
+
+RingOscParams paper_ring() {
+    RingOscParams p;
+    p.n_stages = 4;
+    p.f_osc_hz = 2.5e9;
+    p.i_ss_a = 200e-6;
+    p.delta_v_v = 0.4;
+    p.gamma = 1.5;
+    p.eta = 1.0;
+    return p;
+}
+
+TEST(RingOscParams, DerivedQuantities) {
+    const auto p = paper_ring();
+    EXPECT_NEAR(p.r_load_ohm(), 2000.0, 1e-9);
+    EXPECT_NEAR(p.stage_delay_s(), 50e-12, 1e-15);  // 1/(2*4*2.5G)
+    EXPECT_NEAR(p.c_load_f(), 50e-12 / (2000.0 * std::log(2.0)), 1e-18);
+    EXPECT_NEAR(p.power_w(), 4 * 200e-6 * 1.8, 1e-12);
+}
+
+TEST(Kappa, HajimiriMatchesHandComputation) {
+    const auto p = paper_ring();
+    const double kt = kBoltzmann * 300.0;
+    const double expected = std::sqrt(
+        (8.0 * kt / 3.0) * (1.5 / 200e-6) *
+        (1.0 / (2000.0 * 200e-6) + 1.0 / 0.4));
+    EXPECT_NEAR(kappa_hajimiri(p) / expected, 1.0, 1e-12);
+    // Order of magnitude: ~1e-8 sqrt(s) for these bias points.
+    EXPECT_GT(kappa_hajimiri(p), 1e-9);
+    EXPECT_LT(kappa_hajimiri(p), 1e-7);
+}
+
+TEST(Kappa, ScalesInverseSqrtOfCurrent) {
+    auto p = paper_ring();
+    const double k1 = kappa_hajimiri(p);
+    p.i_ss_a *= 4.0;  // constant swing: R_L re-derived inside
+    const double k2 = kappa_hajimiri(p);
+    EXPECT_NEAR(k1 / k2, 2.0, 1e-9);
+}
+
+TEST(Kappa, AllThreeModelsAgreeWithinAFactorOfThree) {
+    // Different derivations, same physics: the Fig 11 overlay only makes
+    // sense if they cluster.
+    const auto p = paper_ring();
+    const double h = kappa_hajimiri(p);
+    const double m = kappa_mcneill(p);
+    const double w = kappa_weigandt(p);
+    EXPECT_LT(std::max({h, m, w}) / std::min({h, m, w}), 3.0);
+    // Hajimiri's is the published *minimum* kappa.
+    EXPECT_LE(h, m * 1.001);
+}
+
+TEST(Kappa, JitterAccumulatesAsSqrtTime) {
+    const double kappa = 1e-8;
+    EXPECT_NEAR(jitter_rms_s(kappa, 4e-9) / jitter_rms_s(kappa, 1e-9), 2.0,
+                1e-12);
+}
+
+TEST(Kappa, JitterUiAtCidMatchesDefinition) {
+    const double kappa = 1e-8;
+    const double ui = jitter_ui_at_cid(kappa, kPaperRate, 5);
+    EXPECT_NEAR(ui, kappa * std::sqrt(5.0 * 400e-12) / 400e-12, 1e-12);
+}
+
+TEST(PhaseNoise, MinusTwentyDbPerDecade) {
+    const double kappa = 1e-8;
+    const double l1 = phase_noise_dbc_hz(kappa, 2.5e9, 1e6);
+    const double l2 = phase_noise_dbc_hz(kappa, 2.5e9, 1e7);
+    EXPECT_NEAR(l1 - l2, 20.0, 1e-9);
+}
+
+TEST(Sizing, MeetsTheJitterBudget) {
+    const auto sized = size_for_jitter(paper_ring(), 0.01, 5, kPaperRate);
+    const double achieved =
+        jitter_ui_at_cid(kappa_hajimiri(sized), kPaperRate, 5);
+    EXPECT_LE(achieved, 0.01 * 1.0001);
+    EXPECT_GE(achieved, 0.01 * 0.9);  // minimal current, not overdesign
+    EXPECT_GT(sized.i_ss_a, 0.0);
+}
+
+TEST(Sizing, TighterBudgetCostsMoreCurrent) {
+    const auto loose = size_for_jitter(paper_ring(), 0.02, 5, kPaperRate);
+    const auto tight = size_for_jitter(paper_ring(), 0.005, 5, kPaperRate);
+    EXPECT_GT(tight.i_ss_a, loose.i_ss_a);
+    // kappa ~ 1/sqrt(I): 4x tighter jitter needs 16x current.
+    EXPECT_NEAR(tight.i_ss_a / loose.i_ss_a, 16.0, 1.0);
+}
+
+TEST(Sizing, LongerCidNeedsMoreCurrent) {
+    const auto cid5 = size_for_jitter(paper_ring(), 0.01, 5, kPaperRate);
+    const auto cid7 = size_for_jitter(paper_ring(), 0.01, 7, kPaperRate);
+    EXPECT_GT(cid7.i_ss_a, cid5.i_ss_a);
+}
+
+TEST(PowerBudget, RollUpAndFigureOfMerit) {
+    auto sized = paper_ring();
+    sized.i_ss_a = 150e-6;
+    const auto b = channel_power_budget(sized, /*delay_cells=*/4,
+                                        /*logic_cells=*/3,
+                                        /*pll_power_w=*/8e-3,
+                                        /*n_channels=*/4);
+    const double cell = 150e-6 * 1.8;
+    EXPECT_NEAR(b.oscillator_w, 4 * cell, 1e-12);
+    EXPECT_NEAR(b.delay_line_w, 4 * cell, 1e-12);
+    EXPECT_NEAR(b.logic_w, 3 * cell, 1e-12);
+    EXPECT_NEAR(b.sampler_w, cell, 1e-12);
+    EXPECT_NEAR(b.pll_share_w, 2e-3, 1e-12);
+    EXPECT_NEAR(b.total_w(), 12 * cell + 2e-3, 1e-12);
+    // mW per Gbit/s at 2.5 Gb/s.
+    EXPECT_NEAR(b.mw_per_gbps(kPaperRate), b.total_w() * 1e3 / 2.5, 1e-9);
+}
+
+TEST(Sizing, ParasiticFloorScalesWithLoadAndSpeed) {
+    auto p = paper_ring();
+    const double i30 = min_bias_for_parasitics(p, 30e-15);
+    const double i60 = min_bias_for_parasitics(p, 60e-15);
+    EXPECT_NEAR(i60 / i30, 2.0, 1e-9);
+    // I = c * dV * ln2 / t_d with t_d = 50 ps, dV = 0.4 V, c = 30 fF.
+    EXPECT_NEAR(i30, 30e-15 * 0.4 * std::log(2.0) / 50e-12, 1e-9);
+    // Faster ring -> shorter stage delay -> more current.
+    p.f_osc_hz *= 2.0;
+    EXPECT_NEAR(min_bias_for_parasitics(p, 30e-15) / i30, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(min_bias_for_parasitics(p, 0.0), 0.0);
+}
+
+TEST(PowerBudget, PaperClaimHolds) {
+    // Size the ring for the paper's jitter budget, roll up a full channel,
+    // and check the headline claim: < 5 mW/Gbit/s.
+    const auto sized = size_for_jitter(paper_ring(), 0.01, 5, kPaperRate);
+    const auto b = channel_power_budget(sized, 4, 3, 8e-3, 4);
+    EXPECT_LT(b.mw_per_gbps(kPaperRate), 5.0);
+}
+
+}  // namespace
+}  // namespace gcdr::noise

@@ -1,0 +1,89 @@
+// Tests for the shared behavioral PLL (Fig 6): lock acquisition, the
+// control-current operating point it distributes, and loop dynamics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cdr/pll.hpp"
+
+namespace gcdr::cdr {
+namespace {
+
+PllConfig paper_pll() {
+    PllConfig cfg;
+    cfg.f_ref_hz = 156.25e6;
+    cfg.divider = 16;  // HFCK = 2.5 GHz
+    cfg.cco.fc_hz = 2.4e9;  // free-running 100 MHz off target
+    cfg.cco.k_hz_per_a = 1.0e13;
+    cfg.cco.ic0_a = 200e-6;
+    return cfg;
+}
+
+TEST(Pll, LocksToDividerTimesReference) {
+    BehavioralPll pll(paper_pll());
+    ASSERT_TRUE(pll.run_to_lock());
+    EXPECT_NEAR(pll.vco_frequency_hz(), 2.5e9, 2.5e9 * 1e-6);
+    EXPECT_NEAR(pll.target_frequency_hz(), 2.5e9, 1.0);
+}
+
+TEST(Pll, ControlCurrentMatchesFrequencyArithmetic) {
+    BehavioralPll pll(paper_pll());
+    ASSERT_TRUE(pll.run_to_lock());
+    // f = fc + k*(ic - ic0)  =>  ic = ic0 + (2.5G - 2.4G)/1e13 = 210 uA.
+    EXPECT_NEAR(pll.control_current_a(), 210e-6, 0.5e-6);
+}
+
+TEST(Pll, LocksFromBothSidesOfTarget) {
+    auto cfg = paper_pll();
+    cfg.cco.fc_hz = 2.6e9;  // free-running above target
+    BehavioralPll pll(cfg);
+    ASSERT_TRUE(pll.run_to_lock());
+    EXPECT_NEAR(pll.control_current_a(), 190e-6, 0.5e-6);
+}
+
+TEST(Pll, FrequencyErrorShrinksMonotonicallyOnAverage) {
+    BehavioralPll pll(paper_pll());
+    pll.run(2e-6);
+    const double early = std::abs(pll.frequency_error_rel());
+    pll.run(20e-6);
+    const double late = std::abs(pll.frequency_error_rel());
+    EXPECT_LT(late, early);
+}
+
+TEST(Pll, HistoryRecordsTheTransient) {
+    BehavioralPll pll(paper_pll());
+    pll.run(10e-6);
+    const auto& h = pll.ic_history();
+    ASSERT_GT(h.size(), 10u);
+    // Starts near ic0 (first record is one stride into the transient),
+    // ends near the lock point.
+    EXPECT_NEAR(h.front(), 200e-6, 2e-5);
+    EXPECT_NEAR(h.back(), 210e-6, 2e-6);
+}
+
+TEST(Pll, WiderBandwidthLocksFaster) {
+    auto slow_cfg = paper_pll();
+    slow_cfg.loop_bw_hz = 0.5e6;
+    auto fast_cfg = paper_pll();
+    fast_cfg.loop_bw_hz = 4e6;
+    BehavioralPll slow(slow_cfg), fast(fast_cfg);
+    slow.run(4e-6);
+    fast.run(4e-6);
+    EXPECT_LT(std::abs(fast.frequency_error_rel()),
+              std::abs(slow.frequency_error_rel()));
+}
+
+TEST(Pll, MatchedChannelOscillatorReachesLineRate) {
+    // The whole point of the Fig 6 architecture: a channel GCCO built from
+    // the same params, fed the PLL's IC, free-runs at the line rate.
+    const auto cfg = paper_pll();
+    BehavioralPll pll(cfg);
+    ASSERT_TRUE(pll.run_to_lock());
+    const double channel_f =
+        cfg.cco.frequency_at(pll.control_current_a());
+    EXPECT_NEAR(channel_f, 2.5e9, 2.5e9 * 1e-5);
+}
+
+}  // namespace
+}  // namespace gcdr::cdr

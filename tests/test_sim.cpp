@@ -1,0 +1,211 @@
+// Unit tests for the discrete-event kernel: scheduler ordering, VHDL
+// transport-delay semantics on Wire, and the waveform tracer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "sim/wire.hpp"
+
+namespace gcdr::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(SimTime::ps(30), [&] { order.push_back(3); });
+    s.schedule_at(SimTime::ps(10), [&] { order.push_back(1); });
+    s.schedule_at(SimTime::ps(20), [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), SimTime::ps(30));
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        s.schedule_at(SimTime::ps(5), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, CallbacksCanScheduleMore) {
+    Scheduler s;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5) s.schedule_in(SimTime::ps(10), chain);
+    };
+    s.schedule_at(SimTime::ps(0), chain);
+    s.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(s.now(), SimTime::ps(40));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+    Scheduler s;
+    int fired = 0;
+    s.schedule_at(SimTime::ps(10), [&] { ++fired; });
+    s.schedule_at(SimTime::ps(50), [&] { ++fired; });
+    s.run_until(SimTime::ps(20));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.now(), SimTime::ps(20));
+    EXPECT_EQ(s.pending_events(), 1u);
+    s.run_until(SimTime::ps(100));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+    Scheduler s;
+    EXPECT_FALSE(s.step());
+    s.schedule_at(SimTime::ps(1), [] {});
+    EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.step());
+    EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Wire, TransportDelayDeliversValue) {
+    Scheduler s;
+    Wire w(s, "w");
+    w.post_transport(SimTime::ps(100), true);
+    EXPECT_FALSE(w.value());
+    s.run();
+    EXPECT_TRUE(w.value());
+    EXPECT_EQ(w.last_change(), SimTime::ps(100));
+    EXPECT_EQ(w.transition_count(), 1u);
+}
+
+TEST(Wire, TransportPassesNarrowPulses) {
+    // Transport (unlike inertial) delay must propagate pulses narrower than
+    // the delay itself — the EDET pulse relies on this.
+    Scheduler s;
+    Wire w(s, "w");
+    s.schedule_at(SimTime::ps(0), [&] { w.post_transport(SimTime::ps(500), true); });
+    s.schedule_at(SimTime::ps(1), [&] { w.post_transport(SimTime::ps(500), false); });
+    std::vector<std::pair<SimTime, bool>> seen;
+    w.on_change([&] { seen.emplace_back(s.now(), w.value()); });
+    s.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], std::make_pair(SimTime::ps(500), true));
+    EXPECT_EQ(seen[1], std::make_pair(SimTime::ps(501), false));
+}
+
+TEST(Wire, LaterPostCancelsPendingAtOrAfter) {
+    // VHDL transport rule: a new transaction deletes pending transactions
+    // scheduled at or after its own time.
+    Scheduler s;
+    Wire w(s, "w");
+    std::vector<std::pair<SimTime, bool>> seen;
+    w.on_change([&] { seen.emplace_back(s.now(), w.value()); });
+    s.schedule_at(SimTime::ps(0), [&] {
+        w.post_transport(SimTime::ps(100), true);   // t=100
+        w.post_transport(SimTime::ps(50), false);   // t=50 cancels t=100
+    });
+    s.run();
+    // The final value is false; the cancelled 'true' never fired (initial
+    // value is already false, so no change events at all).
+    EXPECT_TRUE(seen.empty());
+    EXPECT_FALSE(w.value());
+}
+
+TEST(Wire, CancellationKeepsEarlierTransactions) {
+    Scheduler s;
+    Wire w(s, "w");
+    std::vector<std::pair<SimTime, bool>> seen;
+    w.on_change([&] { seen.emplace_back(s.now(), w.value()); });
+    s.schedule_at(SimTime::ps(0), [&] {
+        w.post_transport(SimTime::ps(10), true);
+        w.post_transport(SimTime::ps(30), false);
+        w.post_transport(SimTime::ps(20), true);  // cancels only the t=30
+    });
+    s.run();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].first, SimTime::ps(10));
+    EXPECT_TRUE(w.value());
+}
+
+TEST(Wire, SetNowClearsPending) {
+    Scheduler s;
+    Wire w(s, "w");
+    w.post_transport(SimTime::ps(100), true);
+    w.set_now(true);
+    EXPECT_TRUE(w.value());
+    w.set_now(false);
+    s.run();
+    EXPECT_FALSE(w.value());  // the pending 'true' was cancelled
+}
+
+TEST(Wire, RedundantValuePostsAreCollapsed) {
+    Scheduler s;
+    Wire w(s, "w");
+    w.post_transport(SimTime::ps(10), false);  // same as current: no-op
+    EXPECT_TRUE(s.empty());
+    w.post_transport(SimTime::ps(10), true);
+    w.post_transport(SimTime::ps(20), true);  // same as pending tail: no-op
+    EXPECT_EQ(s.pending_events(), 1u);
+    s.run();
+    EXPECT_EQ(w.transition_count(), 1u);
+}
+
+TEST(Wire, ListenersSeeCommittedValueAtCommitTime) {
+    Scheduler s;
+    Wire a(s, "a");
+    Wire b(s, "b");
+    // b follows a with 10 ps transport delay, like a 1-gate netlist.
+    a.on_change([&] { b.post_transport(SimTime::ps(10), a.value()); });
+    s.schedule_at(SimTime::ps(100), [&] { a.set_now(true); });
+    s.run();
+    EXPECT_TRUE(b.value());
+    EXPECT_EQ(b.last_change(), SimTime::ps(110));
+}
+
+TEST(Tracer, RecordsTransitionsAndEdges) {
+    Scheduler s;
+    Wire w(s, "clk");
+    Tracer tr;
+    tr.watch(w);
+    for (int i = 1; i <= 6; ++i) {
+        s.schedule_at(SimTime::ps(i * 100),
+                      [&w, i] { w.set_now(i % 2 == 1); });
+    }
+    s.run();
+    EXPECT_EQ(tr.samples().size(), 6u);
+    const auto rising = tr.edges_of("clk", /*rising_only=*/true);
+    ASSERT_EQ(rising.size(), 3u);
+    EXPECT_EQ(rising[0], SimTime::ps(100));
+    EXPECT_EQ(rising[2], SimTime::ps(500));
+    const auto all = tr.edges_of("clk");
+    EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(Tracer, AsciiDiagramShowsLevels) {
+    Scheduler s;
+    Wire w(s, "data");
+    Tracer tr;
+    tr.watch(w);
+    s.schedule_at(SimTime::ps(500), [&] { w.set_now(true); });
+    s.run();
+    const auto art = tr.ascii_diagram(SimTime::ps(0), SimTime::ps(1000), 10);
+    // Low for the first half, high for the second.
+    EXPECT_NE(art.find("data"), std::string::npos);
+    EXPECT_NE(art.find('_'), std::string::npos);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Tracer, CsvHasHeaderAndRows) {
+    Scheduler s;
+    Wire w(s, "x");
+    Tracer tr;
+    tr.watch(w);
+    s.schedule_at(SimTime::ps(250), [&] { w.set_now(true); });
+    s.run();
+    const auto csv = tr.to_csv();
+    EXPECT_NE(csv.find("time_ps,wire,value"), std::string::npos);
+    EXPECT_NE(csv.find("250,x,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcdr::sim

@@ -1,0 +1,208 @@
+// Tests for statmodel/: the statistical BER model's qualitative behaviour
+// must match the paper's findings — low-frequency SJ is harmless to the
+// gated-oscillator topology, near-rate SJ is not (Fig 9); frequency offset
+// degrades BER through CID accumulation (Fig 10); the advanced sampling
+// point recovers margin (Fig 17).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "statmodel/gated_osc_model.hpp"
+
+namespace gcdr::statmodel {
+namespace {
+
+ModelConfig base_config() {
+    ModelConfig cfg;  // Table 1 jitter, CID cap 5, mid-bit sampling
+    return cfg;
+}
+
+TEST(StatModel, CleanChannelIsErrorFree) {
+    ModelConfig cfg = base_config();
+    cfg.spec.dj_uipp = 0.0;
+    cfg.spec.rj_uirms = 0.0;
+    cfg.spec.ckj_uirms = 0.001;
+    EXPECT_LT(ber_of(cfg), 1e-30);
+}
+
+TEST(StatModel, Table1BudgetMeetsTargetWithoutSj) {
+    // The design point: Table 1 DJ/RJ/CKJ with no sinusoidal jitter must
+    // clear 1e-12 comfortably (the margin the paper's Fig 9 shows).
+    EXPECT_LT(ber_of(base_config()), 1e-12);
+}
+
+TEST(StatModel, BerIncreasesWithSjAmplitude) {
+    ModelConfig cfg = base_config();
+    cfg.sj_freq_norm = 0.1;
+    double prev = 0.0;
+    for (double amp : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+        cfg.spec.sj_uipp = amp;
+        const double b = ber_of(cfg);
+        EXPECT_GE(b, prev * 0.999) << "amp " << amp;
+        prev = b;
+    }
+    EXPECT_GT(prev, 1e-12);  // 0.8 UIpp near-rate SJ must close the eye
+}
+
+TEST(StatModel, LowFrequencySjIsHarmless) {
+    // f_SJ/f_data = 1e-4: over a 5-bit run the sinusoid barely moves, so
+    // even a huge amplitude is tracked by the retriggering.
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 10.0;
+    cfg.sj_freq_norm = 1e-4;
+    EXPECT_LT(ber_of(cfg), 1e-12);
+}
+
+TEST(StatModel, NearRateSjIsHarmful) {
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.5;
+    cfg.sj_freq_norm = 0.1;  // accumulates visibly over a run
+    const double near_rate = ber_of(cfg);
+    cfg.sj_freq_norm = 1e-4;
+    const double low_freq = ber_of(cfg);
+    EXPECT_GT(near_rate, low_freq * 1e3);
+}
+
+TEST(StatModel, SjEffectDependsOnRunLengthResonance) {
+    // At f_norm = 1/L the closing edge of an L-run sees zero effective SJ
+    // (sin(pi * f * L) = 0); compare with f_norm = 1/(2L) (maximum).
+    ModelConfig cfg = base_config();
+    cfg.run_model = RunModel::kWorstCase;
+    cfg.max_cid = 4;
+    cfg.spec.sj_uipp = 0.6;
+    cfg.sj_freq_norm = 1.0 / 4.0;  // null for L = 4
+    const double at_null = ber_of(cfg);
+    cfg.sj_freq_norm = 1.0 / 8.0;  // peak for L = 4
+    const double at_peak = ber_of(cfg);
+    EXPECT_GT(at_peak, at_null * 10.0);
+}
+
+TEST(StatModel, FrequencyOffsetDegradesBer) {
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.2;
+    cfg.sj_freq_norm = 0.1;
+    const double no_off = ber_of(cfg);
+    cfg.freq_offset = 0.01;  // the paper's 1% case (Fig 10)
+    const double with_off = ber_of(cfg);
+    EXPECT_GT(with_off, no_off);
+}
+
+TEST(StatModel, OffsetSignMattersAtMidBitSampling) {
+    // A slow oscillator (delta > 0) drifts the sample toward the closing
+    // edge; a fast one drifts it away (toward the freshly-triggered edge,
+    // which is clean). Slow must therefore be worse.
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.3;
+    cfg.sj_freq_norm = 0.1;
+    cfg.freq_offset = +0.02;
+    const double slow = ber_of(cfg);
+    cfg.freq_offset = -0.02;
+    const double fast = ber_of(cfg);
+    EXPECT_GT(slow, fast);
+}
+
+TEST(StatModel, ImprovedSamplingHelpsUnderPositiveOffset) {
+    // Fig 17 vs Fig 10: the T/8 advance restores margin against the
+    // accumulated drift at the run end.
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.3;
+    cfg.sj_freq_norm = 0.1;
+    cfg.freq_offset = 0.01;
+    const double mid_bit = ber_of(cfg);
+    cfg.sampling_advance_ui = 1.0 / 8.0;
+    const double advanced = ber_of(cfg);
+    EXPECT_LT(advanced, mid_bit);
+}
+
+TEST(StatModel, LongerCidCapIsWorse) {
+    // PRBS7 (cap 7) stresses the design harder than 8b/10b (cap 5) — the
+    // reason the paper's eye diagrams are conservative (Sec. 3.3b).
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.3;
+    cfg.sj_freq_norm = 0.07;
+    cfg.freq_offset = 0.01;
+    cfg.max_cid = 5;
+    const double cid5 = ber_of(cfg);
+    cfg.max_cid = 7;
+    const double cid7 = ber_of(cfg);
+    EXPECT_GT(cid7, cid5);
+}
+
+TEST(StatModel, WorstCaseBoundsWeighted) {
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.4;
+    cfg.sj_freq_norm = 0.09;
+    cfg.run_model = RunModel::kWeighted;
+    const double weighted = ber_of(cfg);
+    cfg.run_model = RunModel::kWorstCase;
+    const double worst = ber_of(cfg);
+    EXPECT_GE(worst, weighted);
+}
+
+TEST(StatModel, EarlyErrorNegligibleAtMidBit) {
+    GatedOscStatModel m(base_config());
+    EXPECT_LT(m.early_error_prob(), 1e-30);
+}
+
+TEST(StatModel, LateErrorGrowsWithRunLength) {
+    ModelConfig cfg = base_config();
+    cfg.freq_offset = 0.02;
+    cfg.max_cid = 7;
+    GatedOscStatModel m(cfg);
+    EXPECT_LT(m.late_error_prob(1), m.late_error_prob(5));
+    EXPECT_LE(m.late_error_prob(5), m.late_error_prob(7));
+}
+
+TEST(StatModel, EyeMarginPositiveAtDesignPoint) {
+    GatedOscStatModel m(base_config());
+    EXPECT_GT(m.eye_margin_ui(1e-12), 0.0);
+}
+
+TEST(StatModel, EyeMarginShrinksWithOffset) {
+    ModelConfig cfg = base_config();
+    GatedOscStatModel m0(cfg);
+    cfg.freq_offset = 0.02;
+    GatedOscStatModel m1(cfg);
+    EXPECT_LT(m1.eye_margin_ui(), m0.eye_margin_ui());
+}
+
+TEST(Jtol, ToleranceIsLargeAtLowFrequencyAndDropsNearRate) {
+    const ModelConfig cfg = base_config();
+    const double lo = jtol_amplitude(cfg, 1e-4);
+    const double hi = jtol_amplitude(cfg, 0.2);
+    EXPECT_GT(lo, 10.0);
+    EXPECT_LT(hi, 2.0);
+    EXPECT_GT(hi, 0.0);
+}
+
+TEST(Jtol, CurveHasOnePointPerFrequency) {
+    const auto curve =
+        jtol_curve(base_config(), {1e-3, 1e-2, 1e-1}, kPaperRate);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_NEAR(curve[0].freq_hz, 2.5e6, 1.0);
+    EXPECT_GE(curve[0].amp_uipp, curve[2].amp_uipp);
+}
+
+TEST(Ftol, PositiveAndDegradedByJitter) {
+    ModelConfig cfg = base_config();
+    const double clean_tol = ftol(cfg);
+    EXPECT_GT(clean_tol, 0.0);
+    cfg.spec.sj_uipp = 0.3;
+    cfg.sj_freq_norm = 0.1;
+    const double jittery_tol = ftol(cfg);
+    EXPECT_LE(jittery_tol, clean_tol);
+}
+
+TEST(Ftol, ImprovedSamplingExtendsPositiveOffsetTolerance) {
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.2;
+    cfg.sj_freq_norm = 0.1;
+    const double base_tol = ftol(cfg);
+    cfg.sampling_advance_ui = 1.0 / 8.0;
+    const double improved_tol = ftol(cfg);
+    EXPECT_GE(improved_tol, base_tol);
+}
+
+}  // namespace
+}  // namespace gcdr::statmodel

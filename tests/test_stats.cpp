@@ -1,0 +1,167 @@
+// Tests for stats/: grid PDFs, moments, tails and convolution — the engine
+// the statistical BER model relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/grid_pdf.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace gcdr::stats {
+namespace {
+
+constexpr double kDx = 1e-3;
+
+TEST(GridPdf, DiracHasUnitMassAtPoint) {
+    const auto p = GridPdf::dirac(0.25, kDx);
+    EXPECT_NEAR(p.mass(), 1.0, 1e-12);
+    EXPECT_NEAR(p.mean(), 0.25, 1e-12);
+    EXPECT_NEAR(p.variance(), 0.0, 1e-15);
+}
+
+TEST(GridPdf, UniformMoments) {
+    const auto p = GridPdf::uniform(0.4, kDx);
+    EXPECT_NEAR(p.mass(), 1.0, 1e-9);
+    EXPECT_NEAR(p.mean(), 0.0, 1e-9);
+    // Var of U(-0.2, 0.2) = (0.4)^2/12.
+    EXPECT_NEAR(p.variance(), 0.4 * 0.4 / 12.0, 1e-4);
+}
+
+TEST(GridPdf, GaussianMomentsAndTails) {
+    const double sigma = 0.021;
+    const auto p = GridPdf::gaussian(sigma, kDx);
+    EXPECT_NEAR(p.mass(), 1.0, 1e-9);
+    EXPECT_NEAR(p.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(p.stddev(), sigma, 1e-4);
+    // One-sided 3-sigma tail ~ Q(3) = 1.35e-3.
+    EXPECT_NEAR(p.tail_above(3.0 * sigma), q_function(3.0), 2e-4);
+    EXPECT_NEAR(p.tail_below(-3.0 * sigma), q_function(3.0), 2e-4);
+}
+
+TEST(GridPdf, GaussianDeepTailRepresentable) {
+    // The 1e-12 BER integration depends on far-tail fidelity.
+    const double sigma = 0.02;
+    const auto p = GridPdf::gaussian(sigma, 1e-4);
+    const double t7 = p.tail_above(7.0 * sigma);
+    EXPECT_GT(t7, 1e-13);
+    EXPECT_LT(t7, 1e-11);
+}
+
+TEST(GridPdf, ArcsineMomentsAndShape) {
+    const double amp = 0.15;
+    const auto p = GridPdf::arcsine(amp, kDx);
+    EXPECT_NEAR(p.mass(), 1.0, 1e-9);
+    EXPECT_NEAR(p.mean(), 0.0, 1e-9);
+    // Var of arcsine on [-a, a] is a^2/2.
+    EXPECT_NEAR(p.variance(), amp * amp / 2.0, 1e-4);
+    // Density at the edges exceeds density at the center.
+    const auto& d = p.density();
+    EXPECT_GT(d.front(), d[d.size() / 2]);
+    // Strictly bounded support.
+    EXPECT_NEAR(p.tail_above(amp + 2 * kDx), 0.0, 1e-15);
+}
+
+TEST(GridPdf, FromSamplesRecoversMoments) {
+    Rng rng(31);
+    std::vector<double> xs;
+    for (int i = 0; i < 100000; ++i) xs.push_back(rng.gaussian(1.0, 0.1));
+    const auto p = GridPdf::from_samples(xs, 5e-3);
+    EXPECT_NEAR(p.mass(), 1.0, 1e-9);
+    EXPECT_NEAR(p.mean(), 1.0, 5e-3);
+    EXPECT_NEAR(p.stddev(), 0.1, 5e-3);
+}
+
+TEST(GridPdf, ConvolutionAddsMeansAndVariances) {
+    const auto u = GridPdf::uniform(0.4, kDx);
+    const auto g = GridPdf::gaussian(0.03, kDx);
+    auto c = u.convolve(g);
+    EXPECT_NEAR(c.mass(), 1.0, 1e-6);
+    EXPECT_NEAR(c.mean(), u.mean() + g.mean(), 1e-6);
+    EXPECT_NEAR(c.variance(), u.variance() + g.variance(), 1e-5);
+}
+
+TEST(GridPdf, ConvolveTwoUniformsGivesTriangle) {
+    const auto u = GridPdf::uniform(0.4, kDx);
+    const auto tri = u.convolve(u);
+    // Triangular on [-0.4, 0.4]: peak at center, zero past the ends.
+    EXPECT_NEAR(tri.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(tri.variance(), 2.0 * 0.4 * 0.4 / 12.0, 2e-4);
+    EXPECT_NEAR(tri.tail_above(0.41), 0.0, 1e-12);
+    EXPECT_NEAR(tri.tail_below(-0.41), 0.0, 1e-12);
+    // P(X < -0.2) for the triangle = 1/8.
+    EXPECT_NEAR(tri.tail_below(-0.2), 0.125, 2e-3);
+}
+
+TEST(GridPdf, ShiftMovesSupport) {
+    auto g = GridPdf::gaussian(0.01, kDx);
+    g.shift(0.5);
+    EXPECT_NEAR(g.mean(), 0.5, 1e-9);
+    EXPECT_NEAR(g.tail_below(0.4), 0.0, 1e-12);
+}
+
+TEST(GridPdf, CdfIsMonotoneFromZeroToOne) {
+    const auto g = GridPdf::gaussian(0.05, kDx);
+    double prev = -1.0;
+    for (double x = -0.3; x <= 0.3; x += 0.01) {
+        const double c = g.cdf(x);
+        EXPECT_GE(c, prev - 1e-12);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0 + 1e-9);
+        prev = c;
+    }
+    EXPECT_NEAR(g.cdf(0.0), 0.5, 2e-3);
+}
+
+TEST(GridPdf, TailOutsideSplitsMass) {
+    const auto u = GridPdf::uniform(1.0, kDx);
+    EXPECT_NEAR(u.tail_outside(-0.25, 0.25), 0.5, 5e-3);
+}
+
+TEST(GridPdf, ConvolveAllHandlesDiracsAndEmpties) {
+    std::vector<GridPdf> parts;
+    parts.push_back(GridPdf::dirac(0.1, kDx));
+    parts.push_back(GridPdf());  // empty: skipped
+    parts.push_back(GridPdf::gaussian(0.02, kDx));
+    parts.push_back(GridPdf::dirac(-0.3, kDx));
+    const auto c = convolve_all(parts, kDx);
+    EXPECT_NEAR(c.mean(), 0.1 - 0.3, 1e-6);
+    EXPECT_NEAR(c.stddev(), 0.02, 1e-4);
+    EXPECT_NEAR(c.mass(), 1.0, 1e-6);
+}
+
+TEST(GridPdf, ConvolveAllOfNothingIsDiracAtZero) {
+    const auto c = convolve_all({}, kDx);
+    EXPECT_NEAR(c.mass(), 1.0, 1e-12);
+    EXPECT_NEAR(c.mean(), 0.0, 1e-12);
+}
+
+TEST(GridPdf, FftAndDirectPathsAgree) {
+    // Large operands trigger the FFT path; compare against direct conv of
+    // the same data through small slices of the API.
+    const auto a = GridPdf::gaussian(0.3, 1e-4);   // ~ 6000 bins
+    const auto b = GridPdf::uniform(0.5, 1e-4);    // ~ 5000 bins
+    ASSERT_GT(a.size(), 2048u);
+    ASSERT_GT(b.size(), 2048u);
+    const auto c = a.convolve(b);
+    EXPECT_NEAR(c.mass(), 1.0, 1e-6);
+    EXPECT_NEAR(c.variance(), a.variance() + b.variance(), 1e-4);
+    // No negative densities leaked from FFT rounding.
+    for (double v : c.density()) EXPECT_GE(v, 0.0);
+}
+
+TEST(GridPdf, TripleConvolutionMatchesAnalyticGaussian) {
+    // Sum of three Gaussians is Gaussian with summed variances; check a
+    // far-tail value against the closed form.
+    const auto g1 = GridPdf::gaussian(0.01, 2e-4);
+    const auto g2 = GridPdf::gaussian(0.02, 2e-4);
+    const auto g3 = GridPdf::gaussian(0.02, 2e-4);
+    const auto c = g1.convolve(g2).convolve(g3);
+    const double sigma = std::sqrt(0.01 * 0.01 + 2 * 0.02 * 0.02);
+    const double tail = c.tail_below(-5.0 * sigma);
+    EXPECT_NEAR(tail / q_function(5.0), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace gcdr::stats

@@ -1,0 +1,277 @@
+// Unit tests for util/: SimTime arithmetic, RNG statistics and
+// reproducibility, Gaussian-tail math, FFT convolution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/fft.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace gcdr {
+namespace {
+
+TEST(SimTime, UnitConstructorsAgree) {
+    EXPECT_EQ(SimTime::ps(1).femtoseconds(), 1000);
+    EXPECT_EQ(SimTime::ns(1), SimTime::ps(1000));
+    EXPECT_EQ(SimTime::us(1), SimTime::ns(1000));
+    EXPECT_DOUBLE_EQ(SimTime::ps(400).seconds(), 400e-12);
+}
+
+TEST(SimTime, FromSecondsRoundsToGrid) {
+    EXPECT_EQ(SimTime::from_seconds(1e-12), SimTime::ps(1));
+    EXPECT_EQ(SimTime::from_seconds(400e-12), SimTime::ps(400));
+    EXPECT_EQ(SimTime::from_seconds(0.4e-15), SimTime::fs(0));
+    EXPECT_EQ(SimTime::from_seconds(0.6e-15), SimTime::fs(1));
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+    const SimTime a = SimTime::ps(100);
+    const SimTime b = SimTime::ps(300);
+    EXPECT_EQ(a + b, SimTime::ps(400));
+    EXPECT_EQ(b - a, SimTime::ps(200));
+    EXPECT_EQ(a * 4, SimTime::ps(400));
+    EXPECT_EQ(b / a, 3);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(SimTime::ps(400) / 4, a);
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+    EXPECT_EQ(SimTime::ps(400).to_string(), "400ps");
+    EXPECT_EQ(SimTime::ns(2).to_string(), "2ns");
+    EXPECT_EQ(SimTime::fs(5).to_string(), "5fs");
+}
+
+TEST(LinkRate, PaperRateUiIs400ps) {
+    EXPECT_DOUBLE_EQ(kPaperRate.ui_seconds(), 400e-12);
+    EXPECT_EQ(kPaperRate.ui_time(), SimTime::ps(400));
+    EXPECT_DOUBLE_EQ(kPaperRate.seconds_to_ui(800e-12), 2.0);
+    EXPECT_DOUBLE_EQ(kPaperRate.time_to_ui(SimTime::ps(200)), 0.5);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.generator()() == b.generator()()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformMomentsAndRange) {
+    Rng rng(7);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+        sum2 += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(11);
+    double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+        sum3 += g * g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+    EXPECT_NEAR(sum3 / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Rng, GaussianScaled) {
+    Rng rng(13);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian(3.0, 0.5);
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 3.0, 0.01);
+    EXPECT_NEAR(sum2 / n - mean * mean, 0.25, 0.01);
+}
+
+TEST(Rng, ArcsineBoundedWithHighEdgeDensity) {
+    Rng rng(17);
+    const double amp = 0.2;
+    int near_edges = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.arcsine(amp);
+        ASSERT_LE(std::abs(v), amp + 1e-12);
+        if (std::abs(v) > 0.9 * amp) ++near_edges;
+    }
+    // Arcsine: P(|x| > 0.9a) = 1 - 2*asin(0.9)/pi ~ 0.287.
+    EXPECT_NEAR(static_cast<double>(near_edges) / n, 0.287, 0.01);
+}
+
+TEST(Rng, DualDiracIsBalanced) {
+    Rng rng(19);
+    int pos = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.dual_dirac(0.1);
+        ASSERT_TRUE(v == 0.1 || v == -0.1);
+        if (v > 0) ++pos;
+    }
+    EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.01);
+}
+
+TEST(Rng, IndexWithinBounds) {
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.index(17), 17u);
+    }
+    EXPECT_EQ(rng.index(0), 0u);
+}
+
+TEST(Rng, LongJumpDecorrelates) {
+    Xoshiro256 a(5);
+    Xoshiro256 b(5);
+    b.long_jump();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Mathx, QFunctionKnownValues) {
+    EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(q_function(1.0), 0.158655, 1e-5);
+    EXPECT_NEAR(q_function(7.034), 1e-12, 3e-13);  // the BER target Q
+}
+
+TEST(Mathx, QInverseRoundTrip) {
+    for (double p : {0.4, 0.1, 1e-3, 1e-6, 1e-9, 1e-12, 1e-15}) {
+        EXPECT_NEAR(q_function(q_inverse(p)) / p, 1.0, 1e-6) << p;
+    }
+}
+
+TEST(Mathx, Log10QMatchesDirectInBulk) {
+    for (double x : {0.5, 1.0, 3.0, 7.0, 15.0, 25.0}) {
+        EXPECT_NEAR(log10_q_function(x), std::log10(q_function(x)), 1e-9);
+    }
+}
+
+TEST(Mathx, Log10QFarTailIsFiniteAndMonotonic) {
+    double prev = log10_q_function(30.0);
+    for (double x = 35.0; x <= 200.0; x += 5.0) {
+        const double cur = log10_q_function(x);
+        EXPECT_TRUE(std::isfinite(cur));
+        EXPECT_LT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(Mathx, DbConversions) {
+    EXPECT_DOUBLE_EQ(to_db(100.0), 20.0);
+    EXPECT_DOUBLE_EQ(from_db(30.0), 1000.0);
+    EXPECT_NEAR(from_db(to_db(7.3)), 7.3, 1e-12);
+}
+
+TEST(Mathx, LinspaceEndpoints) {
+    const auto v = linspace(1.0, 2.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 1.0);
+    EXPECT_DOUBLE_EQ(v.back(), 2.0);
+    EXPECT_DOUBLE_EQ(v[2], 1.5);
+}
+
+TEST(Mathx, LogspaceIsGeometric) {
+    const auto v = logspace(1.0, 1000.0, 4);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_NEAR(v[1] / v[0], 10.0, 1e-9);
+    EXPECT_NEAR(v[3], 1000.0, 1e-9);
+}
+
+TEST(Mathx, InterpLinearClampsAndInterpolates) {
+    const std::vector<double> xs{1.0, 2.0, 4.0};
+    const std::vector<double> ys{10.0, 20.0, 40.0};
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 5.0), 40.0);
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 3.0), 30.0);
+    EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.5), 15.0);
+}
+
+TEST(Mathx, TrapzIntegratesLinearExactly) {
+    std::vector<double> ys;
+    for (int i = 0; i <= 10; ++i) ys.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(trapz(ys, 1.0), 50.0);  // integral of x over [0,10]
+}
+
+TEST(Fft, NextPow2) {
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+    std::vector<std::complex<double>> data(64);
+    Rng rng(3);
+    for (auto& d : data) d = {rng.uniform(), rng.uniform()};
+    const auto orig = data;
+    fft_inplace(data, false);
+    fft_inplace(data, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-12);
+        EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-12);
+    }
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+    std::vector<std::complex<double>> data(16, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    fft_inplace(data, false);
+    for (const auto& d : data) {
+        EXPECT_NEAR(d.real(), 1.0, 1e-12);
+        EXPECT_NEAR(d.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, ConvolutionMatchesDirect) {
+    Rng rng(9);
+    std::vector<double> a(37), b(53);
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    const auto fast = convolve_fft(a, b);
+    const auto slow = convolve_direct(a, b);
+    ASSERT_EQ(fast.size(), slow.size());
+    ASSERT_EQ(fast.size(), a.size() + b.size() - 1);
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_NEAR(fast[i], slow[i], 1e-10);
+    }
+}
+
+TEST(Fft, ConvolveEmptyReturnsEmpty) {
+    EXPECT_TRUE(convolve_fft({}, {1.0}).empty());
+    EXPECT_TRUE(convolve_direct({1.0}, {}).empty());
+}
+
+}  // namespace
+}  // namespace gcdr
