@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bathtub.dir/bench_ablation_bathtub.cpp.o"
+  "CMakeFiles/bench_ablation_bathtub.dir/bench_ablation_bathtub.cpp.o.d"
+  "bench_ablation_bathtub"
+  "bench_ablation_bathtub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bathtub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

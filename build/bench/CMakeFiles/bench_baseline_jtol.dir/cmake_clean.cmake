@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_jtol.dir/bench_baseline_jtol.cpp.o"
+  "CMakeFiles/bench_baseline_jtol.dir/bench_baseline_jtol.cpp.o.d"
+  "bench_baseline_jtol"
+  "bench_baseline_jtol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_jtol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

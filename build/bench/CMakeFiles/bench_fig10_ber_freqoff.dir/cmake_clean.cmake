@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ber_freqoff.dir/bench_fig10_ber_freqoff.cpp.o"
+  "CMakeFiles/bench_fig10_ber_freqoff.dir/bench_fig10_ber_freqoff.cpp.o.d"
+  "bench_fig10_ber_freqoff"
+  "bench_fig10_ber_freqoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ber_freqoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_eye_improved.dir/bench_fig16_eye_improved.cpp.o"
+  "CMakeFiles/bench_fig16_eye_improved.dir/bench_fig16_eye_improved.cpp.o.d"
+  "bench_fig16_eye_improved"
+  "bench_fig16_eye_improved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_eye_improved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_spice_eye.dir/bench_fig18_spice_eye.cpp.o"
+  "CMakeFiles/bench_fig18_spice_eye.dir/bench_fig18_spice_eye.cpp.o.d"
+  "bench_fig18_spice_eye"
+  "bench_fig18_spice_eye.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_spice_eye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

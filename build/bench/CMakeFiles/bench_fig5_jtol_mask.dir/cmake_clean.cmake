@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_jtol_mask.dir/bench_fig5_jtol_mask.cpp.o"
+  "CMakeFiles/bench_fig5_jtol_mask.dir/bench_fig5_jtol_mask.cpp.o.d"
+  "bench_fig5_jtol_mask"
+  "bench_fig5_jtol_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_jtol_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ber_sj.dir/bench_fig9_ber_sj.cpp.o"
+  "CMakeFiles/bench_fig9_ber_sj.dir/bench_fig9_ber_sj.cpp.o.d"
+  "bench_fig9_ber_sj"
+  "bench_fig9_ber_sj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ber_sj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

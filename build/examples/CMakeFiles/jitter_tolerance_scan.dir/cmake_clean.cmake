@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_tolerance_scan.dir/jitter_tolerance_scan.cpp.o"
+  "CMakeFiles/jitter_tolerance_scan.dir/jitter_tolerance_scan.cpp.o.d"
+  "jitter_tolerance_scan"
+  "jitter_tolerance_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_tolerance_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_receiver.dir/multichannel_receiver.cpp.o"
+  "CMakeFiles/multichannel_receiver.dir/multichannel_receiver.cpp.o.d"
+  "multichannel_receiver"
+  "multichannel_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcdr_statmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_masks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_ber.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_eye.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_jitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

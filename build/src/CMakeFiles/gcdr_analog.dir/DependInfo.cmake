@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/circuit.cpp" "src/CMakeFiles/gcdr_analog.dir/analog/circuit.cpp.o" "gcc" "src/CMakeFiles/gcdr_analog.dir/analog/circuit.cpp.o.d"
+  "/root/repo/src/analog/cml_cells.cpp" "src/CMakeFiles/gcdr_analog.dir/analog/cml_cells.cpp.o" "gcc" "src/CMakeFiles/gcdr_analog.dir/analog/cml_cells.cpp.o.d"
+  "/root/repo/src/analog/transient.cpp" "src/CMakeFiles/gcdr_analog.dir/analog/transient.cpp.o" "gcc" "src/CMakeFiles/gcdr_analog.dir/analog/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_eye.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_jitter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

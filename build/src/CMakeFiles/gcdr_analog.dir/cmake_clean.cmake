@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_analog.dir/analog/circuit.cpp.o"
+  "CMakeFiles/gcdr_analog.dir/analog/circuit.cpp.o.d"
+  "CMakeFiles/gcdr_analog.dir/analog/cml_cells.cpp.o"
+  "CMakeFiles/gcdr_analog.dir/analog/cml_cells.cpp.o.d"
+  "CMakeFiles/gcdr_analog.dir/analog/transient.cpp.o"
+  "CMakeFiles/gcdr_analog.dir/analog/transient.cpp.o.d"
+  "libgcdr_analog.a"
+  "libgcdr_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_ber.dir/ber/bert.cpp.o"
+  "CMakeFiles/gcdr_ber.dir/ber/bert.cpp.o.d"
+  "libgcdr_ber.a"
+  "libgcdr_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdr/baseline.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/baseline.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/baseline.cpp.o.d"
+  "/root/repo/src/cdr/channel.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/channel.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/channel.cpp.o.d"
+  "/root/repo/src/cdr/edge_detector.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/edge_detector.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/edge_detector.cpp.o.d"
+  "/root/repo/src/cdr/elastic_buffer.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/elastic_buffer.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/elastic_buffer.cpp.o.d"
+  "/root/repo/src/cdr/gated_ring_osc.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/gated_ring_osc.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/gated_ring_osc.cpp.o.d"
+  "/root/repo/src/cdr/multichannel.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/multichannel.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/multichannel.cpp.o.d"
+  "/root/repo/src/cdr/pll.cpp" "src/CMakeFiles/gcdr_cdr.dir/cdr/pll.cpp.o" "gcc" "src/CMakeFiles/gcdr_cdr.dir/cdr/pll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcdr_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_jitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_eye.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_ber.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_cdr.dir/cdr/baseline.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/baseline.cpp.o.d"
+  "CMakeFiles/gcdr_cdr.dir/cdr/channel.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/channel.cpp.o.d"
+  "CMakeFiles/gcdr_cdr.dir/cdr/edge_detector.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/edge_detector.cpp.o.d"
+  "CMakeFiles/gcdr_cdr.dir/cdr/elastic_buffer.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/elastic_buffer.cpp.o.d"
+  "CMakeFiles/gcdr_cdr.dir/cdr/gated_ring_osc.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/gated_ring_osc.cpp.o.d"
+  "CMakeFiles/gcdr_cdr.dir/cdr/multichannel.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/multichannel.cpp.o.d"
+  "CMakeFiles/gcdr_cdr.dir/cdr/pll.cpp.o"
+  "CMakeFiles/gcdr_cdr.dir/cdr/pll.cpp.o.d"
+  "libgcdr_cdr.a"
+  "libgcdr_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

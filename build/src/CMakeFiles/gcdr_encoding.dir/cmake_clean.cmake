@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_encoding.dir/encoding/enc8b10b.cpp.o"
+  "CMakeFiles/gcdr_encoding.dir/encoding/enc8b10b.cpp.o.d"
+  "CMakeFiles/gcdr_encoding.dir/encoding/prbs.cpp.o"
+  "CMakeFiles/gcdr_encoding.dir/encoding/prbs.cpp.o.d"
+  "CMakeFiles/gcdr_encoding.dir/encoding/runlength.cpp.o"
+  "CMakeFiles/gcdr_encoding.dir/encoding/runlength.cpp.o.d"
+  "libgcdr_encoding.a"
+  "libgcdr_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_eye.dir/eye/eye_diagram.cpp.o"
+  "CMakeFiles/gcdr_eye.dir/eye/eye_diagram.cpp.o.d"
+  "libgcdr_eye.a"
+  "libgcdr_eye.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_eye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcdr_eye.a"
+)

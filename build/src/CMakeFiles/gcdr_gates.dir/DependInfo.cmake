@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/cml_gates.cpp" "src/CMakeFiles/gcdr_gates.dir/gates/cml_gates.cpp.o" "gcc" "src/CMakeFiles/gcdr_gates.dir/gates/cml_gates.cpp.o.d"
+  "/root/repo/src/gates/delay_line.cpp" "src/CMakeFiles/gcdr_gates.dir/gates/delay_line.cpp.o" "gcc" "src/CMakeFiles/gcdr_gates.dir/gates/delay_line.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

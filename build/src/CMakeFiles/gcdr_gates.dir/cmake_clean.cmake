@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_gates.dir/gates/cml_gates.cpp.o"
+  "CMakeFiles/gcdr_gates.dir/gates/cml_gates.cpp.o.d"
+  "CMakeFiles/gcdr_gates.dir/gates/delay_line.cpp.o"
+  "CMakeFiles/gcdr_gates.dir/gates/delay_line.cpp.o.d"
+  "libgcdr_gates.a"
+  "libgcdr_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

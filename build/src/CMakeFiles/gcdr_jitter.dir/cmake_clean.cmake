@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_jitter.dir/jitter/jitter.cpp.o"
+  "CMakeFiles/gcdr_jitter.dir/jitter/jitter.cpp.o.d"
+  "libgcdr_jitter.a"
+  "libgcdr_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

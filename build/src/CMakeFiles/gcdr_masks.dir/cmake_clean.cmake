@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_masks.dir/masks/jtol_mask.cpp.o"
+  "CMakeFiles/gcdr_masks.dir/masks/jtol_mask.cpp.o.d"
+  "libgcdr_masks.a"
+  "libgcdr_masks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

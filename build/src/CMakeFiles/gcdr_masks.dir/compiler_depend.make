@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gcdr_masks.
+# This may be replaced when dependencies are built.

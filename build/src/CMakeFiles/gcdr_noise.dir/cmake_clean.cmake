@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_noise.dir/noise/phase_noise.cpp.o"
+  "CMakeFiles/gcdr_noise.dir/noise/phase_noise.cpp.o.d"
+  "libgcdr_noise.a"
+  "libgcdr_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

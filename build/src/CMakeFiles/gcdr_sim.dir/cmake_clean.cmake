@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/gcdr_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/gcdr_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/gcdr_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/gcdr_sim.dir/sim/vcd.cpp.o"
+  "CMakeFiles/gcdr_sim.dir/sim/vcd.cpp.o.d"
+  "CMakeFiles/gcdr_sim.dir/sim/wire.cpp.o"
+  "CMakeFiles/gcdr_sim.dir/sim/wire.cpp.o.d"
+  "libgcdr_sim.a"
+  "libgcdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_statmodel.dir/statmodel/bathtub.cpp.o"
+  "CMakeFiles/gcdr_statmodel.dir/statmodel/bathtub.cpp.o.d"
+  "CMakeFiles/gcdr_statmodel.dir/statmodel/gated_osc_model.cpp.o"
+  "CMakeFiles/gcdr_statmodel.dir/statmodel/gated_osc_model.cpp.o.d"
+  "libgcdr_statmodel.a"
+  "libgcdr_statmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_statmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gcdr_statmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_stats.dir/stats/grid_pdf.cpp.o"
+  "CMakeFiles/gcdr_stats.dir/stats/grid_pdf.cpp.o.d"
+  "libgcdr_stats.a"
+  "libgcdr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fft.cpp" "src/CMakeFiles/gcdr_util.dir/util/fft.cpp.o" "gcc" "src/CMakeFiles/gcdr_util.dir/util/fft.cpp.o.d"
+  "/root/repo/src/util/mathx.cpp" "src/CMakeFiles/gcdr_util.dir/util/mathx.cpp.o" "gcc" "src/CMakeFiles/gcdr_util.dir/util/mathx.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/gcdr_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/gcdr_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/sim_time.cpp" "src/CMakeFiles/gcdr_util.dir/util/sim_time.cpp.o" "gcc" "src/CMakeFiles/gcdr_util.dir/util/sim_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

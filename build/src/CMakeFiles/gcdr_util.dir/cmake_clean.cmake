@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcdr_util.dir/util/fft.cpp.o"
+  "CMakeFiles/gcdr_util.dir/util/fft.cpp.o.d"
+  "CMakeFiles/gcdr_util.dir/util/mathx.cpp.o"
+  "CMakeFiles/gcdr_util.dir/util/mathx.cpp.o.d"
+  "CMakeFiles/gcdr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/gcdr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/gcdr_util.dir/util/sim_time.cpp.o"
+  "CMakeFiles/gcdr_util.dir/util/sim_time.cpp.o.d"
+  "libgcdr_util.a"
+  "libgcdr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcdr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

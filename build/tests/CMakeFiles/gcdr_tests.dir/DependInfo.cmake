@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analog.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_analog.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_analog.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_bathtub_vcd.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_bathtub_vcd.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_bathtub_vcd.cpp.o.d"
+  "/root/repo/tests/test_ber.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_ber.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_ber.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_edge_detector.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_edge_detector.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_edge_detector.cpp.o.d"
+  "/root/repo/tests/test_elastic.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_elastic.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_elastic.cpp.o.d"
+  "/root/repo/tests/test_encoding.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_encoding.cpp.o.d"
+  "/root/repo/tests/test_eye.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_eye.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_eye.cpp.o.d"
+  "/root/repo/tests/test_gates.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_gates.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_gates.cpp.o.d"
+  "/root/repo/tests/test_gcco.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_gcco.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_gcco.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_jitter.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_jitter.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_jitter.cpp.o.d"
+  "/root/repo/tests/test_masks.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_masks.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_masks.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_pll.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_pll.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_pll.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_statmodel.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_statmodel.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_statmodel.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gcdr_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gcdr_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcdr_statmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_masks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_ber.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_eye.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_jitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
