@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "ber/bert.hpp"
 #include "cdr/baseline.hpp"
 #include "encoding/prbs.hpp"
 #include "masks/jtol_mask.hpp"
@@ -18,8 +19,14 @@
 
 using namespace gcdr;
 
-int main() {
-    bench::header("Baselines", "JTOL: gated oscillator vs PLL vs PI CDR");
+int main(int argc, char** argv) {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::RunReport report(opts, "baseline_jtol",
+                            "JTOL: gated oscillator vs PLL vs PI CDR");
+    auto& reg = report.metrics();
+    if (!opts.quiet) {
+        bench::header("Baselines", "JTOL: gated oscillator vs PLL vs PI CDR");
+    }
 
     statmodel::ModelConfig gcco_cfg;
     gcco_cfg.grid_dx = 1e-3;
@@ -31,22 +38,46 @@ int main() {
     const cdr::PhaseInterpolatorCdr pi({});
     const auto mask = masks::JtolMask::infiniband_2g5();
 
-    bench::section("jitter tolerance [UIpp] at BER 1e-12 (cap 32 UIpp)");
-    std::printf("%10s %12s %12s %12s %12s\n", "f/fd", "gated-osc",
-                "bang-bang", "phase-int", "IB mask");
-    for (double fn : logspace(1e-5, 0.3, 10)) {
-        const double g = statmodel::jtol_amplitude(gcco_cfg, fn, 1e-12, 32.0);
-        const double b = cdr::baseline_jtol_amplitude(bb, fn, base,
-                                                      kPaperRate, 40000, 7);
-        const double p = cdr::baseline_jtol_amplitude(pi, fn, base,
-                                                      kPaperRate, 40000, 7);
-        std::printf("%10.2e %12.3f %12.3f %12.3f %12.3f\n", fn, g, b, p,
-                    mask.amplitude_at(fn * kPaperRate.bits_per_second()));
+    {
+        obs::ScopedTimer t(&reg, "baseline.jtol_sweep_seconds");
+        if (!opts.quiet) {
+            bench::section("jitter tolerance [UIpp] at BER 1e-12 (cap 32 UIpp)");
+            std::printf("%10s %12s %12s %12s %12s\n", "f/fd", "gated-osc",
+                        "bang-bang", "phase-int", "IB mask");
+        }
+        for (double fn : logspace(1e-5, 0.3, 10)) {
+            const double g =
+                statmodel::jtol_amplitude(gcco_cfg, fn, 1e-12, 32.0);
+            const double b = cdr::baseline_jtol_amplitude(bb, fn, base,
+                                                          kPaperRate, 40000,
+                                                          7);
+            const double p = cdr::baseline_jtol_amplitude(pi, fn, base,
+                                                          kPaperRate, 40000,
+                                                          7);
+            reg.counter("baseline.jtol_points").inc();
+            reg.histogram("baseline.jtol_gated_osc_uipp").record(g);
+            reg.histogram("baseline.jtol_bang_bang_uipp").record(b);
+            reg.histogram("baseline.jtol_phase_int_uipp").record(p);
+            if (!opts.quiet) {
+                std::printf("%10.2e %12.3f %12.3f %12.3f %12.3f\n", fn, g, b,
+                            p,
+                            mask.amplitude_at(fn *
+                                              kPaperRate.bits_per_second()));
+            }
+        }
     }
 
-    bench::section("frequency-offset sensitivity (no SJ), errors per 50k bits");
-    std::printf("%10s %12s %12s %12s\n", "offset", "gated-osc*",
-                "bang-bang", "phase-int");
+    {
+    obs::ScopedTimer offset_timer(&reg, "baseline.freq_offset_seconds");
+    ber::ErrorCounter bb_errors, pi_errors;
+    bb_errors.attach_metrics(reg, "baseline.bang_bang");
+    pi_errors.attach_metrics(reg, "baseline.phase_int");
+    if (!opts.quiet) {
+        bench::section(
+            "frequency-offset sensitivity (no SJ), errors per 50k bits");
+        std::printf("%10s %12s %12s %12s\n", "offset", "gated-osc*",
+                    "bang-bang", "phase-int");
+    }
     for (double d : {0.0, 1e-4, 1e-3, 0.01, 0.03}) {
         statmodel::ModelConfig g = gcco_cfg;
         g.freq_offset = d;
@@ -64,17 +95,24 @@ int main() {
         const auto rp = cdr::PhaseInterpolatorCdr(pc).run(gen2.bits(50000),
                                                           base, kPaperRate,
                                                           r2);
-        std::printf("%9.2f%% %12s %12llu %12llu\n", d * 100,
-                    bench::log_ber(g_ber).c_str(),
-                    static_cast<unsigned long long>(rb.errors),
-                    static_cast<unsigned long long>(rp.errors));
+        bb_errors.record_bits(50000, rb.errors);
+        pi_errors.record_bits(50000, rp.errors);
+        if (!opts.quiet) {
+            std::printf("%9.2f%% %12s %12llu %12llu\n", d * 100,
+                        bench::log_ber(g_ber).c_str(),
+                        static_cast<unsigned long long>(rb.errors),
+                        static_cast<unsigned long long>(rp.errors));
+        }
     }
-    std::printf("* statistical-model log10(BER), not an error count.\n");
-
-    std::printf(
-        "\nShape reproduced: the loops' tolerance rolls off with jitter\n"
-        "frequency while the gated oscillator stays flat; conversely only\n"
-        "the gated oscillator cares about static frequency offset — the\n"
-        "trade the paper accepts to save the per-channel loop power.\n");
-    return 0;
+    if (!opts.quiet) {
+        std::printf("* statistical-model log10(BER), not an error count.\n");
+        std::printf(
+            "\nShape reproduced: the loops' tolerance rolls off with jitter\n"
+            "frequency while the gated oscillator stays flat; conversely "
+            "only\nthe gated oscillator cares about static frequency offset "
+            "— the\ntrade the paper accepts to save the per-channel loop "
+            "power.\n");
+    }
+    }
+    return report.write() ? 0 : 1;
 }

@@ -1,11 +1,87 @@
 #pragma once
-// Shared formatting helpers for the figure/table reproduction benches.
+// Shared CLI + formatting + telemetry plumbing for the figure/table
+// reproduction benches.
+//
+// Every bench that takes (argc, argv) supports:
+//   --json <path>   write a BENCH report (obs::write_run_report schema,
+//                   see DESIGN.md "Telemetry") with the run's metrics
+//   --quiet         suppress the human-readable tables; telemetry only
+// Unrecognized arguments are left in argv for the bench (so
+// bench_kernel_perf can forward --benchmark_* flags to google-benchmark).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
 namespace gcdr::bench {
+
+struct Options {
+    std::string json_path;  ///< empty: no report requested
+    bool quiet = false;
+
+    /// Strip the flags this layer owns out of (argc, argv).
+    [[nodiscard]] static Options parse(int& argc, char** argv) {
+        Options opts;
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--quiet") == 0) {
+                opts.quiet = true;
+            } else if (std::strcmp(argv[i], "--json") == 0 &&
+                       i + 1 < argc) {
+                opts.json_path = argv[++i];
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        return opts;
+    }
+};
+
+/// One per bench main(): owns the run's MetricsRegistry, times the whole
+/// run, and writes the JSON report at the end when --json was given.
+class RunReport {
+public:
+    RunReport(const Options& opts, std::string id, std::string title)
+        : opts_(opts),
+          id_(std::move(id)),
+          title_(std::move(title)),
+          t0_(std::chrono::steady_clock::now()) {}
+
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
+    [[nodiscard]] bool quiet() const { return opts_.quiet; }
+
+    /// Write the report if requested. Returns false only on I/O failure.
+    bool write() {
+        if (opts_.json_path.empty()) return true;
+        obs::ReportInfo info;
+        info.id = id_;
+        info.title = title_;
+        info.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0_)
+                .count();
+        const bool ok =
+            obs::write_run_report(opts_.json_path, registry_, info);
+        if (ok && !opts_.quiet) {
+            std::printf("\n[report written to %s]\n",
+                        opts_.json_path.c_str());
+        }
+        return ok;
+    }
+
+private:
+    Options opts_;
+    std::string id_;
+    std::string title_;
+    obs::MetricsRegistry registry_;
+    std::chrono::steady_clock::time_point t0_;
+};
 
 inline void header(const std::string& id, const std::string& title) {
     std::printf("==================================================================\n");

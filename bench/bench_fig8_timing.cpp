@@ -12,17 +12,26 @@
 
 using namespace gcdr;
 
-int main() {
-    bench::header("Fig 8", "timing diagram of the gated oscillator");
+int main(int argc, char** argv) {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::RunReport report(opts, "fig8_timing",
+                            "timing diagram of the gated oscillator");
+    auto& reg = report.metrics();
+    if (!opts.quiet) {
+        bench::header("Fig 8", "timing diagram of the gated oscillator");
+    }
 
     sim::Scheduler sched;
+    sched.attach_metrics(&reg);
     Rng rng(3);
     cdr::ChannelConfig cfg = cdr::ChannelConfig::nominal(2.5e9, 0.0);
     cfg.gcco.jitter_sigma = 0.0;
     cfg.edge_detector.cell_jitter_rel = 0.0;
     cdr::GccoChannel ch(sched, rng, cfg);
+    ch.attach_metrics(reg, "cdr.ch0");
 
     sim::Tracer tracer;
+    tracer.attach_metrics(reg);
     tracer.watch(ch.din());
     tracer.watch(ch.edge_detector().edet());
     tracer.watch(ch.edge_detector().ddin());
@@ -40,32 +49,38 @@ int main() {
     ch.drive(jitter::jittered_edges(bits, sp, stream_rng));
     sched.run_until(SimTime::ns(4) + kPaperRate.ui_to_time(12));
 
-    bench::section("waveforms (window: 2 UI before the first edge .. bit 12)");
-    std::printf("%s\n",
-                tracer
-                    .ascii_diagram(SimTime::ns(4) - SimTime::ps(800),
-                                   SimTime::ns(4) + kPaperRate.ui_to_time(12),
-                                   112)
-                    .c_str());
-    std::printf(
-        "Reading the diagram (as in Fig 8): EDET drops for tau after each\n"
-        "DIN edge; the ring freezes within T/2; CKOUT rises T/2 after the\n"
-        "EDET release, i.e. mid-bit of the delayed data DDIN.\n");
+    if (!opts.quiet) {
+        bench::section(
+            "waveforms (window: 2 UI before the first edge .. bit 12)");
+        std::printf("%s\n",
+                    tracer
+                        .ascii_diagram(SimTime::ns(4) - SimTime::ps(800),
+                                       SimTime::ns(4) +
+                                           kPaperRate.ui_to_time(12),
+                                       112)
+                        .c_str());
+        std::printf(
+            "Reading the diagram (as in Fig 8): EDET drops for tau after "
+            "each\nDIN edge; the ring freezes within T/2; CKOUT rises T/2 "
+            "after the\nEDET release, i.e. mid-bit of the delayed data "
+            "DDIN.\n");
 
-    bench::section(
-        "recovered-clock rise after each EDET release (expected: T/2)");
-    const auto rises = tracer.edges_of("ch0_gcco_ckout", true);
-    const auto releases = tracer.edges_of("ch0_ed_edet", true);
-    std::printf("%18s %16s %12s\n", "EDET release [ps]", "CK rise [ps]",
-                "delta [UI]");
-    for (SimTime rel : releases) {
-        for (SimTime r : rises) {
-            if (r > rel) {
-                std::printf("%18.1f %16.1f %12.3f\n", rel.picoseconds(),
-                            r.picoseconds(), kPaperRate.time_to_ui(r - rel));
-                break;
+        bench::section(
+            "recovered-clock rise after each EDET release (expected: T/2)");
+        const auto rises = tracer.edges_of("ch0_gcco_ckout", true);
+        const auto releases = tracer.edges_of("ch0_ed_edet", true);
+        std::printf("%18s %16s %12s\n", "EDET release [ps]", "CK rise [ps]",
+                    "delta [UI]");
+        for (SimTime rel : releases) {
+            for (SimTime r : rises) {
+                if (r > rel) {
+                    std::printf("%18.1f %16.1f %12.3f\n", rel.picoseconds(),
+                                r.picoseconds(),
+                                kPaperRate.time_to_ui(r - rel));
+                    break;
+                }
             }
         }
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

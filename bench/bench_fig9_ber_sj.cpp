@@ -15,8 +15,16 @@
 
 using namespace gcdr;
 
-int main() {
-    bench::header("Fig 9", "BER vs sinusoidal jitter frequency and amplitude");
+int main(int argc, char** argv) {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::RunReport report(
+        opts, "fig9_ber_sj",
+        "BER vs sinusoidal jitter frequency and amplitude");
+    auto& reg = report.metrics();
+    if (!opts.quiet) {
+        bench::header("Fig 9",
+                      "BER vs sinusoidal jitter frequency and amplitude");
+    }
 
     statmodel::ModelConfig base;  // Table 1, CID cap 5, mid-bit sampling
     base.grid_dx = 1e-3;
@@ -24,39 +32,64 @@ int main() {
     const auto freqs = logspace(1e-4, 0.5, 13);
     const double amps[] = {0.1, 0.2, 0.35, 0.5, 0.7, 1.0, 1.5};
 
-    bench::section("log10(BER) surface (rows: f_SJ/f_data, cols: SJ UIpp)");
-    std::printf("%10s", "f/fd");
-    for (double a : amps) std::printf(" %6.2f", a);
-    std::printf("\n");
-    for (double fn : freqs) {
-        std::printf("%10.2e", fn);
-        for (double a : amps) {
-            statmodel::ModelConfig cfg = base;
-            cfg.sj_freq_norm = fn;
-            cfg.spec.sj_uipp = a;
-            std::printf(" %s", bench::log_ber(statmodel::ber_of(cfg)).c_str());
+    auto* evals = &reg.counter("fig9.ber_evals");
+    auto* ber_hist = &reg.histogram("fig9.ber");
+    {
+        obs::ScopedTimer t(&reg, "fig9.surface_seconds");
+        if (!opts.quiet) {
+            bench::section(
+                "log10(BER) surface (rows: f_SJ/f_data, cols: SJ UIpp)");
+            std::printf("%10s", "f/fd");
+            for (double a : amps) std::printf(" %6.2f", a);
+            std::printf("\n");
         }
-        std::printf("\n");
+        for (double fn : freqs) {
+            if (!opts.quiet) std::printf("%10.2e", fn);
+            for (double a : amps) {
+                statmodel::ModelConfig cfg = base;
+                cfg.sj_freq_norm = fn;
+                cfg.spec.sj_uipp = a;
+                const double ber = statmodel::ber_of(cfg);
+                evals->inc();
+                ber_hist->record(ber);
+                if (!opts.quiet) {
+                    std::printf(" %s", bench::log_ber(ber).c_str());
+                }
+            }
+            if (!opts.quiet) std::printf("\n");
+        }
     }
 
-    bench::section("JTOL contour at BER = 1e-12 vs InfiniBand mask");
     const auto mask = masks::JtolMask::infiniband_2g5();
-    std::printf("%10s %14s %12s %12s %6s\n", "f/fd", "freq [Hz]",
-                "JTOL [UIpp]", "mask [UIpp]", "OK?");
     bool all_ok = true;
-    for (double fn : freqs) {
-        const double tol = statmodel::jtol_amplitude(base, fn, 1e-12);
-        const double f_hz = fn * kPaperRate.bits_per_second();
-        const double need = mask.amplitude_at(f_hz);
-        const bool ok = tol >= need;
-        all_ok = all_ok && ok;
-        std::printf("%10.2e %14.4g %12.3f %12.3f %6s\n", fn, f_hz, tol, need,
-                    ok ? "yes" : "NO");
+    {
+        obs::ScopedTimer t(&reg, "fig9.jtol_contour_seconds");
+        if (!opts.quiet) {
+            bench::section("JTOL contour at BER = 1e-12 vs InfiniBand mask");
+            std::printf("%10s %14s %12s %12s %6s\n", "f/fd", "freq [Hz]",
+                        "JTOL [UIpp]", "mask [UIpp]", "OK?");
+        }
+        for (double fn : freqs) {
+            const double tol = statmodel::jtol_amplitude(base, fn, 1e-12);
+            const double f_hz = fn * kPaperRate.bits_per_second();
+            const double need = mask.amplitude_at(f_hz);
+            const bool ok = tol >= need;
+            all_ok = all_ok && ok;
+            reg.histogram("fig9.jtol_uipp").record(tol);
+            if (!opts.quiet) {
+                std::printf("%10.2e %14.4g %12.3f %12.3f %6s\n", fn, f_hz,
+                            tol, need, ok ? "yes" : "NO");
+            }
+        }
     }
-    std::printf(
-        "\nPaper's finding reproduced: %s — tolerance is far above the mask "
-        "at low frequency and drops toward/below it near the data rate.\n",
-        all_ok ? "margin everywhere (mask met)"
-               : "mask violated near the data rate");
-    return 0;
+    reg.gauge("fig9.mask_met").set(all_ok ? 1.0 : 0.0);
+    if (!opts.quiet) {
+        std::printf(
+            "\nPaper's finding reproduced: %s — tolerance is far above the "
+            "mask at low frequency and drops toward/below it near the data "
+            "rate.\n",
+            all_ok ? "margin everywhere (mask met)"
+                   : "mask violated near the data rate");
+    }
+    return report.write() ? 0 : 1;
 }

@@ -1,9 +1,17 @@
 // Google-benchmark microbenchmarks of the simulation substrates: event
 // kernel throughput, transport-wire churn, behavioral CDR bits/s, PDF
 // convolution, 8b/10b and PRBS encoding, and SPICE-lite Newton steps.
+//
+// With --json <path> the binary additionally runs a fully instrumented
+// kernel + CDR workload (telemetry attached) and writes the BENCH report
+// used as the repo's perf-trajectory baseline. The microbenchmarks above
+// run WITHOUT a registry attached, so their numbers measure the
+// disabled-telemetry hot path. --quiet skips the google-benchmark suite
+// and only emits the report.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "cdr/channel.hpp"
 #include "analog/cml_cells.hpp"
 #include "analog/transient.hpp"
@@ -137,6 +145,55 @@ void BM_SpiceCmlBufferStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SpiceCmlBufferStep);
 
+// Instrumented reference workloads: the same shapes as the
+// microbenchmarks above, but with telemetry attached, so the report
+// records event counts, wall timings and the oscillator period
+// histogram of a known-size run.
+void run_instrumented_workloads(obs::MetricsRegistry& reg) {
+    {
+        obs::ScopedTimer t(&reg, "kernel_perf.scheduler_churn_seconds");
+        sim::Scheduler sched;
+        sched.attach_metrics(&reg);
+        std::uint64_t count = 0;
+        std::function<void()> tick = [&] {
+            if (++count < 100000) sched.schedule_in(SimTime::ps(100), tick);
+        };
+        sched.schedule_at(SimTime{0}, tick);
+        sched.run();
+    }
+    {
+        obs::ScopedTimer t(&reg, "kernel_perf.channel_run_seconds");
+        sim::Scheduler sched;
+        sched.attach_metrics(&reg, "cdr_sim");
+        Rng rng(1);
+        auto cfg = cdr::ChannelConfig::nominal(2.5e9);
+        cdr::GccoChannel ch(sched, rng, cfg);
+        ch.attach_metrics(reg, "cdr.ch0");
+        encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+        const std::size_t n_bits = 10000;
+        jitter::StreamParams sp;
+        sp.spec = jitter::JitterSpec::paper_table1();
+        sp.start = SimTime::ns(4);
+        ch.drive(jitter::jittered_edges(gen.bits(n_bits), sp, rng));
+        sched.run_until(sp.start +
+                        cfg.rate.ui_to_time(static_cast<double>(n_bits)));
+        reg.gauge("kernel_perf.channel_bits")
+            .set(static_cast<double>(n_bits));
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const auto opts = gcdr::bench::Options::parse(argc, argv);
+    gcdr::bench::RunReport report(
+        opts, "kernel_perf", "simulator microbenchmarks + telemetry probe");
+    if (!opts.quiet) {
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    run_instrumented_workloads(report.metrics());
+    return report.write() ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 
 #include "cdr/multichannel.hpp"
 #include "encoding/enc8b10b.hpp"
+#include "obs/metrics.hpp"
 
 using namespace gcdr;
 
@@ -31,8 +32,14 @@ int main() {
     sim::Scheduler sched;
     Rng rng(7);
 
+    // Full-receiver telemetry: kernel, per-channel CDR blocks, elastic
+    // buffers and the lock surface all report into one registry.
+    obs::MetricsRegistry metrics;
+    sched.attach_metrics(&metrics);
+
     auto cfg = cdr::MultiChannelConfig::paper_receiver();
     cdr::MultiChannelCdr rx(sched, rng, cfg);
+    rx.attach_metrics(metrics);
     std::printf("shared PLL locked: HFCK = %.6f GHz, IC = %.1f uA\n\n",
                 rx.pll().vco_frequency_hz() / 1e9,
                 rx.pll().control_current_a() * 1e6);
@@ -103,6 +110,36 @@ int main() {
                         rx.elastic(lane).underflows()),
                     static_cast<unsigned long long>(
                         rx.elastic(lane).overflows()));
+    }
+
+    // Telemetry snapshot: the same registry a bench would dump via --json.
+    std::printf("\n--- telemetry ---\n");
+    std::printf("kernel: %llu events executed, queue high-water %.0f, "
+                "sim/wall ratio %.2e\n",
+                static_cast<unsigned long long>(
+                    metrics.counter("sim.events_executed").value()),
+                metrics.gauge("sim.queue_high_water").value(),
+                metrics.gauge("sim.sim_wall_ratio").value());
+    std::printf("lock: PLL %s, %d/%d channels locked\n",
+                metrics.gauge("cdr.pll.locked").value() > 0.5 ? "locked"
+                                                             : "UNLOCKED",
+                static_cast<int>(
+                    metrics.gauge("cdr.locked_channels").value()),
+                rx.n_channels());
+    for (int lane = 0; lane < rx.n_channels(); ++lane) {
+        const std::string ch = "cdr.ch" + std::to_string(lane);
+        std::printf(
+            "%s: %llu edet pulses, %llu gcco restarts, %llu decisions, "
+            "elastic occ [%.0f, %.0f]\n",
+            ch.c_str(),
+            static_cast<unsigned long long>(
+                metrics.counter(ch + ".edet.pulses").value()),
+            static_cast<unsigned long long>(
+                metrics.counter(ch + ".gcco.restarts").value()),
+            static_cast<unsigned long long>(
+                metrics.counter(ch + ".decisions").value()),
+            metrics.gauge(ch + ".elastic.occupancy_low_water").value(),
+            metrics.gauge(ch + ".elastic.occupancy_high_water").value());
     }
     return 0;
 }

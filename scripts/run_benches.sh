@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run every bench with telemetry enabled and collect the JSON run reports
+# under bench/reports/BENCH_<id>.json. These are the repo's perf-trajectory
+# artifacts (schema: gcdr.bench.report/v1, see DESIGN.md "Telemetry").
+#
+# Usage:
+#   scripts/run_benches.sh [build-dir] [reports-dir]
+#
+# Defaults: build-dir = build, reports-dir = bench/reports. The build tree
+# is configured/compiled if needed. Pass a different build dir to collect
+# reports from e.g. a sanitizer build (cmake -DGCDR_SANITIZE=address).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+reports_dir="${2:-$repo_root/bench/reports}"
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+    cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+mkdir -p "$reports_dir"
+
+# Instrumented benches: each accepts --quiet --json <path> (bench::Options
+# in bench_common.hpp). Extend this list as more benches adopt RunReport.
+benches=(
+    kernel_perf
+    fig8_timing
+    fig9_ber_sj
+    baseline_jtol
+)
+
+failed=0
+for id in "${benches[@]}"; do
+    bin="$build_dir/bench/bench_$id"
+    if [[ ! -x "$bin" ]]; then
+        echo "skip: $bin not built" >&2
+        continue
+    fi
+    out="$reports_dir/BENCH_$id.json"
+    echo "== bench_$id -> $out"
+    if ! "$bin" --quiet --json "$out"; then
+        echo "FAILED: bench_$id" >&2
+        failed=1
+    fi
+done
+
+echo
+echo "reports in $reports_dir:"
+ls -l "$reports_dir"
+exit "$failed"

@@ -8,8 +8,10 @@
 // eye results are compared against the statistical model's 1e-12 contours.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/mathx.hpp"
 
 namespace gcdr::ber {
@@ -20,10 +22,29 @@ public:
     void record(bool error) {
         ++bits_;
         if (error) ++errors_;
+        if (m_bits_) {
+            m_bits_->inc();
+            if (error) m_errors_->inc();
+        }
     }
     void record_bits(std::uint64_t bits, std::uint64_t errors) {
         bits_ += bits;
         errors_ += errors;
+        if (m_bits_) {
+            m_bits_->inc(bits);
+            m_errors_->inc(errors);
+        }
+    }
+
+    /// Telemetry: live "<prefix>.bits" / "<prefix>.errors" counters so a
+    /// long run's error tally is visible in the report without waiting
+    /// for the final ber() readout. Existing totals are carried over.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) {
+        m_bits_ = &registry.counter(prefix + ".bits");
+        m_errors_ = &registry.counter(prefix + ".errors");
+        m_bits_->inc(bits_);
+        m_errors_->inc(errors_);
     }
 
     [[nodiscard]] std::uint64_t bits() const { return bits_; }
@@ -44,6 +65,8 @@ public:
 private:
     std::uint64_t bits_ = 0;
     std::uint64_t errors_ = 0;
+    obs::Counter* m_bits_ = nullptr;
+    obs::Counter* m_errors_ = nullptr;
 };
 
 /// Q-scale extrapolation: given the sampled timing margin population

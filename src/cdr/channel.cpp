@@ -43,6 +43,7 @@ GccoChannel::GccoChannel(sim::Scheduler& sched, Rng& rng,
         gates::CmlTiming{cfg.sampler_delay, 0.0},
         [this](SimTime t, bool bit) {
             decisions_.push_back(Decision{t, bit});
+            if (m_decisions_) m_decisions_->inc();
         });
 
     // Instrumentation: track sampling-clock rises, fold DDIN transitions
@@ -79,6 +80,16 @@ GccoChannel::GccoChannel(sim::Scheduler& sched, Rng& rng,
         if (margin > center + 0.45) margin -= 1.0;
         margins_ui_.push_back(margin);
     });
+}
+
+void GccoChannel::attach_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) {
+    m_decisions_ = &registry.counter(prefix + ".decisions");
+    m_decisions_->inc(decisions_.size());
+    edet_->attach_metrics(registry, prefix + ".edet");
+    gcco_->attach_metrics(registry, prefix + ".gcco");
+    din_->attach_metrics(registry, prefix + ".din");
+    q_->attach_metrics(registry, prefix + ".q");
 }
 
 void GccoChannel::drive(const std::vector<jitter::Edge>& edges) {

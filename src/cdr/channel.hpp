@@ -76,6 +76,15 @@ public:
         return margins_ui_;
     }
 
+    /// Telemetry. Registers under `prefix` (e.g. "cdr.ch0"):
+    ///   <prefix>.decisions            counter — sampler outputs
+    ///   <prefix>.edet.pulses          counter — edge-detector pulses
+    ///   <prefix>.gcco.gatings/.restarts/.period_ps
+    ///   <prefix>.din.transitions      per-wire callback tallies
+    ///   <prefix>.q.transitions
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix);
+
     /// Counted BER of the recovered stream against a PRBS reference
     /// (self-synchronizing). The first `skip_first` decisions are excluded:
     /// they cover the oscillator start-up and the idle-to-payload boundary,
@@ -98,6 +107,7 @@ private:
     std::vector<double> margins_ui_;
     std::vector<SimTime> pending_eye_edges_;
     SimTime last_clk_rise_{-1};
+    obs::Counter* m_decisions_ = nullptr;
 };
 
 }  // namespace gcdr::cdr

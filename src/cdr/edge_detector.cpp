@@ -27,4 +27,12 @@ EdgeDetector::EdgeDetector(sim::Scheduler& sched, Rng& rng, sim::Wire& din,
         gates::CmlTiming{params_.dummy_delay, params_.xor_jitter_rel});
 }
 
+void EdgeDetector::attach_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) {
+    auto* pulses = &registry.counter(prefix + ".pulses");
+    edet_->on_change([this, pulses] {
+        if (!edet_->value()) pulses->inc();
+    });
+}
+
 }  // namespace gcdr::cdr

@@ -14,6 +14,7 @@
 
 #include "gates/cml_gates.hpp"
 #include "gates/delay_line.hpp"
+#include "obs/metrics.hpp"
 
 namespace gcdr::cdr {
 
@@ -43,6 +44,13 @@ public:
     /// Active-low synchronization pulse to the GCCO.
     [[nodiscard]] sim::Wire& edet() { return *edet_; }
     [[nodiscard]] SimTime tau() const { return params_.tau(); }
+
+    /// Telemetry: counts EDET pulses (falling edges of the active-low
+    /// sync output) under "<prefix>.pulses". Every DIN transition should
+    /// produce exactly one pulse unless two edges land closer than tau
+    /// and their pulses merge — the Fig 13 failure precursor.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix);
 
 private:
     EdgeDetectorParams params_;

@@ -17,16 +17,19 @@ ElasticBuffer::ElasticBuffer(std::size_t depth) : depth_(depth) {
 void ElasticBuffer::write(bool bit, bool skippable) {
     if (fifo_.size() >= depth_) {
         ++overflows_;
+        if (m_overflows_) m_overflows_->inc();
         recenter();
         if (fifo_.size() >= depth_) return;  // recentering found no slack
     }
     fifo_.push_back(Entry{bit, skippable});
+    note_occupancy();
     if (fifo_.size() > (3 * depth_) / 4) recenter();
 }
 
 std::optional<bool> ElasticBuffer::read() {
     if (fifo_.empty()) {
         ++underflows_;
+        if (m_underflows_) m_underflows_->inc();
         return std::nullopt;
     }
     const Entry e = fifo_.front();
@@ -35,7 +38,9 @@ std::optional<bool> ElasticBuffer::read() {
         // Repeat the skippable bit to refill toward the midpoint.
         fifo_.push_front(e);
         ++inserted_;
+        if (m_inserted_) m_inserted_->inc();
     }
+    note_occupancy();
     return e.bit;
 }
 
@@ -45,9 +50,28 @@ void ElasticBuffer::recenter() {
         if (it->skippable) {
             fifo_.erase(it);
             ++dropped_;
+            if (m_dropped_) m_dropped_->inc();
             return;
         }
     }
+}
+
+void ElasticBuffer::note_occupancy() {
+    if (!m_occ_high_) return;
+    const double occ = static_cast<double>(fifo_.size());
+    m_occ_high_->set_max(occ);
+    m_occ_low_->set_min(occ);
+}
+
+void ElasticBuffer::attach_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) {
+    m_overflows_ = &registry.counter(prefix + ".overflows");
+    m_underflows_ = &registry.counter(prefix + ".underflows");
+    m_dropped_ = &registry.counter(prefix + ".skips_dropped");
+    m_inserted_ = &registry.counter(prefix + ".skips_inserted");
+    m_occ_high_ = &registry.gauge(prefix + ".occupancy_high_water");
+    m_occ_low_ = &registry.gauge(prefix + ".occupancy_low_water");
+    note_occupancy();
 }
 
 }  // namespace gcdr::cdr

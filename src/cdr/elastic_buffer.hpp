@@ -9,6 +9,9 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace gcdr::cdr {
 
@@ -32,6 +35,16 @@ public:
     [[nodiscard]] std::uint64_t skips_dropped() const { return dropped_; }
     [[nodiscard]] std::uint64_t skips_inserted() const { return inserted_; }
 
+    /// Telemetry. Registers under `prefix`:
+    ///   <prefix>.overflows / .underflows /
+    ///   <prefix>.skips_dropped / .skips_inserted     counters (mirrors of
+    ///       the accessors above, kept live from attach time on)
+    ///   <prefix>.occupancy_high_water / _low_water   gauges — the CDC
+    ///       margin actually consumed; hitting depth or 0 means the
+    ///       +-100 ppm recentering failed.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix);
+
 private:
     struct Entry {
         bool bit;
@@ -39,6 +52,7 @@ private:
     };
 
     void recenter();
+    void note_occupancy();
 
     std::size_t depth_;
     std::deque<Entry> fifo_;
@@ -46,6 +60,13 @@ private:
     std::uint64_t underflows_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t inserted_ = 0;
+
+    obs::Counter* m_overflows_ = nullptr;
+    obs::Counter* m_underflows_ = nullptr;
+    obs::Counter* m_dropped_ = nullptr;
+    obs::Counter* m_inserted_ = nullptr;
+    obs::Gauge* m_occ_high_ = nullptr;
+    obs::Gauge* m_occ_low_ = nullptr;
 };
 
 }  // namespace gcdr::cdr

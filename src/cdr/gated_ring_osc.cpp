@@ -74,6 +74,26 @@ void GatedRingOscillator::eval_inverter(int i) {
     stage_[i]->post_transport(stage_delay_sample(), !stage_[i - 1]->value());
 }
 
+void GatedRingOscillator::attach_metrics(obs::MetricsRegistry& registry,
+                                         const std::string& prefix) {
+    auto* gatings = &registry.counter(prefix + ".gatings");
+    auto* restarts = &registry.counter(prefix + ".restarts");
+    trig_->on_change([this, gatings, restarts] {
+        (trig_->value() ? restarts : gatings)->inc();
+    });
+    auto* period = &registry.histogram(prefix + ".period_ps");
+    // Shared state for the rise-to-rise measurement; owned by the lambda.
+    auto last_rise = std::make_shared<SimTime>(SimTime{-1});
+    ckout_->on_change([this, period, last_rise] {
+        if (!ckout_->value()) return;
+        const SimTime now = sched_->now();
+        if (*last_rise >= SimTime{0}) {
+            period->record((now - *last_rise).picoseconds());
+        }
+        *last_rise = now;
+    });
+}
+
 void GatedRingOscillator::eval_ckout() {
     // ckout <= not(vinv4): the free differential inversion; modeled with a
     // 1 fs delta so the kernel keeps strict causality.

@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/wire.hpp"
 #include "util/rng.hpp"
@@ -68,6 +69,16 @@ public:
     [[nodiscard]] sim::Wire& ck_improved() { return *stage_[2]; }
     /// Internal ring nodes (vinv1..vinv4 of Fig 12), for tracing.
     [[nodiscard]] sim::Wire& stage(int i) { return *stage_[i]; }
+
+    /// Telemetry. Registers under `prefix`:
+    ///   <prefix>.gatings    counter — EDET falls (ring freeze requests)
+    ///   <prefix>.restarts   counter — EDET rises (ring relaunches)
+    ///   <prefix>.period_ps  histogram — ckout rise-to-rise spacing; the
+    ///       free-run population sits at 1/f while gating stretches
+    ///       individual periods, so the spread IS the period jitter plus
+    ///       the resynchronization activity.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix);
 
     /// Matched-oscillator control-current update (from the shared PLL).
     void set_control_current(double ic_a) { ic_a_ = ic_a; }

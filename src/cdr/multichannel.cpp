@@ -1,5 +1,6 @@
 #include "cdr/multichannel.hpp"
 
+#include <cmath>
 #include <string>
 
 namespace gcdr::cdr {
@@ -31,6 +32,44 @@ MultiChannelCdr::MultiChannelCdr(sim::Scheduler& sched, Rng& rng,
             sched, rng, ch, "ch" + std::to_string(i)));
         elastic_.push_back(std::make_unique<ElasticBuffer>(cfg_.elastic_depth));
     }
+}
+
+void MultiChannelCdr::attach_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) {
+    metrics_ = &registry;
+    metrics_prefix_ = prefix;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const std::string ch = prefix + ".ch" + std::to_string(i);
+        channels_[i]->attach_metrics(registry, ch);
+        elastic_[i]->attach_metrics(registry, ch + ".elastic");
+    }
+    update_lock_metrics();
+}
+
+void MultiChannelCdr::update_lock_metrics(double lock_tol_rel) {
+    if (!metrics_) return;
+    auto& reg = *metrics_;
+    const double pll_err = std::abs(pll_.frequency_error_rel());
+    const bool pll_locked = pll_err <= lock_tol_rel;
+    reg.gauge(metrics_prefix_ + ".pll.freq_error_rel").set(pll_err);
+    reg.gauge(metrics_prefix_ + ".pll.locked").set(pll_locked ? 1.0 : 0.0);
+    const double f_target = pll_.target_frequency_hz();
+    int locked = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const std::string ch =
+            metrics_prefix_ + ".ch" + std::to_string(i);
+        // Matched-oscillator assumption check (Sec. 2.2): the channel CCO
+        // at the distributed control current vs the PLL target rate.
+        const double err =
+            std::abs(channels_[i]->gcco().frequency_hz() - f_target) /
+            f_target;
+        const bool ch_locked = pll_locked && err <= lock_tol_rel;
+        reg.gauge(ch + ".freq_error_rel").set(err);
+        reg.gauge(ch + ".locked").set(ch_locked ? 1.0 : 0.0);
+        if (ch_locked) ++locked;
+    }
+    reg.gauge(metrics_prefix_ + ".locked_channels")
+        .set(static_cast<double>(locked));
 }
 
 std::vector<std::vector<bool>> MultiChannelCdr::drain_elastic() {

@@ -51,11 +51,28 @@ public:
     /// system-domain bit streams.
     [[nodiscard]] std::vector<std::vector<bool>> drain_elastic();
 
+    /// Telemetry for the whole receiver. Per channel i, registers
+    /// "<prefix>.ch<i>.*" (channel + elastic instruments) plus the lock
+    /// surface:
+    ///   <prefix>.pll.locked          gauge 0/1 — shared PLL at target
+    ///   <prefix>.pll.freq_error_rel  gauge
+    ///   <prefix>.ch<i>.freq_error_rel gauge — CCO deviation from HFCK
+    ///   <prefix>.ch<i>.locked        gauge 0/1 — PLL locked AND channel
+    ///       mismatch within `lock_tol_rel`
+    ///   <prefix>.locked_channels     gauge
+    /// Lock gauges refresh on attach and on update_lock_metrics().
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "cdr");
+    /// Recompute the lock-status gauges (e.g. after retuning).
+    void update_lock_metrics(double lock_tol_rel = 1e-2);
+
 private:
     MultiChannelConfig cfg_;
     BehavioralPll pll_;
     std::vector<std::unique_ptr<GccoChannel>> channels_;
     std::vector<std::unique_ptr<ElasticBuffer>> elastic_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    std::string metrics_prefix_;
 };
 
 }  // namespace gcdr::cdr

@@ -1,0 +1,133 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gcdr::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::newline_indent() {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_) * stack_.size(), ' ');
+}
+
+void JsonWriter::pre_value() {
+    if (key_pending_) {
+        key_pending_ = false;  // value follows its key on the same line
+        return;
+    }
+    if (!stack_.empty()) {
+        if (stack_.back().has_items) out_ += ',';
+        stack_.back().has_items = true;
+        newline_indent();
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    pre_value();
+    stack_.push_back({'{', false});
+    out_ += '{';
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    const bool had = !stack_.empty() && stack_.back().has_items;
+    if (!stack_.empty()) stack_.pop_back();
+    if (had) newline_indent();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    pre_value();
+    stack_.push_back({'[', false});
+    out_ += '[';
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    const bool had = !stack_.empty() && stack_.back().has_items;
+    if (!stack_.empty()) stack_.pop_back();
+    if (had) newline_indent();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    pre_value();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+    pre_value();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+    if (!std::isfinite(d)) return null_value();
+    pre_value();
+    char buf[40];
+    // %.17g round-trips doubles; trim to a cleaner form when exact.
+    std::snprintf(buf, sizeof buf, "%.12g", d);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != d) std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+    pre_value();
+    out_ += std::to_string(u);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+    pre_value();
+    out_ += std::to_string(i);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+    pre_value();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+    pre_value();
+    out_ += "null";
+    return *this;
+}
+
+}  // namespace gcdr::obs

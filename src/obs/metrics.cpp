@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace gcdr::obs {
+
+int Histogram::bucket_index(double v) {
+    // v > 0 guaranteed by record(). Index grows with log10(v); bucket i
+    // holds (upper(i-1), upper(i)].
+    const double pos = (std::log10(v) - kMinExp) * kPerDecade;
+    // ceil - 1: a value exactly on an edge belongs to the bucket below.
+    const int i = static_cast<int>(std::ceil(pos)) - 1;
+    return i;
+}
+
+double Histogram::bucket_upper(int i) {
+    return std::pow(10.0, static_cast<double>(i + 1) / kPerDecade + kMinExp);
+}
+
+void Histogram::record(double v) {
+    if (std::isnan(v)) return;
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    if (!(v > 0.0)) {
+        ++underflow_;  // zero/negative: below every log bucket
+        return;
+    }
+    const int i = bucket_index(v);
+    if (i < 0) {
+        ++underflow_;
+    } else if (i >= kBuckets) {
+        ++overflow_;
+    } else {
+        ++bins_[static_cast<std::size_t>(i)];
+    }
+}
+
+double Histogram::quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min();
+    if (q >= 1.0) return max();
+    const double target = q * static_cast<double>(count_);
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target) return min();
+    for (int i = 0; i < kBuckets; ++i) {
+        cum += static_cast<double>(bins_[static_cast<std::size_t>(i)]);
+        if (cum >= target) {
+            // Geometric bucket midpoint, clamped to observed extremes.
+            const double mid = bucket_upper(i) /
+                               std::pow(10.0, 0.5 / kPerDecade);
+            return std::min(std::max(mid, min_), max_);
+        }
+    }
+    return max();
+}
+
+std::vector<Histogram::Bucket> Histogram::nonempty_buckets() const {
+    std::vector<Bucket> out;
+    if (underflow_) {
+        out.push_back({std::pow(10.0, kMinExp), underflow_});
+    }
+    for (int i = 0; i < kBuckets; ++i) {
+        const auto n = bins_[static_cast<std::size_t>(i)];
+        if (n) out.push_back({bucket_upper(i), n});
+    }
+    if (overflow_) {
+        out.push_back({std::numeric_limits<double>::infinity(), overflow_});
+    }
+    return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, g] : gauges_) {
+        w.key(name);
+        if (g->has_value()) {
+            w.value(g->value());
+        } else {
+            w.null_value();
+        }
+    }
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : histograms_) {
+        w.key(name).begin_object();
+        w.key("count").value(h->count());
+        w.key("sum").value(h->sum());
+        w.key("min").value(h->min());
+        w.key("max").value(h->max());
+        w.key("mean").value(h->mean());
+        w.key("p50").value(h->quantile(0.50));
+        w.key("p90").value(h->quantile(0.90));
+        w.key("p99").value(h->quantile(0.99));
+        w.key("buckets").begin_array();
+        for (const auto& b : h->nonempty_buckets()) {
+            w.begin_object();
+            w.key("le").value(b.upper);
+            w.key("count").value(b.count);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+    JsonWriter w;
+    write_json(w);
+    return w.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+    std::ostringstream os;
+    os << "kind,name,value\n";
+    for (const auto& [name, c] : counters_) {
+        os << "counter," << name << ',' << c->value() << '\n';
+    }
+    for (const auto& [name, g] : gauges_) {
+        os << "gauge," << name << ',';
+        if (g->has_value()) os << g->value();
+        os << '\n';
+    }
+    for (const auto& [name, h] : histograms_) {
+        os << "histogram," << name << ".count," << h->count() << '\n';
+        os << "histogram," << name << ".sum," << h->sum() << '\n';
+        os << "histogram," << name << ".mean," << h->mean() << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace gcdr::obs

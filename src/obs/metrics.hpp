@@ -1,0 +1,175 @@
+#pragma once
+// Telemetry core: a registry of named counters, gauges and log-scale
+// histograms, plus RAII wall-clock probes. Designed to be zero-cost when
+// unused — instrumented components hold plain pointers that default to
+// nullptr, so a disabled run pays one predictable branch per hot-path
+// event and nothing else. Registry lookups (by name) happen only at
+// attach time; the returned references stay valid for the registry's
+// lifetime.
+//
+// Units are by convention: counters are dimensionless event tallies,
+// ScopedTimer records seconds, and histogram names carry their unit as a
+// suffix (`_ps`, `_seconds`, ...). Exporters live in obs/json.hpp and
+// obs/report.hpp.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcdr::obs {
+
+/// Monotonically increasing event tally.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-written value, with high/low-water helpers for occupancy-style
+/// measurements. Unset gauges export as null.
+class Gauge {
+public:
+    void set(double v) {
+        value_ = v;
+        has_value_ = true;
+    }
+    /// Keep the maximum of all observations (high-water mark).
+    void set_max(double v) {
+        if (!has_value_ || v > value_) set(v);
+    }
+    /// Keep the minimum of all observations (low-water mark).
+    void set_min(double v) {
+        if (!has_value_ || v < value_) set(v);
+    }
+    [[nodiscard]] double value() const { return has_value_ ? value_ : 0.0; }
+    [[nodiscard]] bool has_value() const { return has_value_; }
+
+private:
+    double value_ = 0.0;
+    bool has_value_ = false;
+};
+
+/// Fixed log10-spaced histogram for positive measurements spanning many
+/// orders of magnitude (periods in ps, timer seconds, BER values). The
+/// bucket grid covers [1e-30, 1e12) with kPerDecade buckets per decade;
+/// values at or below the range go to an underflow bucket, values above
+/// to an overflow bucket. Exact count/sum/min/max are tracked alongside,
+/// so means are not quantized — only quantiles are.
+class Histogram {
+public:
+    static constexpr int kPerDecade = 16;
+    static constexpr int kMinExp = -30;  ///< lowest decade edge, 10^kMinExp
+    static constexpr int kMaxExp = 12;   ///< highest decade edge, 10^kMaxExp
+    static constexpr int kBuckets = (kMaxExp - kMinExp) * kPerDecade;
+
+    void record(double v);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+    [[nodiscard]] double mean() const {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /// Quantile estimate (q in [0,1]) from the bucket the q-th sample
+    /// falls in, clamped to the exact observed [min, max].
+    [[nodiscard]] double quantile(double q) const;
+
+    struct Bucket {
+        double upper;         ///< bucket upper edge (inclusive)
+        std::uint64_t count;  ///< samples in this bucket
+    };
+    /// Non-empty buckets in increasing order of upper edge. Underflow
+    /// reports upper = 10^kMinExp; overflow reports upper = +inf.
+    [[nodiscard]] std::vector<Bucket> nonempty_buckets() const;
+
+    /// Upper edge of bucket index i (exposed for tests).
+    [[nodiscard]] static double bucket_upper(int i);
+
+private:
+    [[nodiscard]] static int bucket_index(double v);
+
+    std::array<std::uint64_t, kBuckets> bins_{};
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+class JsonWriter;  // obs/json.hpp
+
+/// Owner of all named instruments. Names are free-form dotted paths
+/// ("sim.events_executed", "cdr.ch0.period_ps"); requesting the same name
+/// twice returns the same instrument, so independent components can share
+/// a tally. References remain valid until the registry is destroyed.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
+    counters() const {
+        return counters_;
+    }
+    [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>&
+    gauges() const {
+        return gauges_;
+    }
+    [[nodiscard]] const std::map<std::string, std::unique_ptr<Histogram>>&
+    histograms() const {
+        return histograms_;
+    }
+
+    /// Serialize as a {"counters":..,"gauges":..,"histograms":..} object
+    /// into an in-progress writer (after w.key(...) or inside an array).
+    void write_json(JsonWriter& w) const;
+    /// Standalone pretty-printed JSON document of the same object.
+    [[nodiscard]] std::string to_json() const;
+    /// Flat CSV (kind,name,value) of counters and gauges — histogram
+    /// summaries are exported as pseudo-gauges name.count/sum/mean.
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII wall-clock probe: records elapsed seconds into a histogram on
+/// destruction. Null-registry constructor is a no-op probe, so call sites
+/// need no branching.
+class ScopedTimer {
+public:
+    ScopedTimer(MetricsRegistry* registry, const std::string& name)
+        : hist_(registry ? &registry->histogram(name) : nullptr),
+          t0_(Clock::now()) {}
+    explicit ScopedTimer(Histogram& h) : hist_(&h), t0_(Clock::now()) {}
+    ~ScopedTimer() {
+        if (hist_) hist_->record(seconds_so_far());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    [[nodiscard]] double seconds_so_far() const {
+        return std::chrono::duration<double>(Clock::now() - t0_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Histogram* hist_;
+    Clock::time_point t0_;
+};
+
+}  // namespace gcdr::obs

@@ -1,0 +1,75 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace gcdr::obs {
+
+BuildInfo BuildInfo::current() {
+    BuildInfo b;
+#if defined(__clang__)
+    b.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+    b.compiler = "gcc " __VERSION__;
+#else
+    b.compiler = "unknown";
+#endif
+    b.cxx_standard = __cplusplus;
+#ifdef NDEBUG
+    b.build_mode = "release";
+#else
+    b.build_mode = "debug";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+    b.sanitizer = "address";
+#elif defined(__SANITIZE_THREAD__)
+    b.sanitizer = "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    b.sanitizer = "address";
+#else
+    b.sanitizer = "none";
+#endif
+#else
+    b.sanitizer = "none";
+#endif
+    return b;
+}
+
+std::string run_report_json(const MetricsRegistry& registry,
+                            const ReportInfo& info) {
+    const BuildInfo build = BuildInfo::current();
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value(kReportSchema);
+    w.key("bench").value(info.id);
+    w.key("title").value(info.title);
+    w.key("wall_seconds").value(info.wall_seconds);
+    w.key("build").begin_object();
+    w.key("compiler").value(build.compiler);
+    w.key("cxx_standard").value(static_cast<std::int64_t>(build.cxx_standard));
+    w.key("build_mode").value(build.build_mode);
+    w.key("sanitizer").value(build.sanitizer);
+    w.end_object();
+    w.key("metrics");
+    registry.write_json(w);
+    w.end_object();
+    return w.str() + "\n";
+}
+
+bool write_run_report(const std::string& path,
+                      const MetricsRegistry& registry,
+                      const ReportInfo& info) {
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "obs: cannot open report file '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    os << run_report_json(registry, info);
+    return os.good();
+}
+
+}  // namespace gcdr::obs

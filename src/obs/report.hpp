@@ -1,0 +1,44 @@
+#pragma once
+// Run-report emitter: one JSON document per bench/example run capturing
+// the metrics snapshot, total wall time and build provenance. These are
+// the repo's perf-trajectory artifacts — scripts/run_benches.sh collects
+// them under bench/reports/BENCH_<id>.json and future performance PRs
+// diff against the committed baselines. Schema documented in DESIGN.md
+// ("Telemetry" section); bump kReportSchema on breaking changes.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace gcdr::obs {
+
+inline constexpr const char* kReportSchema = "gcdr.bench.report/v1";
+
+/// Compiler / standard / build-mode string triple baked in at compile
+/// time, so reports from different checkouts are attributable.
+struct BuildInfo {
+    std::string compiler;    ///< e.g. "gcc 12.2.0"
+    long cxx_standard;       ///< __cplusplus value
+    std::string build_mode;  ///< "release" (NDEBUG) or "debug"
+    std::string sanitizer;   ///< "address", "thread", ... or "none"
+
+    [[nodiscard]] static BuildInfo current();
+};
+
+struct ReportInfo {
+    std::string id;     ///< bench identifier, e.g. "kernel_perf"
+    std::string title;  ///< human-readable one-liner
+    double wall_seconds = 0.0;  ///< total run wall time
+};
+
+/// Serialize the full report document (schema above) to a string.
+[[nodiscard]] std::string run_report_json(const MetricsRegistry& registry,
+                                          const ReportInfo& info);
+
+/// Write the report to `path`. Returns false (and prints to stderr) on
+/// I/O failure; benches treat that as a soft error.
+bool write_run_report(const std::string& path,
+                      const MetricsRegistry& registry,
+                      const ReportInfo& info);
+
+}  // namespace gcdr::obs

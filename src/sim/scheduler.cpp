@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace gcdr::sim {
@@ -8,6 +9,10 @@ namespace gcdr::sim {
 void Scheduler::schedule_at(SimTime t, Callback fn) {
     assert(t >= now_ && "cannot schedule into the past");
     queue_.push(Event{t, next_seq_++, std::move(fn)});
+    if (m_scheduled_) {
+        m_scheduled_->inc();
+        m_queue_hwm_->set_max(static_cast<double>(queue_.size()));
+    }
 }
 
 void Scheduler::schedule_in(SimTime dt, Callback fn) {
@@ -21,20 +26,58 @@ bool Scheduler::step() {
     queue_.pop();
     now_ = ev.time;
     ++executed_;
+    if (m_executed_) m_executed_->inc();
     ev.fn();
     return true;
 }
 
 void Scheduler::run_until(SimTime t_end) {
+    using Clock = std::chrono::steady_clock;
+    const auto wall0 = m_wall_seconds_ ? Clock::now() : Clock::time_point{};
+    const SimTime sim0 = now_;
     while (!queue_.empty() && queue_.top().time <= t_end) {
         step();
     }
     if (now_ < t_end) now_ = t_end;
+    if (m_wall_seconds_) {
+        finish_run(sim0,
+                   std::chrono::duration<double>(Clock::now() - wall0).count());
+    }
 }
 
 void Scheduler::run() {
+    using Clock = std::chrono::steady_clock;
+    const auto wall0 = m_wall_seconds_ ? Clock::now() : Clock::time_point{};
+    const SimTime sim0 = now_;
     while (step()) {
     }
+    if (m_wall_seconds_) {
+        finish_run(sim0,
+                   std::chrono::duration<double>(Clock::now() - wall0).count());
+    }
+}
+
+void Scheduler::finish_run(SimTime sim_start, double wall_seconds) {
+    wall_accum_s_ += wall_seconds;
+    sim_accum_s_ += (now_ - sim_start).seconds();
+    m_wall_seconds_->set(wall_accum_s_);
+    if (wall_accum_s_ > 0.0) {
+        m_sim_wall_ratio_->set(sim_accum_s_ / wall_accum_s_);
+    }
+}
+
+void Scheduler::attach_metrics(obs::MetricsRegistry* registry,
+                               const std::string& prefix) {
+    if (!registry) {
+        m_scheduled_ = m_executed_ = nullptr;
+        m_queue_hwm_ = m_wall_seconds_ = m_sim_wall_ratio_ = nullptr;
+        return;
+    }
+    m_scheduled_ = &registry->counter(prefix + ".events_scheduled");
+    m_executed_ = &registry->counter(prefix + ".events_executed");
+    m_queue_hwm_ = &registry->gauge(prefix + ".queue_high_water");
+    m_wall_seconds_ = &registry->gauge(prefix + ".wall_seconds");
+    m_sim_wall_ratio_ = &registry->gauge(prefix + ".sim_wall_ratio");
 }
 
 }  // namespace gcdr::sim

@@ -9,8 +9,22 @@ void Tracer::watch(Wire& w) {
     names_.push_back(w.name());
     initial_values_.push_back(w.value());
     w.on_change([this, idx, &w] {
+        if (max_samples_ != 0 && samples_.size() >= max_samples_) {
+            ++dropped_;
+            if (m_dropped_) m_dropped_->inc();
+            return;
+        }
         samples_.push_back(TraceSample{w.scheduler().now(), idx, w.value()});
+        if (m_samples_) m_samples_->set(static_cast<double>(samples_.size()));
     });
+}
+
+void Tracer::attach_metrics(obs::MetricsRegistry& registry,
+                            const std::string& prefix) {
+    m_samples_ = &registry.gauge(prefix + ".samples");
+    m_dropped_ = &registry.counter(prefix + ".dropped_samples");
+    m_samples_->set(static_cast<double>(samples_.size()));
+    if (dropped_) m_dropped_->inc(dropped_);
 }
 
 std::vector<SimTime> Tracer::edges_of(const std::string& wire_name,

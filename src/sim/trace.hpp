@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/wire.hpp"
 #include "util/sim_time.hpp"
 
@@ -45,10 +46,28 @@ public:
 
     void clear() { samples_.clear(); }
 
+    /// Cap the stored sample count so unattended long runs cannot grow
+    /// memory without bound: once `n` samples are held, further
+    /// transitions are counted in dropped_samples() but not stored.
+    /// 0 (the default) means unlimited. Lowering the cap below the
+    /// current size keeps existing samples and only gates new ones.
+    void set_max_samples(std::size_t n) { max_samples_ = n; }
+    [[nodiscard]] std::size_t max_samples() const { return max_samples_; }
+    [[nodiscard]] std::uint64_t dropped_samples() const { return dropped_; }
+
+    /// Telemetry: report stored/dropped sample tallies under `prefix`
+    /// (<prefix>.samples gauge, <prefix>.dropped_samples counter).
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "trace");
+
 private:
     std::vector<std::string> names_;
     std::vector<bool> initial_values_;
     std::vector<TraceSample> samples_;
+    std::size_t max_samples_ = 0;
+    std::uint64_t dropped_ = 0;
+    obs::Gauge* m_samples_ = nullptr;
+    obs::Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace gcdr::sim

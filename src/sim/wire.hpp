@@ -52,6 +52,18 @@ public:
     /// Listeners are permanent for the wire's lifetime (static netlists).
     void on_change(Listener fn) { listeners_.push_back(std::move(fn)); }
 
+    /// Telemetry: count committed transitions (listener callbacks) of this
+    /// wire under "<metric_prefix>.transitions" (default: "wire.<name>").
+    /// The per-wire tallies let a bench attribute kernel event churn to
+    /// individual nets.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& metric_prefix = "") {
+        const std::string base =
+            metric_prefix.empty() ? "wire." + name_ : metric_prefix;
+        auto* c = &registry.counter(base + ".transitions");
+        on_change([c] { c->inc(); });
+    }
+
 private:
     struct Pending {
         SimTime time;

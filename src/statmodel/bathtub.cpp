@@ -6,9 +6,15 @@
 namespace gcdr::statmodel {
 
 std::vector<BathtubPoint> bathtub_curve(ModelConfig base, int n_points,
-                                        double phase_min, double phase_max) {
+                                        double phase_min, double phase_max,
+                                        obs::MetricsRegistry* metrics) {
     assert(n_points >= 2);
     assert(phase_min > 0.0 && phase_max < 1.0 && phase_min < phase_max);
+    if (metrics) {
+        metrics->counter("statmodel.bathtub.curves").inc();
+        metrics->counter("statmodel.bathtub.points")
+            .inc(static_cast<std::uint64_t>(n_points));
+    }
     std::vector<BathtubPoint> out;
     out.reserve(static_cast<std::size_t>(n_points));
     for (int i = 0; i < n_points; ++i) {
@@ -24,8 +30,9 @@ std::vector<BathtubPoint> bathtub_curve(ModelConfig base, int n_points,
     return out;
 }
 
-BathtubPoint optimal_sampling_phase(const ModelConfig& base, int n_points) {
-    const auto curve = bathtub_curve(base, n_points);
+BathtubPoint optimal_sampling_phase(const ModelConfig& base, int n_points,
+                                    obs::MetricsRegistry* metrics) {
+    const auto curve = bathtub_curve(base, n_points, 0.05, 0.95, metrics);
     double min_ber = curve.front().ber;
     for (const auto& p : curve) min_ber = std::min(min_ber, p.ber);
     // The bathtub floor is often numerically flat; return the middle of
@@ -41,8 +48,8 @@ BathtubPoint optimal_sampling_phase(const ModelConfig& base, int n_points) {
 }
 
 double bathtub_opening_ui(const ModelConfig& base, double ber_target,
-                          int n_points) {
-    const auto curve = bathtub_curve(base, n_points, 0.02, 0.98);
+                          int n_points, obs::MetricsRegistry* metrics) {
+    const auto curve = bathtub_curve(base, n_points, 0.02, 0.98, metrics);
     int inside = 0;
     for (const auto& p : curve) {
         if (p.ber <= ber_target) ++inside;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "statmodel/gated_osc_model.hpp"
 
 namespace gcdr::statmodel {
@@ -19,20 +20,24 @@ struct BathtubPoint {
 
 /// BER vs sampling phase over (phase_min, phase_max), n points. Everything
 /// else (jitter, offset, CID) is taken from `base`; its sampling_advance
-/// is overridden per point.
-[[nodiscard]] std::vector<BathtubPoint> bathtub_curve(ModelConfig base,
-                                                      int n_points = 49,
-                                                      double phase_min = 0.05,
-                                                      double phase_max = 0.95);
+/// is overridden per point. When `metrics` is given, each BER model
+/// evaluation ticks "statmodel.bathtub.points" (and each full curve
+/// "statmodel.bathtub.curves") — bathtub sweeps dominate JTOL/FTOL search
+/// cost, so the tallies locate where statistical-layer time goes.
+[[nodiscard]] std::vector<BathtubPoint> bathtub_curve(
+    ModelConfig base, int n_points = 49, double phase_min = 0.05,
+    double phase_max = 0.95, obs::MetricsRegistry* metrics = nullptr);
 
 /// Optimal sampling phase (minimum-BER point of the bathtub).
-[[nodiscard]] BathtubPoint optimal_sampling_phase(const ModelConfig& base,
-                                                  int n_points = 49);
+[[nodiscard]] BathtubPoint optimal_sampling_phase(
+    const ModelConfig& base, int n_points = 49,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Horizontal eye opening at `ber_target`: width of the bathtub region
 /// whose BER stays at or below the target (0 if never reached).
 [[nodiscard]] double bathtub_opening_ui(const ModelConfig& base,
                                         double ber_target = 1e-12,
-                                        int n_points = 97);
+                                        int n_points = 97,
+                                        obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace gcdr::statmodel
