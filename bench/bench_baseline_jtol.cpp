@@ -6,24 +6,46 @@
 // low-frequency jitter but roll off past their loop bandwidth; the gated
 // oscillator is frequency-flat (per-edge retrigger) at a lower plateau,
 // and is the only one sensitive to sustained frequency offset.
+// Each frequency point runs all three architectures independently, so the
+// whole comparison is one SweepRunner sweep on the bench pool (--threads);
+// per-point behavioral seeds come from exec::derive_seed(--seed, index).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ber/bert.hpp"
 #include "cdr/baseline.hpp"
 #include "encoding/prbs.hpp"
+#include "exec/sweep.hpp"
 #include "masks/jtol_mask.hpp"
 #include "statmodel/gated_osc_model.hpp"
 #include "util/mathx.hpp"
 
 using namespace gcdr;
 
+namespace {
+
+struct JtolRow {
+    double gated_osc = 0.0;
+    double bang_bang = 0.0;
+    double phase_int = 0.0;
+};
+
+struct OffsetRow {
+    double gated_osc_ber = 0.0;
+    std::uint64_t bang_bang_errors = 0;
+    std::uint64_t phase_int_errors = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
     const auto opts = bench::Options::parse(argc, argv);
     bench::RunReport report(opts, "baseline_jtol",
                             "JTOL: gated oscillator vs PLL vs PI CDR");
     auto& reg = report.metrics();
+    auto& pool = report.pool();
     if (!opts.quiet) {
         bench::header("Baselines", "JTOL: gated oscillator vs PLL vs PI CDR");
     }
@@ -38,37 +60,77 @@ int main(int argc, char** argv) {
     const cdr::PhaseInterpolatorCdr pi({});
     const auto mask = masks::JtolMask::infiniband_2g5();
 
+    const auto freqs = logspace(1e-5, 0.3, 10);
+    std::vector<JtolRow> rows;
     {
         obs::ScopedTimer t(&reg, "baseline.jtol_sweep_seconds");
+        exec::SweepGrid grid;
+        grid.axis("sj_freq_norm", freqs);
+        rows = exec::SweepRunner(pool, grid, report.seed())
+                   .map<JtolRow>([&](const exec::SweepPoint& p) {
+                       const double fn = p.value[0];
+                       JtolRow r;
+                       r.gated_osc = statmodel::jtol_amplitude(gcco_cfg, fn,
+                                                               1e-12, 32.0);
+                       r.bang_bang = cdr::baseline_jtol_amplitude(
+                           bb, fn, base, kPaperRate, 40000, p.seed);
+                       r.phase_int = cdr::baseline_jtol_amplitude(
+                           pi, fn, base, kPaperRate, 40000, p.seed);
+                       return r;
+                   });
+    }
+    if (!opts.quiet) {
+        bench::section("jitter tolerance [UIpp] at BER 1e-12 (cap 32 UIpp)");
+        std::printf("%10s %12s %12s %12s %12s\n", "f/fd", "gated-osc",
+                    "bang-bang", "phase-int", "IB mask");
+    }
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const auto& r = rows[i];
+        reg.counter("baseline.jtol_points").inc();
+        reg.histogram("baseline.jtol_gated_osc_uipp").record(r.gated_osc);
+        reg.histogram("baseline.jtol_bang_bang_uipp").record(r.bang_bang);
+        reg.histogram("baseline.jtol_phase_int_uipp").record(r.phase_int);
         if (!opts.quiet) {
-            bench::section("jitter tolerance [UIpp] at BER 1e-12 (cap 32 UIpp)");
-            std::printf("%10s %12s %12s %12s %12s\n", "f/fd", "gated-osc",
-                        "bang-bang", "phase-int", "IB mask");
-        }
-        for (double fn : logspace(1e-5, 0.3, 10)) {
-            const double g =
-                statmodel::jtol_amplitude(gcco_cfg, fn, 1e-12, 32.0);
-            const double b = cdr::baseline_jtol_amplitude(bb, fn, base,
-                                                          kPaperRate, 40000,
-                                                          7);
-            const double p = cdr::baseline_jtol_amplitude(pi, fn, base,
-                                                          kPaperRate, 40000,
-                                                          7);
-            reg.counter("baseline.jtol_points").inc();
-            reg.histogram("baseline.jtol_gated_osc_uipp").record(g);
-            reg.histogram("baseline.jtol_bang_bang_uipp").record(b);
-            reg.histogram("baseline.jtol_phase_int_uipp").record(p);
-            if (!opts.quiet) {
-                std::printf("%10.2e %12.3f %12.3f %12.3f %12.3f\n", fn, g, b,
-                            p,
-                            mask.amplitude_at(fn *
-                                              kPaperRate.bits_per_second()));
-            }
+            std::printf("%10.2e %12.3f %12.3f %12.3f %12.3f\n", freqs[i],
+                        r.gated_osc, r.bang_bang, r.phase_int,
+                        mask.amplitude_at(freqs[i] *
+                                          kPaperRate.bits_per_second()));
         }
     }
 
+    const std::vector<double> deltas = {0.0, 1e-4, 1e-3, 0.01, 0.03};
+    std::vector<OffsetRow> offset_rows;
     {
-    obs::ScopedTimer offset_timer(&reg, "baseline.freq_offset_seconds");
+        obs::ScopedTimer offset_timer(&reg, "baseline.freq_offset_seconds");
+        exec::SweepGrid grid;
+        grid.axis("freq_offset", deltas);
+        offset_rows =
+            exec::SweepRunner(pool, grid, report.seed())
+                .map<OffsetRow>([&](const exec::SweepPoint& p) {
+                    const double d = p.value[0];
+                    statmodel::ModelConfig g = gcco_cfg;
+                    g.freq_offset = d;
+                    OffsetRow r;
+                    r.gated_osc_ber = statmodel::ber_of(g);
+
+                    cdr::BangBangCdr::Config bc;
+                    bc.freq_offset = d;
+                    cdr::PhaseInterpolatorCdr::Config pc;
+                    pc.freq_offset = d;
+                    Rng r1(p.seed), r2(p.seed);
+                    encoding::PrbsGenerator gen1(encoding::PrbsOrder::kPrbs7);
+                    encoding::PrbsGenerator gen2(encoding::PrbsOrder::kPrbs7);
+                    r.bang_bang_errors = cdr::BangBangCdr(bc)
+                                             .run(gen1.bits(50000), base,
+                                                  kPaperRate, r1)
+                                             .errors;
+                    r.phase_int_errors = cdr::PhaseInterpolatorCdr(pc)
+                                             .run(gen2.bits(50000), base,
+                                                  kPaperRate, r2)
+                                             .errors;
+                    return r;
+                });
+    }
     ber::ErrorCounter bb_errors, pi_errors;
     bb_errors.attach_metrics(reg, "baseline.bang_bang");
     pi_errors.attach_metrics(reg, "baseline.phase_int");
@@ -78,30 +140,15 @@ int main(int argc, char** argv) {
         std::printf("%10s %12s %12s %12s\n", "offset", "gated-osc*",
                     "bang-bang", "phase-int");
     }
-    for (double d : {0.0, 1e-4, 1e-3, 0.01, 0.03}) {
-        statmodel::ModelConfig g = gcco_cfg;
-        g.freq_offset = d;
-        const double g_ber = statmodel::ber_of(g);
-
-        cdr::BangBangCdr::Config bc;
-        bc.freq_offset = d;
-        cdr::PhaseInterpolatorCdr::Config pc;
-        pc.freq_offset = d;
-        Rng r1(9), r2(9);
-        encoding::PrbsGenerator gen1(encoding::PrbsOrder::kPrbs7);
-        encoding::PrbsGenerator gen2(encoding::PrbsOrder::kPrbs7);
-        const auto rb =
-            cdr::BangBangCdr(bc).run(gen1.bits(50000), base, kPaperRate, r1);
-        const auto rp = cdr::PhaseInterpolatorCdr(pc).run(gen2.bits(50000),
-                                                          base, kPaperRate,
-                                                          r2);
-        bb_errors.record_bits(50000, rb.errors);
-        pi_errors.record_bits(50000, rp.errors);
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        const auto& r = offset_rows[i];
+        bb_errors.record_bits(50000, r.bang_bang_errors);
+        pi_errors.record_bits(50000, r.phase_int_errors);
         if (!opts.quiet) {
-            std::printf("%9.2f%% %12s %12llu %12llu\n", d * 100,
-                        bench::log_ber(g_ber).c_str(),
-                        static_cast<unsigned long long>(rb.errors),
-                        static_cast<unsigned long long>(rp.errors));
+            std::printf("%9.2f%% %12s %12llu %12llu\n", deltas[i] * 100,
+                        bench::log_ber(r.gated_osc_ber).c_str(),
+                        static_cast<unsigned long long>(r.bang_bang_errors),
+                        static_cast<unsigned long long>(r.phase_int_errors));
         }
     }
     if (!opts.quiet) {
@@ -112,7 +159,6 @@ int main(int argc, char** argv) {
             "only\nthe gated oscillator cares about static frequency offset "
             "— the\ntrade the paper accepts to save the per-channel loop "
             "power.\n");
-    }
     }
     return report.write() ? 0 : 1;
 }

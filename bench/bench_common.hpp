@@ -6,15 +6,24 @@
 //   --json <path>   write a BENCH report (obs::write_run_report schema,
 //                   see DESIGN.md "Telemetry") with the run's metrics
 //   --quiet         suppress the human-readable tables; telemetry only
+//   --threads N     sweep concurrency: lanes of the bench's ThreadPool
+//                   (0 or omitted flag value semantics below); sweep
+//                   results are bit-identical for every N by design
+//   --seed S        base seed all sweep points derive from
 // Unrecognized arguments are left in argv for the bench (so
 // bench_kernel_perf can forward --benchmark_* flags to google-benchmark).
+// Both --threads and --seed are recorded in the report's "run" object.
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
@@ -23,6 +32,13 @@ namespace gcdr::bench {
 struct Options {
     std::string json_path;  ///< empty: no report requested
     bool quiet = false;
+    /// ThreadPool lanes for the bench's sweeps. 1 = serial (the default:
+    /// identical cost profile to the pre-exec benches); 0 = one lane per
+    /// hardware thread.
+    std::size_t threads = 1;
+    /// Base seed for per-point seed derivation (exec::derive_seed) and
+    /// any behavioral-model RNG streams.
+    std::uint64_t seed = 1;
 
     /// Strip the flags this layer owns out of (argc, argv).
     [[nodiscard]] static Options parse(int& argc, char** argv) {
@@ -34,12 +50,27 @@ struct Options {
             } else if (std::strcmp(argv[i], "--json") == 0 &&
                        i + 1 < argc) {
                 opts.json_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                       i + 1 < argc) {
+                opts.threads = static_cast<std::size_t>(
+                    std::strtoull(argv[++i], nullptr, 10));
+            } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                       i + 1 < argc) {
+                opts.seed =
+                    std::strtoull(argv[++i], nullptr, 10);
             } else {
                 argv[out++] = argv[i];
             }
         }
         argc = out;
         return opts;
+    }
+
+    /// Lanes the pool will actually get (resolves threads == 0).
+    [[nodiscard]] std::size_t resolved_threads() const {
+        if (threads != 0) return threads;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
     }
 };
 
@@ -55,6 +86,16 @@ public:
 
     [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
     [[nodiscard]] bool quiet() const { return opts_.quiet; }
+    [[nodiscard]] std::uint64_t seed() const { return opts_.seed; }
+
+    /// The bench's sweep pool, created on first use with --threads lanes.
+    [[nodiscard]] exec::ThreadPool& pool() {
+        if (!pool_) {
+            pool_ = std::make_unique<exec::ThreadPool>(
+                opts_.resolved_threads());
+        }
+        return *pool_;
+    }
 
     /// Write the report if requested. Returns false only on I/O failure.
     bool write() {
@@ -66,6 +107,8 @@ public:
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0_)
                 .count();
+        info.threads = pool_ ? pool_->size() : opts_.resolved_threads();
+        info.seed = opts_.seed;
         const bool ok =
             obs::write_run_report(opts_.json_path, registry_, info);
         if (ok && !opts_.quiet) {
@@ -80,6 +123,7 @@ private:
     std::string id_;
     std::string title_;
     obs::MetricsRegistry registry_;
+    std::unique_ptr<exec::ThreadPool> pool_;
     std::chrono::steady_clock::time_point t0_;
 };
 

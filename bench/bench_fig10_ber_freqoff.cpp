@@ -2,59 +2,105 @@
 // Same surface as Fig 9 with the receiver oscillator 1% off the data rate:
 // the accumulated drift over runs of consecutive identical digits eats the
 // margin (Sec. 2.3). Also prints BER vs offset (the FTOL cut) and the FTOL
-// value at 1e-12.
+// value at 1e-12. Surface and cut run as SweepRunner sweeps on the bench
+// pool (--threads); results are bit-identical for any thread count.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "exec/sweep.hpp"
 #include "statmodel/gated_osc_model.hpp"
 #include "util/mathx.hpp"
 
 using namespace gcdr;
 
-int main() {
-    bench::header("Fig 10", "BER with 1% frequency offset (mid-bit sampling)");
+int main(int argc, char** argv) {
+    const auto opts = bench::Options::parse(argc, argv);
+    bench::RunReport report(opts, "fig10_ber_freqoff",
+                            "BER with 1% frequency offset (mid-bit sampling)");
+    auto& reg = report.metrics();
+    auto& pool = report.pool();
+    if (!opts.quiet) {
+        bench::header("Fig 10",
+                      "BER with 1% frequency offset (mid-bit sampling)");
+    }
 
     statmodel::ModelConfig base;
     base.grid_dx = 1e-3;
     base.freq_offset = 0.01;  // oscillator 1% slow: worst direction
 
     const auto freqs = logspace(1e-4, 0.5, 13);
-    const double amps[] = {0.1, 0.2, 0.35, 0.5, 0.7, 1.0, 1.5};
+    const std::vector<double> amps = {0.1, 0.2, 0.35, 0.5, 0.7, 1.0, 1.5};
 
-    bench::section(
-        "log10(BER) surface with 1% offset (rows: f_SJ/f_data, cols: SJ "
-        "UIpp)");
-    std::printf("%10s", "f/fd");
-    for (double a : amps) std::printf(" %6.2f", a);
-    std::printf("\n");
-    for (double fn : freqs) {
-        std::printf("%10.2e", fn);
-        for (double a : amps) {
-            statmodel::ModelConfig cfg = base;
-            cfg.sj_freq_norm = fn;
-            cfg.spec.sj_uipp = a;
-            std::printf(" %s", bench::log_ber(statmodel::ber_of(cfg)).c_str());
-        }
+    std::vector<double> surface;
+    {
+        obs::ScopedTimer t(&reg, "fig10.surface_seconds");
+        exec::SweepGrid grid;
+        grid.axis("sj_freq_norm", freqs).axis("sj_uipp", amps);
+        surface = exec::SweepRunner(pool, grid, report.seed())
+                      .map_values<double>([&](const std::vector<double>& v) {
+                          statmodel::ModelConfig cfg = base;
+                          cfg.sj_freq_norm = v[0];
+                          cfg.spec.sj_uipp = v[1];
+                          return statmodel::ber_of(cfg);
+                      });
+    }
+    for (double ber : surface) reg.histogram("fig10.ber").record(ber);
+    if (!opts.quiet) {
+        bench::section(
+            "log10(BER) surface with 1% offset (rows: f_SJ/f_data, cols: SJ "
+            "UIpp)");
+        std::printf("%10s", "f/fd");
+        for (double a : amps) std::printf(" %6.2f", a);
         std::printf("\n");
+        for (std::size_t r = 0; r < freqs.size(); ++r) {
+            std::printf("%10.2e", freqs[r]);
+            for (std::size_t c = 0; c < amps.size(); ++c) {
+                std::printf(
+                    " %s",
+                    bench::log_ber(surface[r * amps.size() + c]).c_str());
+            }
+            std::printf("\n");
+        }
     }
 
-    bench::section("BER vs frequency offset (no SJ): the FTOL cut");
-    std::printf("%10s %8s\n", "offset", "log10BER");
-    for (double d : {0.0, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07}) {
-        statmodel::ModelConfig cfg;
-        cfg.grid_dx = 1e-3;
-        cfg.freq_offset = d;
-        std::printf("%9.1f%% %8s\n", d * 100,
-                    bench::log_ber(statmodel::ber_of(cfg)).c_str());
+    const std::vector<double> offsets = {0.0,  0.005, 0.01, 0.02, 0.03,
+                                         0.04, 0.05,  0.06, 0.07};
+    std::vector<double> cut;
+    {
+        obs::ScopedTimer t(&reg, "fig10.ftol_cut_seconds");
+        exec::SweepGrid grid;
+        grid.axis("freq_offset", offsets);
+        cut = exec::SweepRunner(pool, grid, report.seed())
+                  .map_values<double>([&](const std::vector<double>& v) {
+                      statmodel::ModelConfig cfg;
+                      cfg.grid_dx = 1e-3;
+                      cfg.freq_offset = v[0];
+                      return statmodel::ber_of(cfg);
+                  });
+    }
+    if (!opts.quiet) {
+        bench::section("BER vs frequency offset (no SJ): the FTOL cut");
+        std::printf("%10s %8s\n", "offset", "log10BER");
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            std::printf("%9.1f%% %8s\n", offsets[i] * 100,
+                        bench::log_ber(cut[i]).c_str());
+        }
     }
 
     statmodel::ModelConfig clean;
     clean.grid_dx = 1e-3;
-    std::printf("\nFTOL (BER <= 1e-12, Table 1 jitter, no SJ): +-%.2f%%\n",
-                statmodel::ftol(clean) * 100);
-    std::printf(
-        "Paper's finding reproduced: with 1%% offset the near-rate JTOL "
-        "drops below the mask (compare the surface above with Fig 9's).\n");
-    return 0;
+    const double ftol = statmodel::ftol(clean);
+    reg.gauge("fig10.ftol_rel").set(ftol);
+    if (!opts.quiet) {
+        std::printf(
+            "\nFTOL (BER <= 1e-12, Table 1 jitter, no SJ): +-%.2f%%\n",
+            ftol * 100);
+        std::printf(
+            "Paper's finding reproduced: with 1%% offset the near-rate JTOL "
+            "drops below the mask (compare the surface above with Fig "
+            "9's).\n");
+    }
+    return report.write() ? 0 : 1;
 }

@@ -4,17 +4,22 @@
 # artifacts (schema: gcdr.bench.report/v1, see DESIGN.md "Telemetry").
 #
 # Usage:
-#   scripts/run_benches.sh [build-dir] [reports-dir]
+#   scripts/run_benches.sh [build-dir] [reports-dir] [threads]
 #
-# Defaults: build-dir = build, reports-dir = bench/reports. The build tree
-# is configured/compiled if needed. Pass a different build dir to collect
-# reports from e.g. a sanitizer build (cmake -DGCDR_SANITIZE=address).
+# Defaults: build-dir = build, reports-dir = bench/reports, threads = 1
+# (serial; sweep results are bit-identical for every thread count, so
+# threads only changes wall time). threads = 0 means one lane per hardware
+# thread. GCDR_BENCH_THREADS overrides the default when the positional
+# argument is omitted. The build tree is configured/compiled if needed.
+# Pass a different build dir to collect reports from e.g. a sanitizer
+# build (cmake -DGCDR_SANITIZE=address).
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 reports_dir="${2:-$repo_root/bench/reports}"
+threads="${3:-${GCDR_BENCH_THREADS:-1}}"
 
 if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
     cmake -B "$build_dir" -S "$repo_root"
@@ -23,12 +28,17 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 
 mkdir -p "$reports_dir"
 
-# Instrumented benches: each accepts --quiet --json <path> (bench::Options
-# in bench_common.hpp). Extend this list as more benches adopt RunReport.
+# Instrumented benches: each accepts --quiet --json <path> --threads N
+# (bench::Options in bench_common.hpp). Extend this list as more benches
+# adopt RunReport.
 benches=(
     kernel_perf
     fig8_timing
     fig9_ber_sj
+    fig10_ber_freqoff
+    fig13_tau_sweep
+    fig17_ber_improved
+    ftol_scan
     baseline_jtol
 )
 
@@ -40,8 +50,8 @@ for id in "${benches[@]}"; do
         continue
     fi
     out="$reports_dir/BENCH_$id.json"
-    echo "== bench_$id -> $out"
-    if ! "$bin" --quiet --json "$out"; then
+    echo "== bench_$id -> $out (threads=$threads)"
+    if ! "$bin" --quiet --json "$out" --threads "$threads"; then
         echo "FAILED: bench_$id" >&2
         failed=1
     fi

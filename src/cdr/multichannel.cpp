@@ -17,8 +17,30 @@ MultiChannelConfig MultiChannelConfig::paper_receiver() {
 
 MultiChannelCdr::MultiChannelCdr(sim::Scheduler& sched, Rng& rng,
                                  const MultiChannelConfig& cfg)
+    : cfg_(cfg), pll_(cfg.pll), shared_sched_(&sched) {
+    pll_.run_to_lock();
+    build_channels(rng, &rng);
+}
+
+MultiChannelCdr::MultiChannelCdr(std::uint64_t seed,
+                                 const MultiChannelConfig& cfg)
     : cfg_(cfg), pll_(cfg.pll) {
     pll_.run_to_lock();
+    // Mismatch draws come from the base seed; each channel's event-time
+    // randomness comes from its own long_jump()-separated stream so the
+    // channels stay independent (and runnable concurrently) while the
+    // whole receiver remains a pure function of `seed`.
+    Rng mismatch_rng(seed);
+    Xoshiro256 stream(seed);
+    for (int i = 0; i < cfg_.n_channels; ++i) {
+        stream.long_jump();
+        owned_scheds_.push_back(std::make_unique<sim::Scheduler>());
+        owned_rngs_.push_back(std::make_unique<Rng>(stream));
+    }
+    build_channels(mismatch_rng, nullptr);
+}
+
+void MultiChannelCdr::build_channels(Rng& mismatch_rng, Rng* shared_rng) {
     const double ic = pll_.control_current_a();
     for (int i = 0; i < cfg_.n_channels; ++i) {
         ChannelConfig ch = cfg_.channel;
@@ -26,11 +48,37 @@ MultiChannelCdr::MultiChannelCdr(sim::Scheduler& sched, Rng& rng,
         // Mirror/oscillator mismatch: each channel's free-running frequency
         // deviates slightly from HFCK even with a perfect control current.
         if (cfg_.cco_mismatch_sigma > 0.0) {
-            ch.gcco.fc_hz *= 1.0 + rng.gaussian(0.0, cfg_.cco_mismatch_sigma);
+            ch.gcco.fc_hz *=
+                1.0 + mismatch_rng.gaussian(0.0, cfg_.cco_mismatch_sigma);
         }
+        const auto idx = static_cast<std::size_t>(i);
+        sim::Scheduler& sched =
+            shared_rng ? *shared_sched_ : *owned_scheds_[idx];
+        Rng& rng = shared_rng ? *shared_rng : *owned_rngs_[idx];
         channels_.push_back(std::make_unique<GccoChannel>(
             sched, rng, ch, "ch" + std::to_string(i)));
         elastic_.push_back(std::make_unique<ElasticBuffer>(cfg_.elastic_depth));
+    }
+}
+
+void MultiChannelCdr::run_until(SimTime t_end, exec::ThreadPool* pool) {
+    if (!owns_schedulers()) {
+        shared_sched_->run_until(t_end);
+        return;
+    }
+    auto run_channel = [&](std::size_t i) {
+        owned_scheds_[i]->run_until(t_end);
+    };
+    if (pool) {
+        // Channel i touches only its own scheduler, RNG, wires and
+        // decision log; the shared PLL locked at construction and the
+        // config are read-only from here on — so dispatching whole
+        // channels is race-free without any locking.
+        pool->parallel_for(owned_scheds_.size(), run_channel);
+    } else {
+        for (std::size_t i = 0; i < owned_scheds_.size(); ++i) {
+            run_channel(i);
+        }
     }
 }
 

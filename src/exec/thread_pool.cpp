@@ -1,0 +1,92 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gcdr::exec {
+
+namespace {
+// 0 on the caller and on foreign threads; workers overwrite on startup.
+thread_local std::size_t t_lane_index = 0;
+// Set while a thread is inside drain(): nested parallel_for runs inline.
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+std::size_t ThreadPool::lane_index() { return t_lane_index; }
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+    if (n_threads == 0) {
+        n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(n_threads - 1);
+    for (std::size_t lane = 1; lane < n_threads; ++lane) {
+        workers_.emplace_back([this, lane] { worker_main(lane); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main(std::size_t lane) {
+    t_lane_index = lane;
+    std::unique_lock<std::mutex> lk(mu_);
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        cv_start_.wait(lk, [&] {
+            return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        lk.unlock();
+        drain();
+        lk.lock();
+        if (--active_workers_ == 0) cv_done_.notify_all();
+    }
+}
+
+void ThreadPool::drain() {
+    t_in_parallel_region = true;
+    for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_n_) break;
+        try {
+            (*job_fn_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+    }
+    t_in_parallel_region = false;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1 || t_in_parallel_region) {
+        // Serial path: a 1-lane pool, a single item, or a nested call from
+        // inside an item. Runs the exact same per-index code.
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        first_error_ = nullptr;
+        active_workers_ = workers_.size();
+        ++generation_;
+    }
+    cv_start_.notify_all();
+    drain();  // the caller is lane 0
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return active_workers_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace gcdr::exec

@@ -1,0 +1,78 @@
+#pragma once
+// Fixed-size worker thread pool with a fork-join parallel_for. This is the
+// execution engine behind the sweep layer (exec/sweep.hpp): BER surfaces,
+// JTOL/FTOL searches and multi-channel behavioral runs are embarrassingly
+// parallel across grid points / channels, and this pool turns that into
+// wall-clock speedup without giving up determinism — work items are
+// addressed by index, each index writes only its own result slot, and any
+// randomness is derived from the index (exec::derive_seed), never from
+// which thread or in what order an item ran.
+//
+// Concurrency model:
+//   - The caller participates: a pool of size N has N-1 worker threads and
+//     drains indices on the calling thread too, so ThreadPool(1) spawns no
+//     threads at all and parallel_for degenerates to a plain serial loop.
+//   - Indices are handed out dynamically (one atomic fetch_add per item),
+//     so uneven per-item cost load-balances automatically. Items should be
+//     chunky (>= ~10 us); for micro-work, batch indices in the callback.
+//   - parallel_for is a barrier: it returns only after every index ran.
+//     The first exception thrown by any item is rethrown to the caller
+//     (remaining items still execute; they are not cancelled).
+//   - parallel_for is NOT reentrant from inside an item. Nested calls are
+//     detected and run their loop inline on the calling worker.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace gcdr::exec {
+
+class ThreadPool {
+public:
+    /// `n_threads` = total concurrency including the caller; 0 picks
+    /// std::thread::hardware_concurrency() (min 1).
+    explicit ThreadPool(std::size_t n_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total lanes (worker threads + the calling thread).
+    [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+    /// Run fn(i) for every i in [0, n); blocks until all completed.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+    /// Lane index of the current thread during a parallel_for: 0 for the
+    /// calling thread (and any thread outside the pool), 1..size()-1 for
+    /// workers. Stable for the lifetime of the pool; use it to index
+    /// per-lane shards (obs::ShardedCounter).
+    [[nodiscard]] static std::size_t lane_index();
+
+private:
+    void worker_main(std::size_t lane);
+    void drain();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;      ///< bumped per parallel_for
+    std::size_t active_workers_ = 0;    ///< workers still in current job
+
+    const std::function<void(std::size_t)>* job_fn_ = nullptr;
+    std::size_t job_n_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::exception_ptr first_error_;
+};
+
+}  // namespace gcdr::exec

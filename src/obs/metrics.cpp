@@ -21,40 +21,61 @@ double Histogram::bucket_upper(int i) {
     return std::pow(10.0, static_cast<double>(i + 1) / kPerDecade + kMinExp);
 }
 
+namespace {
+
+/// Lock-free watermark update: keep the smallest/largest of all
+/// concurrently recorded values.
+void atomic_watermark(std::atomic<double>& slot, double v, bool keep_min) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (keep_min ? v < cur : v > cur) {
+        if (slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+            break;
+        }
+    }
+}
+
+}  // namespace
+
 void Histogram::record(double v) {
     if (std::isnan(v)) return;
-    ++count_;
-    sum_ += v;
-    if (count_ == 1 || v < min_) min_ = v;
-    if (count_ == 1 || v > max_) max_ = v;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> (C++20) — compiles to a CAS loop; the
+    // per-field atomicity means no sample is ever dropped, though the
+    // floating-point accumulation order follows the thread schedule.
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    atomic_watermark(min_, v, /*keep_min=*/true);
+    atomic_watermark(max_, v, /*keep_min=*/false);
     if (!(v > 0.0)) {
-        ++underflow_;  // zero/negative: below every log bucket
+        underflow_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     const int i = bucket_index(v);
     if (i < 0) {
-        ++underflow_;
+        underflow_.fetch_add(1, std::memory_order_relaxed);
     } else if (i >= kBuckets) {
-        ++overflow_;
+        overflow_.fetch_add(1, std::memory_order_relaxed);
     } else {
-        ++bins_[static_cast<std::size_t>(i)];
+        bins_[static_cast<std::size_t>(i)].fetch_add(
+            1, std::memory_order_relaxed);
     }
 }
 
 double Histogram::quantile(double q) const {
-    if (count_ == 0) return 0.0;
+    if (count() == 0) return 0.0;
     if (q <= 0.0) return min();
     if (q >= 1.0) return max();
-    const double target = q * static_cast<double>(count_);
-    double cum = static_cast<double>(underflow_);
+    const double target = q * static_cast<double>(count());
+    double cum =
+        static_cast<double>(underflow_.load(std::memory_order_relaxed));
     if (cum >= target) return min();
     for (int i = 0; i < kBuckets; ++i) {
-        cum += static_cast<double>(bins_[static_cast<std::size_t>(i)]);
+        cum += static_cast<double>(bins_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed));
         if (cum >= target) {
             // Geometric bucket midpoint, clamped to observed extremes.
             const double mid = bucket_upper(i) /
                                std::pow(10.0, 0.5 / kPerDecade);
-            return std::min(std::max(mid, min_), max_);
+            return std::min(std::max(mid, min()), max());
         }
     }
     return max();
@@ -62,38 +83,45 @@ double Histogram::quantile(double q) const {
 
 std::vector<Histogram::Bucket> Histogram::nonempty_buckets() const {
     std::vector<Bucket> out;
-    if (underflow_) {
-        out.push_back({std::pow(10.0, kMinExp), underflow_});
+    const auto under = underflow_.load(std::memory_order_relaxed);
+    if (under) {
+        out.push_back({std::pow(10.0, kMinExp), under});
     }
     for (int i = 0; i < kBuckets; ++i) {
-        const auto n = bins_[static_cast<std::size_t>(i)];
+        const auto n =
+            bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
         if (n) out.push_back({bucket_upper(i), n});
     }
-    if (overflow_) {
-        out.push_back({std::numeric_limits<double>::infinity(), overflow_});
+    const auto over = overflow_.load(std::memory_order_relaxed);
+    if (over) {
+        out.push_back({std::numeric_limits<double>::infinity(), over});
     }
     return out;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
     return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto& slot = gauges_[name];
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto& slot = histograms_[name];
     if (!slot) slot = std::make_unique<Histogram>();
     return *slot;
 }
 
 void MetricsRegistry::write_json(JsonWriter& w) const {
+    std::lock_guard<std::mutex> lk(mu_);
     w.begin_object();
     w.key("counters").begin_object();
     for (const auto& [name, c] : counters_) w.key(name).value(c->value());
@@ -140,6 +168,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_csv() const {
+    std::lock_guard<std::mutex> lk(mu_);
     std::ostringstream os;
     os << "kind,name,value\n";
     for (const auto& [name, c] : counters_) {

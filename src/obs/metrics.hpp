@@ -11,50 +11,85 @@
 // ScopedTimer records seconds, and histogram names carry their unit as a
 // suffix (`_ps`, `_seconds`, ...). Exporters live in obs/json.hpp and
 // obs/report.hpp.
+//
+// Thread safety (for the exec/ parallel sweep layer): Counter, Gauge and
+// Histogram updates are atomic (relaxed ordering — instruments are
+// statistics, not synchronization), and registry lookups are
+// mutex-guarded, so instrumented code may run concurrently on a
+// ThreadPool. Exporters (write_json/to_csv) and multi-field reads are
+// snapshot-consistent only when writers are quiescent — take snapshots
+// after parallel_for returns. For per-point tallies on hot sweep loops
+// prefer obs::ShardedCounter (obs/sharded.hpp): one cache line per lane,
+// merged once per sweep, instead of a contended atomic per point.
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace gcdr::obs {
 
-/// Monotonically increasing event tally.
+/// Monotonically increasing event tally. inc() is atomic; concurrent
+/// increments are never lost.
 class Counter {
 public:
-    void inc(std::uint64_t n = 1) { value_ += n; }
-    [[nodiscard]] std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void inc(std::uint64_t n = 1) {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
 private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written value, with high/low-water helpers for occupancy-style
-/// measurements. Unset gauges export as null.
+/// measurements. Unset gauges export as null. Individual updates are
+/// atomic (set_max/set_min via CAS, so concurrent water marks are never
+/// lost); value()/has_value() pairs are only snapshot-consistent once
+/// writers are quiescent.
 class Gauge {
 public:
     void set(double v) {
-        value_ = v;
-        has_value_ = true;
+        value_.store(v, std::memory_order_relaxed);
+        has_value_.store(true, std::memory_order_release);
     }
     /// Keep the maximum of all observations (high-water mark).
-    void set_max(double v) {
-        if (!has_value_ || v > value_) set(v);
-    }
+    void set_max(double v) { set_watermark(v, /*keep_max=*/true); }
     /// Keep the minimum of all observations (low-water mark).
-    void set_min(double v) {
-        if (!has_value_ || v < value_) set(v);
+    void set_min(double v) { set_watermark(v, /*keep_max=*/false); }
+    [[nodiscard]] double value() const {
+        return has_value() ? value_.load(std::memory_order_relaxed) : 0.0;
     }
-    [[nodiscard]] double value() const { return has_value_ ? value_ : 0.0; }
-    [[nodiscard]] bool has_value() const { return has_value_; }
+    [[nodiscard]] bool has_value() const {
+        return has_value_.load(std::memory_order_acquire);
+    }
 
 private:
-    double value_ = 0.0;
-    bool has_value_ = false;
+    void set_watermark(double v, bool keep_max) {
+        if (!has_value_.load(std::memory_order_acquire)) {
+            set(v);  // benign race: a concurrent first write is resolved
+                     // by the CAS loop below on the next observation
+        }
+        double cur = value_.load(std::memory_order_relaxed);
+        while (keep_max ? v > cur : v < cur) {
+            if (value_.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+                break;
+            }
+        }
+    }
+
+    std::atomic<double> value_{0.0};
+    std::atomic<bool> has_value_{false};
 };
 
 /// Fixed log10-spaced histogram for positive measurements spanning many
@@ -63,6 +98,11 @@ private:
 /// values at or below the range go to an underflow bucket, values above
 /// to an overflow bucket. Exact count/sum/min/max are tracked alongside,
 /// so means are not quantized — only quantiles are.
+///
+/// record() is atomic per field (no sample is lost under concurrency),
+/// but note that sum() is then order-dependent in the last floating-point
+/// bits: for bit-identical reports, record sweep results serially in
+/// index order after the parallel region (the SweepRunner pattern).
 class Histogram {
 public:
     static constexpr int kPerDecade = 16;
@@ -72,12 +112,21 @@ public:
 
     void record(double v);
 
-    [[nodiscard]] std::uint64_t count() const { return count_; }
-    [[nodiscard]] double sum() const { return sum_; }
-    [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
-    [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double min() const {
+        return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+    }
+    [[nodiscard]] double max() const {
+        return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+    }
     [[nodiscard]] double mean() const {
-        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+        const auto n = count();
+        return n ? sum() / static_cast<double>(n) : 0.0;
     }
 
     /// Quantile estimate (q in [0,1]) from the bucket the q-th sample
@@ -98,13 +147,13 @@ public:
 private:
     [[nodiscard]] static int bucket_index(double v);
 
-    std::array<std::uint64_t, kBuckets> bins_{};
-    std::uint64_t underflow_ = 0;
-    std::uint64_t overflow_ = 0;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    std::array<std::atomic<std::uint64_t>, kBuckets> bins_{};
+    std::atomic<std::uint64_t> underflow_{0};
+    std::atomic<std::uint64_t> overflow_{0};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 class JsonWriter;  // obs/json.hpp
@@ -113,6 +162,10 @@ class JsonWriter;  // obs/json.hpp
 /// ("sim.events_executed", "cdr.ch0.period_ps"); requesting the same name
 /// twice returns the same instrument, so independent components can share
 /// a tally. References remain valid until the registry is destroyed.
+/// Instrument creation/lookup is mutex-guarded, so lanes of a parallel
+/// sweep may attach lazily; the JSON/CSV exporters take the same lock for
+/// a consistent directory. The raw map accessors return unguarded
+/// references — use them only while no thread is creating instruments.
 class MetricsRegistry {
 public:
     Counter& counter(const std::string& name);
@@ -142,6 +195,7 @@ public:
     [[nodiscard]] std::string to_csv() const;
 
 private:
+    mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -47,6 +47,10 @@ std::string run_report_json(const MetricsRegistry& registry,
     w.key("bench").value(info.id);
     w.key("title").value(info.title);
     w.key("wall_seconds").value(info.wall_seconds);
+    w.key("run").begin_object();
+    w.key("threads").value(static_cast<std::uint64_t>(info.threads));
+    w.key("seed").value(info.seed);
+    w.end_object();
     w.key("build").begin_object();
     w.key("compiler").value(build.compiler);
     w.key("cxx_standard").value(static_cast<std::int64_t>(build.cxx_standard));

@@ -6,6 +6,8 @@
 // diff against the committed baselines. Schema documented in DESIGN.md
 // ("Telemetry" section); bump kReportSchema on breaking changes.
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -29,6 +31,12 @@ struct ReportInfo {
     std::string id;     ///< bench identifier, e.g. "kernel_perf"
     std::string title;  ///< human-readable one-liner
     double wall_seconds = 0.0;  ///< total run wall time
+    /// Execution-layer provenance (bench --threads/--seed): lanes the
+    /// run's ThreadPool actually had (0 = single-threaded/not recorded)
+    /// and the base seed every sweep point derived from. Emitted as a
+    /// "run" object so perf diffs can bucket reports by concurrency.
+    std::size_t threads = 0;
+    std::uint64_t seed = 0;
 };
 
 /// Serialize the full report document (schema above) to a string.

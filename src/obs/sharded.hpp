@@ -1,0 +1,62 @@
+#pragma once
+// Per-lane counter shards for hot parallel-sweep loops. A plain atomic
+// obs::Counter is correct under concurrency but every inc() bounces its
+// cache line between cores; for per-point tallies inside a parallel_for
+// that contention can rival the work itself. ShardedCounter gives each
+// pool lane its own cache-line-sized cell (plain, unsynchronized adds)
+// and folds the cells into the backing Counter once, on flush() or
+// destruction.
+//
+// Lane discipline: `lane` must uniquely identify the calling thread for
+// the shard's lifetime — use exec::ThreadPool::lane_index() (the obs
+// layer deliberately does not depend on exec, so the index is passed in).
+// Totals become visible in the backing Counter only after flush().
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gcdr::obs {
+
+class ShardedCounter {
+public:
+    /// `n_lanes` = pool size (ThreadPool::size()). Indices out of range
+    /// fall back to the (contended but correct) backing counter.
+    ShardedCounter(Counter& sink, std::size_t n_lanes)
+        : sink_(&sink), cells_(n_lanes) {}
+
+    ~ShardedCounter() { flush(); }
+    ShardedCounter(const ShardedCounter&) = delete;
+    ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+    void inc(std::size_t lane, std::uint64_t n = 1) {
+        if (lane < cells_.size()) {
+            cells_[lane].value += n;
+        } else {
+            sink_->inc(n);
+        }
+    }
+
+    /// Fold all shard cells into the backing counter and zero them.
+    /// Call after parallel_for returns (no concurrent inc()).
+    void flush() {
+        for (auto& c : cells_) {
+            if (c.value) {
+                sink_->inc(c.value);
+                c.value = 0;
+            }
+        }
+    }
+
+private:
+    struct alignas(64) Cell {
+        std::uint64_t value = 0;
+    };
+
+    Counter* sink_;
+    std::vector<Cell> cells_;
+};
+
+}  // namespace gcdr::obs

@@ -1,13 +1,23 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace gcdr::sim {
 
 void Scheduler::schedule_at(SimTime t, Callback fn) {
-    assert(t >= now_ && "cannot schedule into the past");
+    // Fail fast in every build configuration: a past-time event would be
+    // executed out of order, silently corrupting causality for the rest
+    // of the run. An assert would vanish under NDEBUG (Release), which is
+    // exactly where long bench runs happen.
+    if (t < now_) {
+        throw std::logic_error(
+            "Scheduler::schedule_at: event time " +
+            std::to_string(t.femtoseconds()) + " fs is before now() = " +
+            std::to_string(now_.femtoseconds()) + " fs");
+    }
     queue_.push(Event{t, next_seq_++, std::move(fn)});
     if (m_scheduled_) {
         m_scheduled_->inc();

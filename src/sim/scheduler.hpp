@@ -18,7 +18,10 @@ class Scheduler {
 public:
     using Callback = std::function<void()>;
 
-    /// Schedule `fn` at absolute time `t` (must be >= now()).
+    /// Schedule `fn` at absolute time `t`. Throws std::logic_error if
+    /// t < now() — in every build configuration, not just with asserts
+    /// enabled — because a past-time event would corrupt event order for
+    /// the remainder of the run.
     void schedule_at(SimTime t, Callback fn);
 
     /// Schedule `fn` at now() + dt (dt >= 0).

@@ -7,7 +7,8 @@ namespace gcdr::statmodel {
 
 std::vector<BathtubPoint> bathtub_curve(ModelConfig base, int n_points,
                                         double phase_min, double phase_max,
-                                        obs::MetricsRegistry* metrics) {
+                                        obs::MetricsRegistry* metrics,
+                                        exec::ThreadPool* pool) {
     assert(n_points >= 2);
     assert(phase_min > 0.0 && phase_max < 1.0 && phase_min < phase_max);
     if (metrics) {
@@ -15,9 +16,8 @@ std::vector<BathtubPoint> bathtub_curve(ModelConfig base, int n_points,
         metrics->counter("statmodel.bathtub.points")
             .inc(static_cast<std::uint64_t>(n_points));
     }
-    std::vector<BathtubPoint> out;
-    out.reserve(static_cast<std::size_t>(n_points));
-    for (int i = 0; i < n_points; ++i) {
+    std::vector<BathtubPoint> out(static_cast<std::size_t>(n_points));
+    auto eval_point = [&](std::size_t i) {
         const double phase =
             phase_min + (phase_max - phase_min) * static_cast<double>(i) /
                             static_cast<double>(n_points - 1);
@@ -25,7 +25,12 @@ std::vector<BathtubPoint> bathtub_curve(ModelConfig base, int n_points,
         // sample_instant = (k - 1/2 - advance): phase within the bit is
         // 0.5 - advance at zero offset.
         cfg.sampling_advance_ui = 0.5 - phase;
-        out.push_back(BathtubPoint{phase, ber_of(cfg)});
+        out[i] = BathtubPoint{phase, ber_of(cfg)};
+    };
+    if (pool) {
+        pool->parallel_for(out.size(), eval_point);
+    } else {
+        for (std::size_t i = 0; i < out.size(); ++i) eval_point(i);
     }
     return out;
 }

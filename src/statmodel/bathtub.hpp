@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "statmodel/gated_osc_model.hpp"
 
@@ -24,9 +25,12 @@ struct BathtubPoint {
 /// evaluation ticks "statmodel.bathtub.points" (and each full curve
 /// "statmodel.bathtub.curves") — bathtub sweeps dominate JTOL/FTOL search
 /// cost, so the tallies locate where statistical-layer time goes.
+/// Points are independent; pass `pool` to evaluate them concurrently
+/// (curve values are bit-identical for any thread count).
 [[nodiscard]] std::vector<BathtubPoint> bathtub_curve(
     ModelConfig base, int n_points = 49, double phase_min = 0.05,
-    double phase_max = 0.95, obs::MetricsRegistry* metrics = nullptr);
+    double phase_max = 0.95, obs::MetricsRegistry* metrics = nullptr,
+    exec::ThreadPool* pool = nullptr);
 
 /// Optimal sampling phase (minimum-BER point of the bathtub).
 [[nodiscard]] BathtubPoint optimal_sampling_phase(

@@ -202,12 +202,18 @@ double jtol_amplitude(ModelConfig base, double sj_freq_norm,
 
 std::vector<masks::MaskPoint> jtol_curve(const ModelConfig& base,
                                          const std::vector<double>& sj_freq_norms,
-                                         LinkRate rate, double ber_target) {
-    std::vector<masks::MaskPoint> out;
-    out.reserve(sj_freq_norms.size());
-    for (double fn : sj_freq_norms) {
-        out.push_back(masks::MaskPoint{fn * rate.bits_per_second(),
-                                       jtol_amplitude(base, fn, ber_target)});
+                                         LinkRate rate, double ber_target,
+                                         exec::ThreadPool* pool) {
+    std::vector<masks::MaskPoint> out(sj_freq_norms.size());
+    auto eval_point = [&](std::size_t i) {
+        const double fn = sj_freq_norms[i];
+        out[i] = masks::MaskPoint{fn * rate.bits_per_second(),
+                                  jtol_amplitude(base, fn, ber_target)};
+    };
+    if (pool) {
+        pool->parallel_for(out.size(), eval_point);
+    } else {
+        for (std::size_t i = 0; i < out.size(); ++i) eval_point(i);
     }
     return out;
 }

@@ -31,9 +31,18 @@
 // BER = sum over run lengths of P(run = L) * P_err(L) / E[L], with the run
 // length law truncated at the encoding's CID cap (5 for 8b/10b, 7 for
 // PRBS7), or the paper's conservative "all runs = CID" worst case.
+//
+// Thread safety: the model is a pure function of its ModelConfig — the
+// class holds no mutable or global state, every method is const, and the
+// stats::GridPdf / FFT machinery underneath is value-semantic. Distinct
+// configs (and even shared const models) may therefore be evaluated
+// concurrently from an exec::ThreadPool; the sweep helpers below take an
+// optional pool and are bit-identical for any thread count because each
+// grid point computes independently into its own slot.
 
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "jitter/jitter.hpp"
 #include "masks/jtol_mask.hpp"
 #include "stats/grid_pdf.hpp"
@@ -114,10 +123,13 @@ private:
                                     double amp_cap = 100.0);
 
 /// Full JTOL curve over normalized frequencies, as absolute-frequency mask
-/// points for comparison against masks::JtolMask.
+/// points for comparison against masks::JtolMask. Each frequency's binary
+/// search is independent; pass a pool to run them concurrently (the curve
+/// is bit-identical to the serial evaluation).
 [[nodiscard]] std::vector<masks::MaskPoint> jtol_curve(
     const ModelConfig& base, const std::vector<double>& sj_freq_norms,
-    LinkRate rate, double ber_target = 1e-12);
+    LinkRate rate, double ber_target = 1e-12,
+    exec::ThreadPool* pool = nullptr);
 
 /// Frequency tolerance: largest |delta| (both signs checked) keeping
 /// BER <= target with no sinusoidal jitter beyond the base config.

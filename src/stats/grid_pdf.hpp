@@ -6,6 +6,12 @@
 // convolving their PDFs — uniform (DJ), Gaussian (RJ), arcsine (SJ) and
 // Gaussian (oscillator) — then integrating the tails that fall outside the
 // timing margin to get the BER.
+//
+// Thread safety: GridPdf is value-semantic with no global or hidden shared
+// state — factories return fresh objects, const queries touch only `this`,
+// and convolution allocates its result. Distinct instances can be built
+// and queried concurrently (exec/ sweeps rely on this); only mutating one
+// instance from several threads needs external synchronization.
 
 #include <cstddef>
 #include <vector>
@@ -53,8 +59,8 @@ public:
     /// Scale densities so mass() == 1.
     void normalize();
 
-    /// Shift the support by `offset` (exactly representable on the grid:
-    /// rounds to an integer number of bins, adjusting x0 for the residue).
+    /// Translate the support by `offset`: moves x0 directly, so the grid
+    /// origin need not stay a multiple of dx (bin width is unchanged).
     void shift(double offset);
 
     /// P(X <= x): trapezoidal CDF evaluated from the left.

@@ -3,6 +3,9 @@
 // Self-contained (no external DSP dependency) because the statistical BER
 // model convolves four PDFs per run length and the direct O(n^2) product is
 // the bottleneck for fine grids.
+//
+// All functions are pure (no statics, no twiddle-factor caches), so
+// concurrent calls from parallel sweep lanes are safe.
 
 #include <complex>
 #include <cstddef>

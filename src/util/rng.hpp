@@ -34,6 +34,9 @@ private:
 class Rng {
 public:
     explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+    /// Wrap an existing generator state — used to hand each parallel
+    /// channel its own long_jump()-separated stream of a common seed.
+    explicit Rng(const Xoshiro256& gen) : gen_(gen) {}
 
     /// Uniform in [0, 1).
     double uniform();

@@ -14,10 +14,13 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/sharded.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
 #include "sim/wire.hpp"
@@ -299,6 +302,112 @@ TEST(ScopedTimer, RecordsOnDestruction) {
 }
 
 // ---------------------------------------------------------------------------
+// Thread safety (the exec/ sweep layer hammers these from worker lanes)
+
+TEST(Concurrency, CounterIncrementsAreNotLost) {
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Concurrency, GaugeWatermarksSeeEveryObservation) {
+    Gauge hi, lo;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const double v = t * kPerThread + i;
+                hi.set_max(v);
+                lo.set_min(v);
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(hi.value(), static_cast<double>(kThreads * kPerThread - 1));
+    EXPECT_EQ(lo.value(), 0.0);
+}
+
+TEST(Concurrency, HistogramTotalsExactUnderContention) {
+    Histogram h;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&h] {
+            for (int i = 1; i <= kPerThread; ++i) {
+                h.record(static_cast<double>(i));
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * (kPerThread * (kPerThread + 1.0)) /
+                                  2.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kPerThread));
+    std::uint64_t bucket_total = 0;
+    for (const auto& b : h.nonempty_buckets()) bucket_total += b.count;
+    EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Concurrency, RegistryCreationFromManyThreads) {
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&reg] {
+            // All threads race to create/find the same instruments.
+            for (int i = 0; i < 200; ++i) {
+                reg.counter("shared.c").inc();
+                reg.gauge("shared.g").set_max(static_cast<double>(i));
+                reg.histogram("shared.h").record(1.0);
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(reg.counter("shared.c").value(), 8u * 200u);
+    EXPECT_EQ(reg.histogram("shared.h").count(), 8u * 200u);
+    EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(ShardedCounter, MergesLaneTalliesOnFlush) {
+    Counter sink;
+    ShardedCounter shards(sink, 4);
+    shards.inc(0);
+    shards.inc(1, 10);
+    shards.inc(3, 100);
+    EXPECT_EQ(sink.value(), 0u);  // nothing published yet
+    shards.flush();
+    EXPECT_EQ(sink.value(), 111u);
+    shards.flush();  // flush drains: no double counting
+    EXPECT_EQ(sink.value(), 111u);
+    // Out-of-range lane degrades to a direct (atomic) sink increment.
+    shards.inc(99, 5);
+    EXPECT_EQ(sink.value(), 116u);
+}
+
+TEST(ShardedCounter, FlushesOnDestruction) {
+    Counter sink;
+    {
+        ShardedCounter shards(sink, 2);
+        shards.inc(1, 42);
+    }
+    EXPECT_EQ(sink.value(), 42u);
+}
+
+// ---------------------------------------------------------------------------
 // JSON writer + exporters
 
 TEST(JsonWriter, StructuralOutput) {
@@ -383,6 +492,8 @@ TEST(Report, DocumentSchemaAndWrite) {
     info.id = "unit_test";
     info.title = "telemetry unit test";
     info.wall_seconds = 1.25;
+    info.threads = 8;
+    info.seed = 12345;
 
     const std::string doc = run_report_json(reg, info);
     JsonChecker chk;
@@ -390,6 +501,10 @@ TEST(Report, DocumentSchemaAndWrite) {
     EXPECT_TRUE(chk.has_key("schema"));
     EXPECT_TRUE(chk.has_key("bench"));
     EXPECT_TRUE(chk.has_key("wall_seconds"));
+    EXPECT_TRUE(chk.has_key("run.threads"));
+    EXPECT_TRUE(chk.has_key("run.seed"));
+    EXPECT_NE(doc.find("\"threads\": 8"), std::string::npos);
+    EXPECT_NE(doc.find("\"seed\": 12345"), std::string::npos);
     EXPECT_TRUE(chk.has_key("build.compiler"));
     EXPECT_TRUE(chk.has_key("build.build_mode"));
     EXPECT_TRUE(chk.has_key("metrics.counters.sim.events_executed"));

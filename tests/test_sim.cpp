@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -56,6 +57,24 @@ TEST(Scheduler, RunUntilStopsAtBoundary) {
     EXPECT_EQ(s.pending_events(), 1u);
     s.run_until(SimTime::ps(100));
     EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, SchedulingIntoThePastThrowsInAllBuilds) {
+    // Regression: this used to be assert-only, so a Release build would
+    // silently enqueue the event and execute it out of order.
+    Scheduler s;
+    s.schedule_at(SimTime::ps(100), [] {});
+    s.run();
+    ASSERT_EQ(s.now(), SimTime::ps(100));
+    EXPECT_THROW(s.schedule_at(SimTime::ps(99), [] {}), std::logic_error);
+    // now() and the queue are untouched by the rejected event.
+    EXPECT_EQ(s.now(), SimTime::ps(100));
+    EXPECT_TRUE(s.empty());
+    // Scheduling at exactly now() stays legal.
+    bool ran = false;
+    s.schedule_at(SimTime::ps(100), [&] { ran = true; });
+    s.run();
+    EXPECT_TRUE(ran);
 }
 
 TEST(Scheduler, StepReturnsFalseWhenEmpty) {
