@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two gcdr.bench.report/v1 JSON reports.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [--min-ratio METRIC=X ...]
+                  [--require-identical-counters]
+
+Prints a side-by-side diff of wall time, counters and gauges, plus derived
+event throughput (<prefix>.events_per_s from <prefix>.events_executed /
+<prefix>.wall_seconds) for every scheduler prefix present in both reports.
+
+Exit codes:
+    0  reports compared (and all --min-ratio / identity constraints hold)
+    1  a constraint failed
+    2  bad invocation or unreadable/invalid report
+
+--min-ratio METRIC=X fails the run unless candidate/baseline >= X for the
+named gauge or derived metric (e.g. --min-ratio cdr_sim.events_per_s=1.5).
+Counters compare for identity only; with --require-identical-counters any
+counter difference is an error (the repo's seeded workloads must stay
+bit-identical across kernel changes).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gcdr.bench.report/v1"
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    return doc
+
+
+def derived_events_per_s(metrics):
+    """<prefix>.events_per_s for every <prefix>.events_executed counter
+    with a matching <prefix>.wall_seconds gauge."""
+    out = {}
+    gauges = metrics.get("gauges", {})
+    for name, count in metrics.get("counters", {}).items():
+        if not name.endswith(".events_executed"):
+            continue
+        prefix = name[: -len(".events_executed")]
+        wall = gauges.get(prefix + ".wall_seconds")
+        if wall:
+            out[prefix + ".events_per_s"] = count / wall
+    return out
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--min-ratio",
+        action="append",
+        default=[],
+        metavar="METRIC=X",
+        help="fail unless candidate/baseline >= X for this gauge or "
+        "derived metric; repeatable",
+    )
+    ap.add_argument(
+        "--require-identical-counters",
+        action="store_true",
+        help="fail on any counter difference",
+    )
+    args = ap.parse_args()
+
+    constraints = {}
+    for spec in args.min_ratio:
+        metric, _, threshold = spec.partition("=")
+        try:
+            constraints[metric] = float(threshold)
+        except ValueError:
+            sys.exit(f"error: bad --min-ratio {spec!r} (want METRIC=X)")
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    bm, cm = base["metrics"], cand["metrics"]
+
+    print(f"baseline:  {args.baseline}  ({base.get('bench')})")
+    print(f"candidate: {args.candidate}  ({cand.get('bench')})")
+    print(f"wall_seconds: {fmt(base.get('wall_seconds'))} -> "
+          f"{fmt(cand.get('wall_seconds'))}")
+
+    failures = []
+
+    counter_diffs = []
+    for name in sorted(set(bm.get("counters", {})) | set(cm.get("counters", {}))):
+        b = bm.get("counters", {}).get(name)
+        c = cm.get("counters", {}).get(name)
+        if b != c:
+            counter_diffs.append((name, b, c))
+    print(f"\ncounters: {'identical' if not counter_diffs else 'DIFFER'}")
+    for name, b, c in counter_diffs:
+        print(f"  {name}: {fmt(b)} -> {fmt(c)}")
+    if counter_diffs and args.require_identical_counters:
+        failures.append("counters differ")
+
+    b_gauges = dict(bm.get("gauges", {}))
+    c_gauges = dict(cm.get("gauges", {}))
+    b_gauges.update(derived_events_per_s(bm))
+    c_gauges.update(derived_events_per_s(cm))
+
+    print("\ngauges (baseline -> candidate, ratio):")
+    for name in sorted(set(b_gauges) | set(c_gauges)):
+        b, c = b_gauges.get(name), c_gauges.get(name)
+        if b is None or c is None:
+            print(f"  {name}: {fmt(b)} -> {fmt(c)}  (only in one report)")
+            continue
+        ratio = c / b if b else float("inf")
+        print(f"  {name}: {fmt(b)} -> {fmt(c)}  (x{ratio:.3f})")
+
+    for metric, want in constraints.items():
+        b, c = b_gauges.get(metric), c_gauges.get(metric)
+        if b is None or c is None:
+            failures.append(f"{metric}: missing from a report")
+            continue
+        ratio = c / b if b else float("inf")
+        if ratio < want:
+            failures.append(f"{metric}: ratio {ratio:.3f} < required {want}")
+
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,7 +95,11 @@ void GccoChannel::attach_metrics(obs::MetricsRegistry& registry,
 void GccoChannel::drive(const std::vector<jitter::Edge>& edges) {
     for (const auto& e : edges) {
         assert(e.time >= sched_->now());
-        sched_->schedule_at(e.time, [this, e] { din_->set_now(e.value); });
+        // Capture only the level, not the whole Edge: the time is already
+        // the event's key, and the smaller capture stays inline in the
+        // scheduler's small-buffer callback.
+        sched_->schedule_at(e.time,
+                            [this, v = e.value] { din_->set_now(v); });
     }
 }
 

@@ -1,0 +1,182 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace gcdr::sim {
+
+std::uint32_t EventQueue::acquire_slot() {
+    if (free_.empty()) {
+        const auto base =
+            static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
+        slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+        // Hand indices out low-first so early runs touch one warm slab.
+        for (std::size_t i = kSlabSize; i-- > 0;) {
+            free_.push_back(base + static_cast<std::uint32_t>(i));
+        }
+    }
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+}
+
+void EventQueue::bucket_insert(std::int64_t slot, std::uint32_t idx) {
+    const auto b = static_cast<std::size_t>(slot) & kWheelMask;
+    if (buckets_[b].empty()) {
+        bitmap_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    }
+    buckets_[b].push_back(idx);
+    ++wheel_count_;
+    // Keep the wheel-minimum hint exact so ready_front can usually skip
+    // the bitmap scan. An insert can only *establish* the hint when the
+    // wheel was empty; while the hint is invalid ("unknown") a smaller
+    // occupied slot may exist, so it must stay invalid until the next scan.
+    if (wheel_count_ == 1) {
+        min_slot_ = slot;
+        min_valid_ = true;
+    } else if (min_valid_ && slot < min_slot_) {
+        min_slot_ = slot;
+    }
+}
+
+void EventQueue::push(SimTime t, Callback&& fn) {
+    const std::uint32_t idx = acquire_slot();
+    Event& ev = event(idx);
+    ev.time = t;
+    ev.seq = next_seq_++;
+    ev.fn = std::move(fn);
+
+    // The window floor is the slot of the last popped event (cursor only
+    // moves forward through pops), so every push lands at slot >= cursor —
+    // the scheduler rejects past-time events. Never re-anchor on push: two
+    // pushes can arrive out of time order, and the earlier one must still
+    // sort first.
+    const std::int64_t slot = slot_of(t);
+    if (slot - cursor_slot_ < static_cast<std::int64_t>(kWheelSize)) {
+        bucket_insert(slot, idx);
+    } else {
+        overflow_.push_back(HeapEntry{t, ev.seq, idx});
+        std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    }
+    ++size_;
+}
+
+void EventQueue::drain_overflow() {
+    while (!overflow_.empty() &&
+           slot_of(overflow_.front().time) - cursor_slot_ <
+               static_cast<std::int64_t>(kWheelSize)) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+        const HeapEntry e = overflow_.back();
+        overflow_.pop_back();
+        bucket_insert(slot_of(e.time), e.idx);
+    }
+}
+
+void EventQueue::ready_front() {
+    assert(size_ != 0);
+    if (wheel_count_ == 0) {
+        // Jump the window to the earliest far-future event.
+        cursor_slot_ = slot_of(overflow_.front().time);
+        drain_overflow();
+        return;
+    }
+    if (min_valid_) {
+        // Exact hint (maintained by insert/remove): no scan needed.
+        cursor_slot_ = min_slot_;
+    } else {
+        // All wheel slots lie in [cursor, cursor + kWheelSize), so the
+        // first set bit circularly from the cursor is the earliest slot.
+        const std::size_t cur =
+            static_cast<std::size_t>(cursor_slot_) & kWheelMask;
+        std::size_t word = cur >> 6;
+        std::uint64_t mask = ~std::uint64_t{0} << (cur & 63);
+        for (;;) {
+            const std::uint64_t bits = bitmap_[word] & mask;
+            if (bits) {
+                const std::size_t bit =
+                    (word << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                cursor_slot_ +=
+                    static_cast<std::int64_t>((bit - cur) & kWheelMask);
+                break;
+            }
+            word = (word + 1) & (bitmap_.size() - 1);
+            mask = ~std::uint64_t{0};
+        }
+        min_slot_ = cursor_slot_;
+        min_valid_ = true;
+    }
+    // The window moved forward; admit any overflow that now fits. Admitted
+    // slots are past the old horizon, hence after the bucket just found.
+    drain_overflow();
+}
+
+std::size_t EventQueue::min_pos_in_cursor_bucket() {
+    const auto& b =
+        buckets_[static_cast<std::size_t>(cursor_slot_) & kWheelMask];
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < b.size(); ++i) {
+        const Event& cand = event(b[i]);
+        const Event& cur = event(b[best]);
+        if (cand.time < cur.time ||
+            (cand.time == cur.time && cand.seq < cur.seq)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::uint32_t EventQueue::unlink_from_cursor_bucket(std::size_t pos) {
+    const auto bi = static_cast<std::size_t>(cursor_slot_) & kWheelMask;
+    auto& b = buckets_[bi];
+    const std::uint32_t idx = b[pos];
+    b[pos] = b.back();
+    b.pop_back();
+    if (b.empty()) {
+        bitmap_[bi >> 6] &= ~(std::uint64_t{1} << (bi & 63));
+        min_valid_ = false;  // the cursor bucket held the wheel minimum
+    }
+    --wheel_count_;
+    --size_;
+    return idx;
+}
+
+SimTime EventQueue::peek_time() {
+    ready_front();
+    const auto& b =
+        buckets_[static_cast<std::size_t>(cursor_slot_) & kWheelMask];
+    return event(b[min_pos_in_cursor_bucket()]).time;
+}
+
+SimTime EventQueue::pop(Callback& out) {
+    ready_front();
+    const std::uint32_t idx =
+        unlink_from_cursor_bucket(min_pos_in_cursor_bucket());
+    Event& ev = event(idx);
+    out = std::move(ev.fn);  // move-assign resets out's previous state
+    const SimTime t = ev.time;
+    release_slot(idx);
+    return t;
+}
+
+EventQueue::Handle EventQueue::take_if_at_most(SimTime t_end) {
+    if (size_ == 0) return kNoEvent;
+    ready_front();
+    const std::size_t pos = min_pos_in_cursor_bucket();
+    const auto& b =
+        buckets_[static_cast<std::size_t>(cursor_slot_) & kWheelMask];
+    if (event(b[pos]).time > t_end) return kNoEvent;
+    return unlink_from_cursor_bucket(pos);
+}
+
+void EventQueue::run_and_recycle(Handle h) {
+    // The slab array never relocates its slabs, so this reference stays
+    // valid even if the callback pushes events (possibly growing the pool).
+    Event& ev = event(h);
+    ev.fn();
+    ev.fn.reset();
+    release_slot(h);
+}
+
+}  // namespace gcdr::sim

@@ -1,0 +1,140 @@
+#pragma once
+// Calendar-queue event storage for the discrete-event kernel.
+//
+// The scheduler's old std::priority_queue paid O(log n) comparisons plus
+// 40-byte element moves per push/pop against a queue dominated by the
+// pre-scheduled input-edge events (~5k deep in the CDR workloads), even
+// though almost every *executed* event is an oscillator/gate hop only a few
+// stage delays (tens of ps) ahead of now. This queue exploits that shape:
+//
+//  - an indexed timer wheel (1024 slots x 1.024 ps) absorbs the near-term
+//    events at O(1) push/pop,
+//  - a binary min-heap holds the far-future overflow (the drive events);
+//    entries migrate into the wheel as the window advances,
+//  - events live in a slab/free-list pool, so bucket vectors hold 4-byte
+//    indices and steady-state scheduling never allocates,
+//  - callbacks are InlineCallback (util/), so captures up to 48 bytes —
+//    every capture in gates/ and cdr/ — stay inline.
+//
+// Ordering is EXACTLY (time, insertion-seq): within a wheel slot the min is
+// found by scan (slots hold ~1 event), the overflow heap compares (time,
+// seq), and the two stores cover disjoint time ranges. Seeded runs are
+// byte-identical to the binary-heap kernel.
+//
+// Precondition: push() times are never below the last popped time (the
+// scheduler enforces this by throwing on past-time events).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/inline_callback.hpp"
+#include "util/sim_time.hpp"
+
+namespace gcdr::sim {
+
+class EventQueue {
+public:
+    /// 48 bytes of inline capture: covers [this, id] wire commits,
+    /// [this, edge] drives, and a copied std::function<void()>.
+    using Callback = InlineCallback<48>;
+
+    /// Opaque ticket for an event removed from the queue but not yet run.
+    using Handle = std::uint32_t;
+    static constexpr Handle kNoEvent = ~Handle{0};
+
+    EventQueue() = default;
+
+    /// Enqueue; assigns the next FIFO tie-break sequence number.
+    void push(SimTime t, Callback&& fn);
+
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    /// Time of the earliest (time, seq) event. Not const: may advance the
+    /// wheel window (observably pure). Precondition: !empty().
+    [[nodiscard]] SimTime peek_time();
+
+    /// Remove the earliest (time, seq) event, moving its callback into
+    /// `out`; returns its time. Precondition: !empty().
+    SimTime pop(Callback& out);
+
+    /// Fused peek+pop for the drain loop: if non-empty and the earliest
+    /// event's time is <= t_end, unlink it and return its handle, else
+    /// kNoEvent. The handle's slot stays owned until run_and_recycle, so
+    /// the callback is executed in place — no move out of the pool.
+    [[nodiscard]] Handle take_if_at_most(SimTime t_end);
+    [[nodiscard]] SimTime time_of(Handle h) { return event(h).time; }
+    /// Invoke the event's callback, then return its slot to the pool.
+    /// Reentrant: the callback may push new events.
+    void run_and_recycle(Handle h);
+
+private:
+    struct Event {
+        SimTime time{};
+        std::uint64_t seq = 0;
+        Callback fn;
+    };
+    struct HeapEntry {
+        SimTime time;
+        std::uint64_t seq;
+        std::uint32_t idx;
+    };
+    struct HeapLater {
+        bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    static constexpr std::size_t kWheelBits = 10;
+    static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+    static constexpr std::size_t kWheelMask = kWheelSize - 1;
+    static constexpr int kSlotShiftFs = 10;  ///< 1024 fs per wheel slot
+    static constexpr std::size_t kSlabSize = 256;
+
+    [[nodiscard]] static std::int64_t slot_of(SimTime t) {
+        return t.femtoseconds() >> kSlotShiftFs;
+    }
+
+    [[nodiscard]] Event& event(std::uint32_t idx) {
+        return slabs_[idx / kSlabSize][idx % kSlabSize];
+    }
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t idx) { free_.push_back(idx); }
+
+    void bucket_insert(std::int64_t slot, std::uint32_t idx);
+    /// Move every overflow entry now inside the wheel window into buckets.
+    void drain_overflow();
+    /// Advance cursor_slot_ to the earliest non-empty bucket and pull in
+    /// newly admitted overflow; leaves the global min in the cursor bucket.
+    void ready_front();
+    /// Position of the (time, seq) minimum within the cursor bucket.
+    [[nodiscard]] std::size_t min_pos_in_cursor_bucket();
+    /// Remove the entry at `pos` of the cursor bucket; returns its pool
+    /// index (still owned — callers run/recycle or release it).
+    std::uint32_t unlink_from_cursor_bucket(std::size_t pos);
+
+    // --- event pool ---
+    std::vector<std::unique_ptr<Event[]>> slabs_;
+    std::vector<std::uint32_t> free_;
+
+    // --- wheel: slots [cursor_slot_, cursor_slot_ + kWheelSize) ---
+    std::array<std::vector<std::uint32_t>, kWheelSize> buckets_;
+    std::array<std::uint64_t, kWheelSize / 64> bitmap_{};
+    std::int64_t cursor_slot_ = 0;
+    std::size_t wheel_count_ = 0;
+    // Exact minimum occupied wheel slot while valid; invalidated when the
+    // minimum's bucket empties, re-established by the next bitmap scan.
+    std::int64_t min_slot_ = 0;
+    bool min_valid_ = false;
+
+    // --- far-future overflow: slots >= cursor_slot_ + kWheelSize ---
+    std::vector<HeapEntry> overflow_;
+
+    std::size_t size_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gcdr::sim

@@ -18,10 +18,10 @@ void Scheduler::schedule_at(SimTime t, Callback fn) {
             std::to_string(t.femtoseconds()) + " fs is before now() = " +
             std::to_string(now_.femtoseconds()) + " fs");
     }
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    queue_.push(t, std::move(fn));
     if (m_scheduled_) {
-        m_scheduled_->inc();
-        m_queue_hwm_->set_max(static_cast<double>(queue_.size()));
+        ++pending_scheduled_;
+        if (queue_.size() > local_hwm_) local_hwm_ = queue_.size();
     }
 }
 
@@ -31,22 +31,40 @@ void Scheduler::schedule_in(SimTime dt, Callback fn) {
 
 bool Scheduler::step() {
     if (queue_.empty()) return false;
-    // Move out of the queue before popping: the callback may schedule.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    const EventQueue::Handle h = queue_.take_if_at_most(SimTime::max());
+    now_ = queue_.time_of(h);
     ++executed_;
-    if (m_executed_) m_executed_->inc();
-    ev.fn();
+    queue_.run_and_recycle(h);
+    if (m_executed_) {
+        m_executed_->inc();
+        flush_pending_telemetry();
+    }
     return true;
+}
+
+template <bool kTelemetry>
+void Scheduler::drain(SimTime t_end) {
+    std::uint64_t n = 0;
+    EventQueue::Handle h;
+    while ((h = queue_.take_if_at_most(t_end)) != EventQueue::kNoEvent) {
+        now_ = queue_.time_of(h);
+        ++n;
+        // Runs the callback in place in the event pool: no move out, and
+        // any events it schedules reuse other pool slots.
+        queue_.run_and_recycle(h);
+    }
+    executed_ += n;
+    if constexpr (kTelemetry) m_executed_->inc(n);
 }
 
 void Scheduler::run_until(SimTime t_end) {
     using Clock = std::chrono::steady_clock;
     const auto wall0 = m_wall_seconds_ ? Clock::now() : Clock::time_point{};
     const SimTime sim0 = now_;
-    while (!queue_.empty() && queue_.top().time <= t_end) {
-        step();
+    if (m_executed_) {
+        drain<true>(t_end);
+    } else {
+        drain<false>(t_end);
     }
     if (now_ < t_end) now_ = t_end;
     if (m_wall_seconds_) {
@@ -59,7 +77,10 @@ void Scheduler::run() {
     using Clock = std::chrono::steady_clock;
     const auto wall0 = m_wall_seconds_ ? Clock::now() : Clock::time_point{};
     const SimTime sim0 = now_;
-    while (step()) {
+    if (m_executed_) {
+        drain<true>(SimTime::max());
+    } else {
+        drain<false>(SimTime::max());
     }
     if (m_wall_seconds_) {
         finish_run(sim0,
@@ -68,6 +89,7 @@ void Scheduler::run() {
 }
 
 void Scheduler::finish_run(SimTime sim_start, double wall_seconds) {
+    flush_pending_telemetry();
     wall_accum_s_ += wall_seconds;
     sim_accum_s_ += (now_ - sim_start).seconds();
     m_wall_seconds_->set(wall_accum_s_);
@@ -76,8 +98,19 @@ void Scheduler::finish_run(SimTime sim_start, double wall_seconds) {
     }
 }
 
+void Scheduler::flush_pending_telemetry() {
+    if (!m_scheduled_) return;
+    if (pending_scheduled_ != 0) {
+        m_scheduled_->inc(pending_scheduled_);
+        pending_scheduled_ = 0;
+    }
+    m_queue_hwm_->set_max(static_cast<double>(local_hwm_));
+}
+
 void Scheduler::attach_metrics(obs::MetricsRegistry* registry,
                                const std::string& prefix) {
+    flush_pending_telemetry();  // publish to the outgoing registry
+    local_hwm_ = 0;  // a fresh registry must only see its own peaks
     if (!registry) {
         m_scheduled_ = m_executed_ = nullptr;
         m_queue_hwm_ = m_wall_seconds_ = m_sim_wall_ratio_ = nullptr;

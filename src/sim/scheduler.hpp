@@ -3,20 +3,27 @@
 // simulation layer. Events are (time, insertion-order) ordered, so identical
 // seeds give bit-identical runs. All gate models (gates/) and the CDR
 // topology (cdr/) execute on top of this kernel.
+//
+// Storage is a calendar queue (sim/event_queue.hpp): a timer wheel for the
+// near-term events the netlist actually executes plus a binary-heap overflow
+// for the pre-scheduled far-future drive edges, with slab-pooled events and
+// small-buffer callbacks so the steady-state schedule/execute path performs
+// no heap allocation. Ordering is identical to the previous binary-heap
+// kernel, so seeded runs stay byte-for-byte reproducible across the swap.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
 #include "util/sim_time.hpp"
 
 namespace gcdr::sim {
 
 class Scheduler {
 public:
-    using Callback = std::function<void()>;
+    /// Small-buffer move-only callable; lambdas with up to 48 bytes of
+    /// captures (every gates/ and cdr/ event) are stored without allocating.
+    using Callback = EventQueue::Callback;
 
     /// Schedule `fn` at absolute time `t`. Throws std::logic_error if
     /// t < now() — in every build configuration, not just with asserts
@@ -49,29 +56,29 @@ public:
     ///   <prefix>.queue_high_water                      gauge
     ///   <prefix>.wall_seconds / .sim_wall_ratio        gauges, updated by
     ///                                                  run()/run_until()
-    /// Pass nullptr to detach. When detached (the default) the hot path
-    /// pays only a null-pointer branch per event.
+    /// Pass nullptr to detach. When detached (the default) the drain loops
+    /// run with the telemetry branch compiled out entirely.
+    ///
+    /// Scheduling telemetry is accumulated in plain members on the hot
+    /// path and published to the registry's atomics when a run*()/step()
+    /// call returns (and on re-attach/detach) — registry values are exact
+    /// whenever the scheduler is idle, which is when reports read them.
     void attach_metrics(obs::MetricsRegistry* registry,
                         const std::string& prefix = "sim");
 
 private:
-    struct Event {
-        SimTime time;
-        std::uint64_t seq;  // tie-break: FIFO among equal-time events
-        Callback fn;
-    };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const {
-            if (a.time != b.time) return a.time > b.time;
-            return a.seq > b.seq;
-        }
-    };
+    /// Drain loop; the telemetry branch is hoisted to a template parameter
+    /// so the detached (default) configuration pays nothing per event.
+    template <bool kTelemetry>
+    void drain(SimTime t_end);
 
     void finish_run(SimTime sim_start, double wall_seconds);
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /// Publish the locally accumulated schedule-side telemetry.
+    void flush_pending_telemetry();
+
+    EventQueue queue_;
     SimTime now_{0};
-    std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
 
     // Telemetry instruments (null when no registry is attached).
@@ -80,6 +87,10 @@ private:
     obs::Gauge* m_queue_hwm_ = nullptr;
     obs::Gauge* m_wall_seconds_ = nullptr;
     obs::Gauge* m_sim_wall_ratio_ = nullptr;
+    // Hot-path accumulators: published by flush_pending_telemetry() so
+    // schedule_at pays plain increments instead of atomics per event.
+    std::uint64_t pending_scheduled_ = 0;
+    std::size_t local_hwm_ = 0;
     double wall_accum_s_ = 0.0;   ///< total wall time inside run*()
     double sim_accum_s_ = 0.0;    ///< total sim time advanced by run*()
 };

@@ -42,7 +42,7 @@ void Wire::apply(bool v) {
     value_ = v;
     last_change_ = sched_->now();
     ++transitions_;
-    for (const auto& fn : listeners_) fn();
+    for (auto& fn : listeners_) fn();
 }
 
 }  // namespace gcdr::sim

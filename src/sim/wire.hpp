@@ -13,18 +13,21 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "util/inline_callback.hpp"
 #include "util/sim_time.hpp"
 
 namespace gcdr::sim {
 
 class Wire {
 public:
-    using Listener = std::function<void()>;
+    /// Listeners fire on every committed transition — the netlist's hottest
+    /// dispatch path — so they use the same small-buffer callable as the
+    /// scheduler: gate captures stay inline, no std::function indirection.
+    using Listener = InlineCallback<48>;
 
     Wire(Scheduler& sched, std::string name, bool initial = false)
         : sched_(&sched), name_(std::move(name)), value_(initial) {}

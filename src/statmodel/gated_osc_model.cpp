@@ -75,7 +75,7 @@ stats::GridPdf GatedOscStatModel::relative_edge_pdf(int run_length) const {
     if (sigma > 0.0) {
         parts.push_back(stats::GridPdf::gaussian(sigma, dx));
     }
-    return stats::convolve_all(parts, dx);
+    return stats::convolve_all(parts, dx, cfg_.pdf_prune_floor);
 }
 
 double GatedOscStatModel::sj_effective_amplitude(int run_length) const {

@@ -77,6 +77,13 @@ struct ModelConfig {
     double trigger_mismatch_uirms = 0.01;
     /// Grid step for PDF convolution, in UI.
     double grid_dx = 5e-4;
+    /// Density floor forwarded to stats::GridPdf::convolve: result bins
+    /// below it are trimmed from the PDF tails before the next chained
+    /// convolution. 0 (default) keeps every bin — outputs bit-identical to
+    /// the historical model. 1e-18 is safe for this model's use: the BER
+    /// integrals bottom out at the 1e-12..1e-15 decade, while the mass a
+    /// 1e-18 floor can discard is < 1e-18 * grid_dx * bins ~ 1e-18.
+    double pdf_prune_floor = 0.0;
     RunModel run_model = RunModel::kWeighted;
 };
 

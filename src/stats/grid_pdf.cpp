@@ -169,7 +169,7 @@ double GridPdf::tail_outside(double lo, double hi) const {
     return tail_below(lo) + tail_above(hi);
 }
 
-GridPdf GridPdf::convolve(const GridPdf& other) const {
+GridPdf GridPdf::convolve(const GridPdf& other, double prune_floor) const {
     if (empty() || other.empty()) return {};
     assert(std::abs(dx_ - other.dx_) < 1e-12 * dx_ &&
            "convolution requires a shared grid step");
@@ -187,17 +187,33 @@ GridPdf GridPdf::convolve(const GridPdf& other) const {
         conv = convolve_direct(density_, other.density_);
     }
     for (auto& v : conv) v *= dx_;  // discrete conv -> density scaling
-    return GridPdf{x0_ + other.x0_, dx_, std::move(conv)};
+
+    // Optional tail pruning: drop sub-floor bins at both ends (never the
+    // whole support). Interior bins are kept even when below the floor so
+    // the result stays a contiguous grid.
+    std::size_t first = 0;
+    std::size_t last = conv.size();
+    if (prune_floor > 0.0) {
+        while (first + 1 < last && conv[first] < prune_floor) ++first;
+        while (last > first + 1 && conv[last - 1] < prune_floor) --last;
+        conv.erase(conv.begin() + static_cast<std::ptrdiff_t>(last),
+                   conv.end());
+        conv.erase(conv.begin(),
+                   conv.begin() + static_cast<std::ptrdiff_t>(first));
+    }
+    return GridPdf{x0_ + other.x0_ + dx_ * static_cast<double>(first), dx_,
+                   std::move(conv)};
 }
 
-GridPdf convolve_all(const std::vector<GridPdf>& pdfs, double dx) {
+GridPdf convolve_all(const std::vector<GridPdf>& pdfs, double dx,
+                     double prune_floor) {
     GridPdf acc = GridPdf::dirac(0.0, dx);
     for (const auto& p : pdfs) {
         if (p.empty() || p.size() == 1) {
             if (!p.empty()) acc.shift(p.x0());
             continue;
         }
-        acc = acc.convolve(p);
+        acc = acc.convolve(p, prune_floor);
     }
     return acc;
 }

@@ -74,7 +74,17 @@ public:
 
     /// Convolution (distribution of the sum of independent variables).
     /// Grids must share dx. Uses FFT above a size threshold.
-    [[nodiscard]] GridPdf convolve(const GridPdf& other) const;
+    ///
+    /// `prune_floor` > 0 trims leading/trailing result bins whose density
+    /// is below it (the support shrinks; x0 shifts by the trimmed width).
+    /// The default 0 keeps every bin, bit-identical to the historical
+    /// behavior. Pruning at 1e-18 is safe whenever downstream tail
+    /// integrals only need to resolve masses >= ~1e-15: the discarded
+    /// mass is bounded by prune_floor * dx * bins. It keeps chained
+    /// convolutions (convolve_all) from growing O(sum of supports) when
+    /// the far tails are already below the measurement floor.
+    [[nodiscard]] GridPdf convolve(const GridPdf& other,
+                                   double prune_floor = 0.0) const;
 
 private:
     double x0_ = 0.0;
@@ -83,7 +93,9 @@ private:
 };
 
 /// Convolve a set of PDFs (skipping empties); returns dirac(0) if none.
+/// `prune_floor` is forwarded to each pairwise convolve (see
+/// GridPdf::convolve); 0 = keep every bin.
 [[nodiscard]] GridPdf convolve_all(const std::vector<GridPdf>& pdfs,
-                                   double dx);
+                                   double dx, double prune_floor = 0.0);
 
 }  // namespace gcdr::stats

@@ -1,14 +1,51 @@
 #include "util/fft.hpp"
 
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <numbers>
+#include <stdexcept>
 
 namespace gcdr {
+
+namespace {
+
+/// Twiddle table for one transform size: w[j] = exp(-2*pi*i*j/n), j < n/2.
+/// Stage `len` indexes it with stride n/len, so one table serves every
+/// stage; the inverse transform conjugates on the fly.
+struct FftPlan {
+    explicit FftPlan(std::size_t size) : n(size), w(size / 2) {
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            const double ang = -2.0 * std::numbers::pi *
+                               static_cast<double>(j) /
+                               static_cast<double>(n);
+            w[j] = {std::cos(ang), std::sin(ang)};
+        }
+    }
+    std::size_t n;
+    std::vector<std::complex<double>> w;
+};
+
+/// Per-thread plan cache keyed by log2(n). Thread-local so concurrent
+/// sweep lanes never contend; a lane reconvolving the same grid size (the
+/// common case: every BER point shares grid_dx) reuses its tables.
+const FftPlan& plan_for(std::size_t n) {
+    thread_local std::array<std::unique_ptr<FftPlan>, 64> cache;
+    const auto k = static_cast<std::size_t>(std::countr_zero(n));
+    if (!cache[k]) cache[k] = std::make_unique<FftPlan>(n);
+    return *cache[k];
+}
+
+}  // namespace
 
 void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
     const std::size_t n = data.size();
     assert(n != 0 && (n & (n - 1)) == 0 && "FFT size must be a power of two");
+    if (n == 1) return;
+    const FftPlan& plan = plan_for(n);
 
     // Bit-reversal permutation.
     for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -19,17 +56,15 @@ void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
     }
 
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double ang =
-            (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-        const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+        const std::size_t stride = n / len;
         for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> w{1.0, 0.0};
             for (std::size_t k = 0; k < len / 2; ++k) {
+                std::complex<double> w = plan.w[k * stride];
+                if (inverse) w = std::conj(w);
                 const auto u = data[i + k];
                 const auto v = data[i + k + len / 2] * w;
                 data[i + k] = u + v;
                 data[i + k + len / 2] = u - v;
-                w *= wlen;
             }
         }
     }
@@ -41,6 +76,12 @@ void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
 }
 
 std::size_t next_pow2(std::size_t n) {
+    constexpr std::size_t kMaxPow2 =
+        (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+    if (n > kMaxPow2) {
+        throw std::overflow_error(
+            "next_pow2: no representable power of two >= n");
+    }
     std::size_t p = 1;
     while (p < n) p <<= 1;
     return p;
@@ -48,24 +89,54 @@ std::size_t next_pow2(std::size_t n) {
 
 std::vector<double> convolve_fft(const std::vector<double>& a,
                                  const std::vector<double>& b) {
-    if (a.empty() || b.empty()) return {};
+    if (a.empty() || b.empty()) {
+        throw std::invalid_argument("convolve_fft: empty input sequence");
+    }
     const std::size_t out_len = a.size() + b.size() - 1;
     const std::size_t n = next_pow2(out_len);
-    std::vector<std::complex<double>> fa(n), fb(n);
-    for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
-    for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
-    fft_inplace(fa, false);
-    fft_inplace(fb, false);
-    for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-    fft_inplace(fa, true);
+
+    // Pack both real sequences into one complex buffer, z = a + i*b: the
+    // individual spectra fall out of Z's conjugate symmetry, so a single
+    // forward transform replaces two. The buffer persists per thread, so
+    // steady-state convolves allocate nothing.
+    thread_local std::vector<std::complex<double>> z;
+    z.assign(n, {0.0, 0.0});
+    for (std::size_t i = 0; i < a.size(); ++i) z[i].real(a[i]);
+    for (std::size_t i = 0; i < b.size(); ++i) z[i].imag(b[i]);
+    fft_inplace(z, false);
+
+    // A[k] = (Z[k] + conj(Z[n-k])) / 2,  B[k] = (Z[k] - conj(Z[n-k])) / 2i.
+    // Both spectra are Hermitian (real inputs), so C = A.*B is Hermitian
+    // too: compute k and n-k together, writing C in place of Z.
+    const auto product_at = [](std::complex<double> zk,
+                               std::complex<double> znk) {
+        const auto fa = 0.5 * (zk + std::conj(znk));
+        const auto fb = std::complex<double>{0.0, -0.5} * (zk - std::conj(znk));
+        return fa * fb;
+    };
+    z[0] = z[0].real() * z[0].imag();  // DC: A = Re, B = Im
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+        const std::size_t nk = n - k;
+        if (k == nk) {  // Nyquist bin is self-conjugate
+            z[k] = z[k].real() * z[k].imag();
+            break;
+        }
+        const auto ck = product_at(z[k], z[nk]);
+        z[k] = ck;
+        z[nk] = std::conj(ck);
+    }
+    fft_inplace(z, true);
+
     std::vector<double> out(out_len);
-    for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+    for (std::size_t i = 0; i < out_len; ++i) out[i] = z[i].real();
     return out;
 }
 
 std::vector<double> convolve_direct(const std::vector<double>& a,
                                     const std::vector<double>& b) {
-    if (a.empty() || b.empty()) return {};
+    if (a.empty() || b.empty()) {
+        throw std::invalid_argument("convolve_direct: empty input sequence");
+    }
     std::vector<double> out(a.size() + b.size() - 1, 0.0);
     for (std::size_t i = 0; i < a.size(); ++i) {
         for (std::size_t j = 0; j < b.size(); ++j) {

@@ -4,8 +4,18 @@
 // model convolves four PDFs per run length and the direct O(n^2) product is
 // the bottleneck for fine grids.
 //
-// All functions are pure (no statics, no twiddle-factor caches), so
-// concurrent calls from parallel sweep lanes are safe.
+// Hot-path design:
+//  - twiddle factors come from a per-thread plan cache keyed by transform
+//    size, so repeated convolves of the same grid pay the trig cost once
+//    per thread (concurrent sweep lanes each build their own tables — no
+//    locks, no sharing),
+//  - convolve_fft packs both real inputs into ONE complex transform
+//    (z = a + i*b, spectra recovered via conjugate symmetry), replacing the
+//    classic two forward transforms with one,
+//  - scratch buffers persist per thread, so steady-state convolves perform
+//    no heap allocation.
+// Results are deterministic: the same inputs produce the same bits on every
+// call and every thread.
 
 #include <complex>
 #include <cstddef>
@@ -15,18 +25,23 @@ namespace gcdr {
 
 /// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
 /// of two. inverse=true applies the conjugate transform and 1/N scaling.
+/// Twiddles come from the per-thread plan cache.
 void fft_inplace(std::vector<std::complex<double>>& data, bool inverse);
 
-/// Next power of two >= n (n >= 1).
+/// Next power of two >= n (n >= 1). Throws std::overflow_error when no
+/// power of two >= n is representable in std::size_t (n > 2^63 on 64-bit),
+/// where the old shift loop silently wrapped to 0.
 [[nodiscard]] std::size_t next_pow2(std::size_t n);
 
-/// Linear convolution of two real sequences via FFT.
-/// Result length is a.size() + b.size() - 1.
+/// Linear convolution of two real sequences via a single packed complex
+/// FFT plus one inverse transform. Result length is a.size() + b.size() - 1.
+/// Throws std::invalid_argument if either input is empty.
 [[nodiscard]] std::vector<double> convolve_fft(const std::vector<double>& a,
                                                const std::vector<double>& b);
 
 /// Direct O(n*m) linear convolution; reference implementation for testing
-/// and faster for very short kernels.
+/// and faster for very short kernels. Throws std::invalid_argument if
+/// either input is empty.
 [[nodiscard]] std::vector<double> convolve_direct(const std::vector<double>& a,
                                                   const std::vector<double>& b);
 

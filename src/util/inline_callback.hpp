@@ -1,0 +1,119 @@
+#pragma once
+// Small-buffer-optimized, move-only callable for the event hot path.
+//
+// sim::Scheduler executes millions of events per run; std::function's
+// copyability contract and small (16-byte on libstdc++) inline buffer force
+// a heap allocation for the capture sizes the netlist actually uses
+// ([this, id] posts from Wire, [this, e] edge drives from cdr/). This type
+// stores any nothrow-movable callable up to `Capacity` bytes inline and
+// falls back to the heap only beyond that, so the common schedule/execute
+// path never allocates.
+//
+// Only the void() signature is provided — it is the scheduler's event
+// signature — which keeps the dispatch table to three entries.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gcdr {
+
+template <std::size_t Capacity>
+class InlineCallback {
+public:
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+        emplace(std::forward<F>(f));
+    }
+
+    InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+    InlineCallback& operator=(InlineCallback&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+    ~InlineCallback() { reset(); }
+
+    /// Destroy the held callable (and its captures) immediately.
+    void reset() noexcept {
+        if (vt_) {
+            vt_->destroy(&buf_);
+            vt_ = nullptr;
+        }
+    }
+
+    [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+    void operator()() { vt_->invoke(&buf_); }
+
+private:
+    struct VTable {
+        void (*invoke)(void*);
+        /// Move the callable from src into uninitialized dst, then destroy
+        /// the src state (single call, so the heap case just moves a pointer).
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename F>
+    static constexpr bool kFitsInline =
+        sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    struct InlineOps {
+        static void invoke(void* p) { (*static_cast<F*>(p))(); }
+        static void relocate(void* src, void* dst) noexcept {
+            ::new (dst) F(std::move(*static_cast<F*>(src)));
+            static_cast<F*>(src)->~F();
+        }
+        static void destroy(void* p) noexcept { static_cast<F*>(p)->~F(); }
+        static constexpr VTable vt{&invoke, &relocate, &destroy};
+    };
+
+    template <typename F>
+    struct HeapOps {
+        static F* ptr(void* p) { return *static_cast<F**>(p); }
+        static void invoke(void* p) { (*ptr(p))(); }
+        static void relocate(void* src, void* dst) noexcept {
+            ::new (dst) F*(ptr(src));
+        }
+        static void destroy(void* p) noexcept { delete ptr(p); }
+        static constexpr VTable vt{&invoke, &relocate, &destroy};
+    };
+
+    template <typename F2>
+    void emplace(F2&& f) {
+        using F = std::decay_t<F2>;
+        if constexpr (kFitsInline<F>) {
+            ::new (static_cast<void*>(&buf_)) F(std::forward<F2>(f));
+            vt_ = &InlineOps<F>::vt;
+        } else {
+            ::new (static_cast<void*>(&buf_)) F*(new F(std::forward<F2>(f)));
+            vt_ = &HeapOps<F>::vt;
+        }
+    }
+
+    void move_from(InlineCallback& other) noexcept {
+        vt_ = other.vt_;
+        if (vt_) {
+            vt_->relocate(&other.buf_, &buf_);
+            other.vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte buf_[Capacity];
+    const VTable* vt_ = nullptr;
+};
+
+}  // namespace gcdr

@@ -3,12 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
 #include "sim/wire.hpp"
+#include "util/rng.hpp"
 
 namespace gcdr::sim {
 namespace {
@@ -75,6 +80,99 @@ TEST(Scheduler, SchedulingIntoThePastThrowsInAllBuilds) {
     s.schedule_at(SimTime::ps(100), [&] { ran = true; });
     s.run();
     EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, FifoTieBreakAcrossWheelAndOverflow) {
+    // Regression for the calendar-queue kernel: (time, insertion-seq) order
+    // must hold across every storage tier — near-term wheel slots, the
+    // far-future overflow heap (times several wheel horizons out), and
+    // same-time ties straddling both. The wheel horizon is ~1 ns, so the
+    // +1 us events exercise heap-to-wheel migration.
+    Scheduler s;
+    std::vector<int> order;
+    auto tag = [&order](int id) { return [&order, id] { order.push_back(id); }; };
+    s.schedule_at(SimTime::us(1), tag(6));       // overflow
+    s.schedule_at(SimTime::ps(5), tag(0));       // wheel
+    s.schedule_at(SimTime::us(1), tag(7));       // overflow, same time: FIFO
+    s.schedule_at(SimTime::ps(5), tag(1));       // wheel, same time: FIFO
+    s.schedule_at(SimTime::ps(5) + SimTime::fs(1), tag(2));  // same slot, later
+    s.schedule_at(SimTime::ns(500), tag(5));     // overflow, earlier than us(1)
+    s.schedule_at(SimTime::ns(2), tag(3));       // beyond horizon of slot 0
+    s.schedule_at(SimTime::ns(2), tag(4));       // tie with previous: FIFO
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Scheduler, LateInWindowPushDoesNotShadowEarlierPending) {
+    // Regression: after a pop empties its wheel slot, the queue's
+    // minimum-slot hint is unknown. A subsequent push near the far edge of
+    // the wheel window must not re-establish the hint at its own slot and
+    // shadow earlier events still pending in between.
+    Scheduler s;
+    std::vector<int> order;
+    auto tag = [&order](int id) { return [&order, id] { order.push_back(id); }; };
+    s.schedule_at(SimTime::fs(36915), tag(0));    // popped first
+    s.schedule_at(SimTime::fs(38335), tag(1));    // survives in a later slot
+    s.schedule_at(SimTime::fs(41421), tag(2));
+    s.schedule_at(SimTime::fs(36915), [&s, tag] {
+        // From inside event 0: slot ~1002 is inside the wheel window but
+        // far past the surviving slot-37 events.
+        s.schedule_at(SimTime::fs(1026087), tag(3));
+    });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Scheduler, OrderMatchesReferenceSortUnderRandomLoad) {
+    // Randomized cross-check against a stable sort by (time, insertion
+    // order), with a coarse time quantum to force many exact ties and a
+    // spread wide enough to keep both wheel and overflow populated.
+    Scheduler s;
+    Rng rng(1234);
+    std::vector<std::pair<std::int64_t, int>> expected;  // (time_fs, id)
+    std::vector<int> order;
+    for (int id = 0; id < 2000; ++id) {
+        const auto t_fs = static_cast<std::int64_t>(
+            rng.uniform(0.0, 3e6));               // 0..3 ns
+        const std::int64_t quantized = (t_fs / 7000) * 7000;
+        expected.emplace_back(quantized, id);
+        s.schedule_at(SimTime::fs(quantized), [&order, id] { order.push_back(id); });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    s.run();
+    ASSERT_EQ(order.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(order[i], expected[i].second) << "position " << i;
+    }
+}
+
+TEST(Scheduler, EventsScheduledAtNowRunBeforeLaterTimes) {
+    // A callback scheduling at exactly now() (the ring oscillator's startup
+    // kick does this) must run before any strictly later pending event,
+    // even one in the same wheel slot.
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(SimTime::ps(10), [&] {
+        order.push_back(1);
+        s.schedule_at(s.now(), [&order] { order.push_back(2); });
+        s.schedule_in(SimTime::fs(1), [&order] { order.push_back(3); });
+    });
+    s.schedule_at(SimTime::ps(10) + SimTime::fs(2), [&] { order.push_back(4); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Scheduler, OversizedCapturesTakeTheHeapFallback) {
+    // Captures beyond the inline callback buffer must still work (heap
+    // path of InlineCallback) and run exactly once.
+    Scheduler s;
+    std::array<char, 128> blob{};
+    blob[0] = 42;
+    int hits = 0;
+    s.schedule_at(SimTime::ps(1), [blob, &hits] { hits += blob[0]; });
+    s.run();
+    EXPECT_EQ(hits, 42);
 }
 
 TEST(Scheduler, StepReturnsFalseWhenEmpty) {

@@ -184,6 +184,19 @@ TEST(Jtol, CurveHasOnePointPerFrequency) {
     EXPECT_GE(curve[0].amp_uipp, curve[2].amp_uipp);
 }
 
+TEST(StatModel, PruneFloorLeavesBerUnchanged) {
+    // A 1e-18 density floor sits ~5 decades below anything the 1e-12 BER
+    // integral touches; enabling it must not move the answer measurably.
+    ModelConfig cfg = base_config();
+    cfg.spec.sj_uipp = 0.3;      // stressed enough that BER is far from 0
+    cfg.sj_freq_norm = 0.1;
+    const double reference = ber_of(cfg);
+    cfg.pdf_prune_floor = 1e-18;
+    const double pruned = ber_of(cfg);
+    ASSERT_GT(reference, 0.0);
+    EXPECT_NEAR(pruned / reference, 1.0, 1e-9);
+}
+
 TEST(Ftol, PositiveAndDegradedByJitter) {
     ModelConfig cfg = base_config();
     const double clean_tol = ftol(cfg);

@@ -151,6 +151,64 @@ TEST(GridPdf, FftAndDirectPathsAgree) {
     for (double v : c.density()) EXPECT_GE(v, 0.0);
 }
 
+TEST(GridPdf, ConvolvePruneFloorTrimsOnlySubFloorTails) {
+    const auto g = GridPdf::gaussian(0.02, kDx);   // tails reach ~1e-19
+    const auto u = GridPdf::uniform(0.1, kDx);
+    const auto full = g.convolve(u);               // default: no pruning
+    const auto pruned = g.convolve(u, 1e-18);
+    // Support shrinks, bulk statistics don't.
+    ASSERT_LT(pruned.size(), full.size());
+    EXPECT_NEAR(pruned.mass(), full.mass(), 1e-15);
+    EXPECT_NEAR(pruned.mean(), full.mean(), 1e-12);
+    EXPECT_NEAR(pruned.stddev(), full.stddev(), 1e-12);
+    // x0 shifted by exactly the trimmed leading bins, so surviving bins
+    // sit at identical positions with identical densities.
+    const auto offset = static_cast<std::size_t>(
+        std::round((pruned.x0() - full.x0()) / kDx));
+    ASSERT_GT(offset, 0u);
+    for (std::size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_EQ(pruned.density()[i], full.density()[i + offset]);
+        EXPECT_GE(pruned.density()[i] + 1.0, 1.0);  // finite, non-NaN
+    }
+    // Every trimmed bin really was below the floor.
+    for (std::size_t i = 0; i < offset; ++i) {
+        EXPECT_LT(full.density()[i], 1e-18);
+    }
+    // Interior bins stay even if pruning is requested with a huge floor:
+    // the result never collapses below one bin.
+    const auto extreme = g.convolve(u, 1e100);
+    EXPECT_GE(extreme.size(), 1u);
+}
+
+TEST(GridPdf, ConvolvePruneFloorDefaultOffIsBitIdentical) {
+    // prune_floor = 0 must take the historical path exactly: same support,
+    // same bits, so seeded statmodel outputs cannot move.
+    const auto g = GridPdf::gaussian(0.015, kDx);
+    const auto u = GridPdf::uniform(0.2, kDx);
+    const auto a = g.convolve(u);
+    const auto b = g.convolve(u, 0.0);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.x0(), b.x0());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.density()[i], b.density()[i]);
+    }
+}
+
+TEST(GridPdf, ConvolveAllForwardsPruneFloor) {
+    std::vector<GridPdf> parts;
+    parts.push_back(GridPdf::gaussian(0.02, kDx));
+    parts.push_back(GridPdf::uniform(0.1, kDx));
+    parts.push_back(GridPdf::gaussian(0.01, kDx));
+    const auto full = convolve_all(parts, kDx);
+    const auto pruned = convolve_all(parts, kDx, 1e-18);
+    ASSERT_LT(pruned.size(), full.size());
+    EXPECT_NEAR(pruned.mass(), full.mass(), 1e-14);
+    // Tail integrals above the measurement floor are unaffected.
+    const double x = full.mean() + 6.0 * full.stddev();
+    EXPECT_NEAR(pruned.tail_above(x), full.tail_above(x),
+                1e-15 + 1e-9 * full.tail_above(x));
+}
+
 TEST(GridPdf, TripleConvolutionMatchesAnalyticGaussian) {
     // Sum of three Gaussians is Gaussian with summed variances; check a
     // far-tail value against the closed form.

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/fft.hpp"
 #include "util/mathx.hpp"
@@ -231,6 +234,18 @@ TEST(Fft, NextPow2) {
     EXPECT_EQ(next_pow2(1000), 1024u);
 }
 
+TEST(Fft, NextPow2GuardsAgainstOverflow) {
+    // The largest representable power of two is 2^63 on a 64-bit size_t;
+    // the old shift loop wrapped to 0 (infinite loop) for anything above.
+    constexpr std::size_t kTop =
+        (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+    EXPECT_EQ(next_pow2(kTop), kTop);
+    EXPECT_EQ(next_pow2(kTop - 5), kTop);
+    EXPECT_THROW(next_pow2(kTop + 1), std::overflow_error);
+    EXPECT_THROW(next_pow2(std::numeric_limits<std::size_t>::max()),
+                 std::overflow_error);
+}
+
 TEST(Fft, ForwardInverseRoundTrip) {
     std::vector<std::complex<double>> data(64);
     Rng rng(3);
@@ -268,9 +283,93 @@ TEST(Fft, ConvolutionMatchesDirect) {
     }
 }
 
-TEST(Fft, ConvolveEmptyReturnsEmpty) {
-    EXPECT_TRUE(convolve_fft({}, {1.0}).empty());
-    EXPECT_TRUE(convolve_direct({1.0}, {}).empty());
+TEST(Fft, ConvolveRejectsEmptyInputs) {
+    // Empty operands used to fall through to a.size() + b.size() - 1
+    // arithmetic; now both convolvers reject them loudly.
+    EXPECT_THROW(convolve_fft({}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(convolve_fft({1.0}, {}), std::invalid_argument);
+    EXPECT_THROW(convolve_direct({1.0}, {}), std::invalid_argument);
+    EXPECT_THROW(convolve_direct({}, {1.0}), std::invalid_argument);
+}
+
+TEST(Fft, ConvolveCrossCheckOddAndPrimeLengths) {
+    // The packed real transform must agree with the direct product for
+    // every awkward length pairing (odd, prime, length-1) — these stress
+    // the zero-padding and the Hermitian k/n-k recombination.
+    const std::size_t lengths[] = {1, 2, 3, 5, 7, 13, 31, 97, 101};
+    Rng rng(17);
+    for (std::size_t la : lengths) {
+        for (std::size_t lb : lengths) {
+            std::vector<double> a(la), b(lb);
+            for (auto& v : a) v = rng.uniform(-2.0, 2.0);
+            for (auto& v : b) v = rng.uniform(-2.0, 2.0);
+            const auto fast = convolve_fft(a, b);
+            const auto slow = convolve_direct(a, b);
+            ASSERT_EQ(fast.size(), slow.size()) << la << "x" << lb;
+            for (std::size_t i = 0; i < fast.size(); ++i) {
+                EXPECT_NEAR(fast[i], slow[i], 1e-10)
+                    << "lengths " << la << "x" << lb << " at " << i;
+            }
+        }
+    }
+}
+
+TEST(Fft, ConvolveSingleElementKernelScales) {
+    // a (*) {k} must be exactly k*a up to FFT rounding, in either order.
+    std::vector<double> a;
+    Rng rng(23);
+    for (int i = 0; i < 40; ++i) a.push_back(rng.uniform(-1.0, 1.0));
+    for (double k : {2.5, -0.125, 0.0}) {
+        for (const auto& out :
+             {convolve_fft(a, {k}), convolve_fft({k}, a)}) {
+            ASSERT_EQ(out.size(), a.size());
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                EXPECT_NEAR(out[i], k * a[i], 1e-12);
+            }
+        }
+    }
+}
+
+TEST(Fft, ConvolveNearDenormalDensities) {
+    // Gaussian-tail-scale values (~1e-154 each, products ~1e-308, at the
+    // denormal boundary) must come through without overflow/underflow blowup
+    // and match the direct product to relative precision of the peak.
+    std::vector<double> a(300), b(200);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = 1e-154 * (1.0 + 0.01 * static_cast<double>(i % 7));
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = 1e-154 * (2.0 - 0.01 * static_cast<double>(i % 5));
+    }
+    const auto fast = convolve_fft(a, b);
+    const auto slow = convolve_direct(a, b);
+    ASSERT_EQ(fast.size(), slow.size());
+    double peak = 0.0;
+    for (double v : slow) peak = std::max(peak, std::abs(v));
+    ASSERT_GT(peak, 0.0);
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(fast[i]));
+        EXPECT_NEAR(fast[i], slow[i], 1e-11 * peak);
+    }
+}
+
+TEST(Fft, PlanCacheGivesIdenticalBitsAcrossCalls) {
+    // The per-thread twiddle cache must make repeat transforms (and
+    // transforms interleaved with other sizes) bit-identical: sweeps rely
+    // on convolution determinism for reproducible BER curves.
+    Rng rng(31);
+    std::vector<double> a(600), b(500);
+    for (auto& v : a) v = rng.uniform(0.0, 1.0);
+    for (auto& v : b) v = rng.uniform(0.0, 1.0);
+    const auto first = convolve_fft(a, b);
+    // Interleave a different size to churn the cache.
+    (void)convolve_fft(std::vector<double>(17, 1.0),
+                       std::vector<double>(9, 1.0));
+    const auto second = convolve_fft(a, b);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i], second[i]);  // bitwise, not approximate
+    }
 }
 
 }  // namespace
