@@ -3,7 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CANDIDATE.json [--min-ratio METRIC=X ...]
-                  [--require-identical-counters]
+                  [--require-identical-counters] [--ignore-missing]
 
 Prints a side-by-side diff of wall time, counters and gauges, plus derived
 event throughput (<prefix>.events_per_s from <prefix>.events_executed /
@@ -19,6 +19,12 @@ named gauge or derived metric (e.g. --min-ratio cdr_sim.events_per_s=1.5).
 Counters compare for identity only; with --require-identical-counters any
 counter difference is an error (the repo's seeded workloads must stay
 bit-identical across kernel changes).
+
+A metric present in only one report fails the comparison with a per-key
+message naming the report it is missing from (a renamed or dropped metric
+is a real schema change, not noise). Pass --ignore-missing to downgrade
+those to informational notes — useful when diffing across revisions that
+legitimately added instrumentation.
 """
 
 import argparse
@@ -77,6 +83,12 @@ def main():
         action="store_true",
         help="fail on any counter difference",
     )
+    ap.add_argument(
+        "--ignore-missing",
+        action="store_true",
+        help="report metrics present in only one report as notes instead "
+        "of failures",
+    )
     args = ap.parse_args()
 
     constraints = {}
@@ -98,6 +110,15 @@ def main():
 
     failures = []
 
+    def note_missing(kind, name, b, c):
+        """Per-key message for a metric present in only one report."""
+        side = "baseline" if b is None else "candidate"
+        msg = f"{kind} {name}: missing from {side} report"
+        if args.ignore_missing:
+            print(f"  note: {msg}")
+        else:
+            failures.append(msg)
+
     counter_diffs = []
     for name in sorted(set(bm.get("counters", {})) | set(cm.get("counters", {}))):
         b = bm.get("counters", {}).get(name)
@@ -107,6 +128,8 @@ def main():
     print(f"\ncounters: {'identical' if not counter_diffs else 'DIFFER'}")
     for name, b, c in counter_diffs:
         print(f"  {name}: {fmt(b)} -> {fmt(c)}")
+        if b is None or c is None:
+            note_missing("counter", name, b, c)
     if counter_diffs and args.require_identical_counters:
         failures.append("counters differ")
 
@@ -120,6 +143,7 @@ def main():
         b, c = b_gauges.get(name), c_gauges.get(name)
         if b is None or c is None:
             print(f"  {name}: {fmt(b)} -> {fmt(c)}  (only in one report)")
+            note_missing("gauge", name, b, c)
             continue
         ratio = c / b if b else float("inf")
         print(f"  {name}: {fmt(b)} -> {fmt(c)}  (x{ratio:.3f})")
@@ -127,7 +151,11 @@ def main():
     for metric, want in constraints.items():
         b, c = b_gauges.get(metric), c_gauges.get(metric)
         if b is None or c is None:
-            failures.append(f"{metric}: missing from a report")
+            side = "candidate" if b is not None else (
+                "baseline" if c is not None else "both")
+            failures.append(
+                f"{metric}: --min-ratio metric missing from {side} "
+                "report(s)")
             continue
         ratio = c / b if b else float("inf")
         if ratio < want:

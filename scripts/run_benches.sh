@@ -38,6 +38,7 @@ benches=(
     fig10_ber_freqoff
     fig13_tau_sweep
     fig17_ber_improved
+    xval_ber
     ftol_scan
     baseline_jtol
 )

@@ -16,10 +16,27 @@ double ErrorCounter::ber_upper_bound(double confidence) const {
         // Exact: (1-p)^n >= 1-confidence  =>  p <= -ln(1-conf)/n.
         return std::min(1.0, -std::log(1.0 - confidence) / n);
     }
-    // Gaussian approximation around the point estimate.
-    const double p = ber();
-    const double z = q_inverse(1.0 - confidence);
-    return std::min(1.0, p + z * std::sqrt(p * (1.0 - p) / n));
+    if (errors_ >= bits_) return 1.0;
+    // Exact Clopper-Pearson: the smallest p with P(X <= k | p) <= 1-conf,
+    // i.e. the (confidence)-quantile of Beta(k+1, n-k).
+    const double k = static_cast<double>(errors_);
+    return beta_inc_inv(k + 1.0, n - k, confidence);
+}
+
+ErrorCounter::Interval ErrorCounter::ber_interval(double confidence) const {
+    assert(confidence > 0.0 && confidence < 1.0);
+    Interval iv;
+    if (bits_ == 0) return iv;  // vacuous [0, 1]
+    const double n = static_cast<double>(bits_);
+    const double k = static_cast<double>(errors_);
+    const double alpha = 1.0 - confidence;
+    if (errors_ > 0) {
+        iv.lo = beta_inc_inv(k, n - k + 1.0, alpha / 2.0);
+    }
+    if (errors_ < bits_) {
+        iv.hi = beta_inc_inv(k + 1.0, n - k, 1.0 - alpha / 2.0);
+    }
+    return iv;
 }
 
 double extrapolate_ber_from_margins(const std::vector<double>& margins_ui) {

@@ -56,9 +56,21 @@ public:
     }
 
     /// One-sided upper confidence bound on the true BER at the given
-    /// confidence level (exact for zero errors, Gaussian approx otherwise).
-    /// With zero errors over N bits at 95%: BER < 3/N (the "rule of 3").
+    /// confidence level. Exact at every error count: the rule-of-3 closed
+    /// form for zero errors (95%: BER < 3/N), the Clopper-Pearson bound
+    /// (inverse incomplete beta) otherwise. The Gaussian approximation the
+    /// bound used to fall back on is badly anti-conservative at the low
+    /// error counts rare-event runs produce (k < ~20).
     [[nodiscard]] double ber_upper_bound(double confidence = 0.95) const;
+
+    /// Two-sided exact Clopper-Pearson interval [lo, hi] on the true BER
+    /// at the given confidence level. lo = 0 at zero errors, hi = 1 when
+    /// every bit errored; no bits gives the vacuous [0, 1].
+    struct Interval {
+        double lo = 0.0;
+        double hi = 1.0;
+    };
+    [[nodiscard]] Interval ber_interval(double confidence = 0.95) const;
 
     void reset() { bits_ = errors_ = 0; }
 

@@ -1,0 +1,81 @@
+#include "mc/estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/mathx.hpp"
+
+namespace gcdr::mc {
+
+double z_value(double confidence) {
+    assert(confidence > 0.0 && confidence < 1.0);
+    // Two-sided: tail mass (1-conf)/2 on each side.
+    return q_inverse(0.5 * (1.0 - confidence));
+}
+
+Interval wilson_interval(std::uint64_t k, std::uint64_t n,
+                         double confidence) {
+    Interval iv;
+    if (n == 0) return iv;
+    assert(k <= n);
+    const double z = z_value(confidence);
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(k) / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double center = (p + z2 / (2.0 * nn)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+    iv.lo = std::max(0.0, center - half);
+    iv.hi = std::min(1.0, center + half);
+    return iv;
+}
+
+Interval clopper_pearson_interval(std::uint64_t k, std::uint64_t n,
+                                  double confidence) {
+    Interval iv;
+    if (n == 0) return iv;
+    assert(k <= n);
+    const double kk = static_cast<double>(k);
+    const double nn = static_cast<double>(n);
+    const double alpha = 1.0 - confidence;
+    iv.lo = (k == 0) ? 0.0 : beta_inc_inv(kk, nn - kk + 1.0, alpha / 2.0);
+    iv.hi = (k == n) ? 1.0
+                     : beta_inc_inv(kk + 1.0, nn - kk, 1.0 - alpha / 2.0);
+    return iv;
+}
+
+Interval normal_interval(double mean, double se, double confidence) {
+    const double z = z_value(confidence);
+    Interval iv;
+    iv.lo = std::max(0.0, mean - z * se);
+    iv.hi = mean + z * se;
+    return iv;
+}
+
+double McEstimate::rel_err() const {
+    if (mean <= 0.0) return std::numeric_limits<double>::infinity();
+    return std_err / mean;
+}
+
+double WeightedTally::mean() const {
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+double WeightedTally::std_err() const {
+    if (n_ < 2) return 0.0;
+    const double nn = static_cast<double>(n_);
+    const double m = sum_ / nn;
+    // Unbiased sample variance of the contributions.
+    const double var = std::max(0.0, (sum_sq_ - nn * m * m) / (nn - 1.0));
+    return std::sqrt(var / nn);
+}
+
+double WeightedTally::ess() const {
+    if (sum_sq_ <= 0.0) return 0.0;
+    return sum_ * sum_ / sum_sq_;
+}
+
+}  // namespace gcdr::mc

@@ -1,0 +1,111 @@
+#pragma once
+// Common estimator accounting for the rare-event Monte Carlo engines
+// (mc/importance.hpp, mc/splitting.hpp, mc/direct.hpp).
+//
+// Every engine reports the same McEstimate record: point estimate,
+// standard error, relative error, effective sample size and a 95%-style
+// confidence interval, so the cross-validation bench (bench_xval_ber) can
+// compare statmodel / importance-sampling / splitting numbers on one
+// footing. Interval flavors:
+//   - unweighted counts (direct sampler, ErrorCounter): exact
+//     Clopper-Pearson and the cheaper Wilson score interval,
+//   - weighted estimators (importance sampling): normal-theory interval
+//     from the weighted variance, with the effective sample size
+//     (sum w)^2 / sum w^2 reported so a collapsed-weight run is visible,
+//   - splitting: normal-theory interval on the product-of-levels estimate
+//     (per-level binomial variances summed in relative terms).
+//
+// All accumulation here is plain sequential arithmetic — engines own the
+// parallel structure and must merge lane-local tallies in a fixed order
+// (the exec/ determinism contract), so estimates are bit-identical for
+// any thread count.
+
+#include <cstdint>
+
+namespace gcdr::mc {
+
+struct Interval {
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+/// Wilson score interval for k successes in n Bernoulli trials.
+[[nodiscard]] Interval wilson_interval(std::uint64_t k, std::uint64_t n,
+                                       double confidence = 0.95);
+
+/// Exact Clopper-Pearson interval (inverse incomplete beta) for k in n.
+[[nodiscard]] Interval clopper_pearson_interval(std::uint64_t k,
+                                                std::uint64_t n,
+                                                double confidence = 0.95);
+
+/// Symmetric normal-theory interval mean +/- z(confidence) * se, floored
+/// at 0 (all estimands here are probabilities).
+[[nodiscard]] Interval normal_interval(double mean, double se,
+                                       double confidence = 0.95);
+
+/// Two-sided z-value for a confidence level (0.95 -> 1.9600).
+[[nodiscard]] double z_value(double confidence);
+
+/// Shared adaptive-stopping knobs: every engine runs in rounds and stops
+/// at the first round where rel_err <= target_rel_err, or when the next
+/// round would exceed max_evals margin-model evaluations.
+struct McBudget {
+    double target_rel_err = 0.1;
+    std::uint64_t max_evals = 1'000'000;
+    double confidence = 0.95;
+    std::uint64_t base_seed = 1;
+};
+
+/// One engine's result for one estimand.
+struct McEstimate {
+    double mean = 0.0;     ///< point estimate (a probability / BER)
+    double std_err = 0.0;  ///< standard error of `mean`
+    Interval ci;           ///< confidence interval at `confidence`
+    double confidence = 0.95;
+    double ess = 0.0;      ///< effective sample size (= n when unweighted)
+    std::uint64_t n_samples = 0;  ///< raw evaluations consumed
+    bool converged = false;  ///< hit the target relative error in budget
+
+    /// std_err / mean; infinite when the estimate is zero.
+    [[nodiscard]] double rel_err() const;
+    /// True when `value` lies inside the confidence interval — the
+    /// cross-validation agreement test.
+    [[nodiscard]] bool contains(double value) const {
+        return value >= ci.lo && value <= ci.hi;
+    }
+};
+
+/// Streaming first/second-moment tally of (possibly weighted) samples.
+/// add(w) ingests one draw's contribution w = weight * indicator; zero
+/// contributions still count toward n. Merging order matters in the last
+/// floating-point bits — engines merge per-stratum tallies in index order.
+class WeightedTally {
+public:
+    void add(double w) {
+        ++n_;
+        sum_ += w;
+        sum_sq_ += w * w;
+    }
+    void merge(const WeightedTally& other) {
+        n_ += other.n_;
+        sum_ += other.sum_;
+        sum_sq_ += other.sum_sq_;
+    }
+
+    [[nodiscard]] std::uint64_t n() const { return n_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double sum_sq() const { return sum_sq_; }
+    /// Sample mean (0 for an empty tally).
+    [[nodiscard]] double mean() const;
+    /// Standard error of the mean (unbiased variance / n, 0 if n < 2).
+    [[nodiscard]] double std_err() const;
+    /// Effective sample size (sum w)^2 / (sum w^2); n when unweighted.
+    [[nodiscard]] double ess() const;
+
+private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+};
+
+}  // namespace gcdr::mc

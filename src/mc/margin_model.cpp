@@ -1,0 +1,209 @@
+#include "mc/margin_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "sim/scheduler.hpp"
+
+namespace gcdr::mc {
+
+std::vector<double> run_length_pmf(int cap) {
+    assert(cap >= 1);
+    std::vector<double> p(cap);
+    for (int l = 1; l < cap; ++l) {
+        p[l - 1] = std::pow(0.5, l);
+    }
+    p[cap - 1] = std::pow(0.5, cap - 1);  // P(L >= cap) folded onto the cap
+    return p;
+}
+
+double mean_run_length(const std::vector<double>& pmf) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < pmf.size(); ++i) {
+        m += static_cast<double>(i + 1) * pmf[i];
+    }
+    return m;
+}
+
+int run_length_from_uniform(const std::vector<double>& pmf, double u) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < pmf.size(); ++i) {
+        acc += pmf[i];
+        if (u < acc) return static_cast<int>(i + 1);
+    }
+    return static_cast<int>(pmf.size());
+}
+
+// ---------------------------------------------------------------------------
+// AnalyticMarginModel
+
+AnalyticMarginModel::AnalyticMarginModel(const statmodel::ModelConfig& cfg)
+    : cfg_(cfg) {
+    assert(cfg_.max_cid >= 1);
+}
+
+double AnalyticMarginModel::margin_threshold(int run_length) const {
+    return (static_cast<double>(run_length) - 0.5 -
+            cfg_.sampling_advance_ui) *
+               (1.0 + cfg_.freq_offset) -
+           static_cast<double>(run_length);
+}
+
+double AnalyticMarginModel::osc_sigma(int run_length) const {
+    const double elapsed_ui =
+        std::max(0.0, static_cast<double>(run_length) - 0.5 -
+                          cfg_.sampling_advance_ui);
+    return cfg_.spec.ckj_uirms *
+           std::sqrt(elapsed_ui / static_cast<double>(cfg_.cid_ref));
+}
+
+double AnalyticMarginModel::combined_sigma(int run_length) const {
+    const double rj2 = 2.0 * cfg_.spec.rj_uirms * cfg_.spec.rj_uirms;
+    const double osc = osc_sigma(run_length);
+    return std::sqrt(rj2 + osc * osc);
+}
+
+double AnalyticMarginModel::sj_eff_amp(int run_length) const {
+    if (cfg_.spec.sj_uipp <= 0.0 || cfg_.sj_freq_norm <= 0.0) return 0.0;
+    return cfg_.spec.sj_uipp *
+           std::abs(std::sin(std::numbers::pi * cfg_.sj_freq_norm *
+                             static_cast<double>(run_length)));
+}
+
+double AnalyticMarginModel::late_margin_ui(const RunSample& s) const {
+    // The last sample survives while  L + dJ_rel > s_L + osc jitter, i.e.
+    // margin = DJ + RJ_close - RJ_trig - osc*z + SJ_rel - (s_L - L) > 0.
+    // Identical in law to statmodel's P(DJ + G + S < s_L - L) with
+    // G ~ N(0, 2*rj^2 + osc^2) and S the phase-uniform SJ sinusoid.
+    const double dj = (s.u_dj - 0.5) * cfg_.spec.dj_uipp;
+    const double rj = cfg_.spec.rj_uirms * (s.z_edge - s.z_trig);
+    const double osc = osc_sigma(s.run_length) * s.z_osc;
+    const double sj =
+        sj_eff_amp(s.run_length) *
+        std::sin(2.0 * std::numbers::pi * s.u_phase);
+    return dj + rj - osc + sj - margin_threshold(s.run_length);
+}
+
+double AnalyticMarginModel::early_nominal_ui() const {
+    return (0.5 - cfg_.sampling_advance_ui) * (1.0 + cfg_.freq_offset);
+}
+
+double AnalyticMarginModel::early_sigma() const {
+    const double osc = osc_sigma(1);
+    const double mm = cfg_.trigger_mismatch_uirms;
+    return std::sqrt(osc * osc + mm * mm);
+}
+
+double AnalyticMarginModel::early_margin_ui(double z_early) const {
+    return early_nominal_ui() + early_sigma() * z_early;
+}
+
+double AnalyticMarginModel::margin_ui(const RunSample& s) const {
+    return std::min(late_margin_ui(s), early_margin_ui(s.z_early));
+}
+
+// ---------------------------------------------------------------------------
+// BehavioralMarginModel
+
+BehavioralMarginModel::BehavioralMarginModel(Params p)
+    : params_(std::move(p)) {
+    assert(params_.max_cid >= 1);
+    assert(params_.warmup_bits >= 2);
+    // An even warmup ends on the low level, so the run always opens with
+    // a real triggering transition.
+    if (params_.warmup_bits % 2 != 0) ++params_.warmup_bits;
+}
+
+BehavioralMarginModel::Params BehavioralMarginModel::params_from(
+    const statmodel::ModelConfig& cfg, LinkRate rate) {
+    Params p;
+    // delta = (T_cco - T_data)/T_data, so the oscillator runs at
+    // f_data/(1 + delta).
+    const double f_osc =
+        rate.bits_per_second() / (1.0 + cfg.freq_offset);
+    p.channel = cdr::ChannelConfig::nominal(f_osc, cfg.spec.ckj_uirms, rate);
+    p.channel.improved_sampling = cfg.sampling_advance_ui > 0.0;
+    p.spec = cfg.spec;
+    p.sj_freq_norm = cfg.sj_freq_norm;
+    p.max_cid = cfg.max_cid;
+    return p;
+}
+
+double BehavioralMarginModel::margin_ui(const RunSample& s) const {
+    const LinkRate rate = params_.channel.rate;
+    const double ui_s = rate.ui_seconds();
+    const int w = params_.warmup_bits;
+    const int L = std::clamp(s.run_length, 1, params_.max_cid);
+
+    // Pattern: w alternating warmup bits (1,0,...,1,0), the run of L high
+    // bits, one low closing bit. Transitions fall on every warmup
+    // boundary, at index w (the trigger) and at w + L (the closing edge
+    // whose measured margin is the sample).
+    const SimTime start = SimTime::ns(4);  // oscillator startup first
+    const double theta0 = 2.0 * std::numbers::pi * s.u_phase;
+    const double sj_amp_ui = params_.spec.sj_uipp / 2.0;
+    auto sj_at = [&](int bits_past_trigger) {
+        if (sj_amp_ui == 0.0 || params_.sj_freq_norm == 0.0) return 0.0;
+        return sj_amp_ui *
+               std::sin(theta0 + 2.0 * std::numbers::pi *
+                                     params_.sj_freq_norm *
+                                     static_cast<double>(bits_past_trigger));
+    };
+
+    std::vector<jitter::Edge> edges;
+    edges.reserve(static_cast<std::size_t>(w) + 2);
+    SimTime prev = start - SimTime::fs(1);
+    bool level = false;
+    auto push_edge = [&](int bit_index, double disp_ui) {
+        const double nominal_s =
+            start.seconds() + static_cast<double>(bit_index) * ui_s;
+        SimTime t = SimTime::from_seconds(nominal_s + disp_ui * ui_s);
+        if (t <= prev) t = prev + SimTime::fs(1);
+        level = !level;
+        edges.push_back(jitter::Edge{t, level});
+        prev = t;
+    };
+    for (int i = 0; i < w; ++i) push_edge(i, 0.0);  // clean warmup toggles
+    // Triggering edge of the run: its own RJ plus the coherent sinusoid.
+    push_edge(w, params_.spec.rj_uirms * s.z_trig + sj_at(0));
+    // Closing edge: DJ + RJ + the sinusoid L bits later. The SJ difference
+    // across the run realizes the A*|sin(pi*f*L)| effective amplitude the
+    // analytic layer uses.
+    push_edge(w + L, (s.u_dj - 0.5) * params_.spec.dj_uipp +
+                         params_.spec.rj_uirms * s.z_edge + sj_at(L));
+
+    // A fresh Scheduler + channel per evaluation IS the clone-and-restart:
+    // the trajectory is fully determined by (latent vector, noise_seed),
+    // so a checkpoint never has to serialize live event-queue state.
+    sim::Scheduler sched;
+    Rng rng(s.noise_seed);
+    cdr::GccoChannel ch(sched, rng, params_.channel, "mc");
+    ch.drive(edges);
+    sched.run_until(edges.back().time + rate.ui_to_time(4.0));
+
+    // Ground truth from the recovered bits: the sampler must emit exactly
+    // (warmup ones + L) ones. A late error drops one (bit L sampled past
+    // the closing edge reads 0), an early/deep shift adds one (the closing
+    // 0 sampled while the run is still high) — either way the count moves.
+    // The channel's margin population alone cannot decide this: its 1-UI
+    // unwrap maps errors deeper than ~half a period back into the healthy
+    // band.
+    const auto& margins = ch.margins_ui();
+    if (margins.empty() || ch.decisions().empty()) return 1.0;
+    std::size_t ones = 0;
+    for (const auto& d : ch.decisions()) ones += d.bit ? 1u : 0u;
+    const std::size_t expected = static_cast<std::size_t>(w / 2 + L);
+    const bool error = ones != expected;
+    // The closing edge is the last DDIN transition, so its measured margin
+    // is the final entry: continuous through 0 for near misses (the
+    // channel unwraps those to small negatives). Errors the unwrap missed
+    // saturate at -0.5; healthy runs whose late closing edge tripped the
+    // unwrap get the period added back.
+    const double m = margins.back();
+    if (error) return m < 0.0 ? m : -0.5;
+    return m > 0.0 ? m : m + 1.0;
+}
+
+}  // namespace gcdr::mc

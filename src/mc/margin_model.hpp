@@ -1,0 +1,136 @@
+#pragma once
+// The sampled quantity behind every rare-event engine: the timing margin
+// (UI) of one run of the gated-oscillator CDR, as a deterministic function
+// of a latent coordinate vector. Error <=> margin < 0.
+//
+// Two implementations:
+//  - AnalyticMarginModel mirrors statmodel/gated_osc_model.cpp's timing
+//    equations exactly (same jitter budget, same relative-edge algebra),
+//    but *samples* the continuous laws instead of convolving gridded PDFs.
+//    Monte Carlo estimates over it therefore converge to the statistical
+//    model's BER up to grid error — the cross-validation bench leans on
+//    that identity.
+//  - BehavioralMarginModel drives a real cdr::GccoChannel (Scheduler +
+//    EdgeDetector + GCCO + sampler) through one warmup + run + closing
+//    pattern per evaluation and reads the channel's measured closing
+//    margin. The channel is a deterministic function of (latent vector,
+//    noise_seed), which is what makes clone-and-restart splitting work:
+//    a checkpoint is the latent state, a restart is a fresh Scheduler
+//    replaying it — no live event-queue state needs copying.
+//
+// All evaluations are const and allocate only locally, so one model
+// instance may be shared by every lane of an exec::ThreadPool.
+
+#include <cstdint>
+#include <vector>
+
+#include "cdr/channel.hpp"
+#include "statmodel/gated_osc_model.hpp"
+
+namespace gcdr::mc {
+
+/// Latent coordinates of one run event. Engines draw these (importance
+/// sampling from tilted laws, splitting via MCMC); the margin model maps
+/// them to a timing margin. Uniform coordinates are in [0,1); z
+/// coordinates are standard-normal.
+struct RunSample {
+    int run_length = 1;    ///< L, in [1, max_cid]
+    double u_dj = 0.5;     ///< -> DJ displacement (uniform, Table 1 DJpp)
+    double z_edge = 0.0;   ///< closing-edge RJ
+    double z_trig = 0.0;   ///< triggering-edge RJ
+    double z_osc = 0.0;    ///< oscillator jitter accumulated over the run
+    double u_phase = 0.0;  ///< -> SJ phase in [0, 2*pi)
+    double z_early = 0.0;  ///< trigger-path mismatch + short-horizon osc
+    /// Extra system noise with no smooth coordinate (the behavioral
+    /// channel's internal stage jitter). Analytic model ignores it.
+    std::uint64_t noise_seed = 0;
+};
+
+/// Truncated-geometric run-length law P(L = l), l = 1..cap (the same law
+/// statmodel uses: random data with the encoding's CID cap).
+[[nodiscard]] std::vector<double> run_length_pmf(int cap);
+[[nodiscard]] double mean_run_length(const std::vector<double>& pmf);
+
+/// Inverse-CDF draw of a run length from the law, u in [0,1).
+[[nodiscard]] int run_length_from_uniform(const std::vector<double>& pmf,
+                                          double u);
+
+class MarginModel {
+public:
+    virtual ~MarginModel() = default;
+    /// Worst margin of the run (min of late and early mechanisms where
+    /// the model resolves both); error <=> negative.
+    [[nodiscard]] virtual double margin_ui(const RunSample& s) const = 0;
+    [[nodiscard]] virtual int max_run_length() const = 0;
+};
+
+/// Closed-form margins from the statistical model's timing equations.
+class AnalyticMarginModel : public MarginModel {
+public:
+    explicit AnalyticMarginModel(const statmodel::ModelConfig& cfg);
+
+    [[nodiscard]] double margin_ui(const RunSample& s) const override;
+    [[nodiscard]] int max_run_length() const override {
+        return cfg_.max_cid;
+    }
+
+    /// Margin of the run's last bit against the closing transition.
+    [[nodiscard]] double late_margin_ui(const RunSample& s) const;
+    /// Margin of the run's first bit against its own trigger.
+    [[nodiscard]] double early_margin_ui(double z_early) const;
+
+    // Pieces the importance sampler's tilt construction needs.
+    /// (s_L - L): the (negative) threshold the relative edge must cross.
+    [[nodiscard]] double margin_threshold(int run_length) const;
+    [[nodiscard]] double rj_sigma() const { return cfg_.spec.rj_uirms; }
+    [[nodiscard]] double osc_sigma(int run_length) const;
+    /// sqrt(2*rj^2 + osc^2): sigma of the relative Gaussian budget.
+    [[nodiscard]] double combined_sigma(int run_length) const;
+    /// Effective relative SJ amplitude A_pp*|sin(pi*f*L)|.
+    [[nodiscard]] double sj_eff_amp(int run_length) const;
+    /// Nominal first-bit sample instant s_1.
+    [[nodiscard]] double early_nominal_ui() const;
+    /// sqrt(osc_1^2 + trigger mismatch^2): early-mechanism sigma.
+    [[nodiscard]] double early_sigma() const;
+
+    [[nodiscard]] const statmodel::ModelConfig& config() const {
+        return cfg_;
+    }
+
+private:
+    statmodel::ModelConfig cfg_;
+};
+
+/// Margins measured on a live GccoChannel, one short simulation per
+/// evaluation: warmup toggles to start the oscillator, the run under
+/// test, and a closing transition whose measured margin is returned.
+class BehavioralMarginModel : public MarginModel {
+public:
+    struct Params {
+        cdr::ChannelConfig channel;
+        jitter::JitterSpec spec;   ///< DJ/RJ/SJ budget applied to the run
+        double sj_freq_norm = 0.0;
+        int max_cid = 5;
+        int warmup_bits = 12;
+    };
+
+    explicit BehavioralMarginModel(Params p);
+
+    /// Channel + budget equivalent to a statistical-model config: the
+    /// oscillator center frequency realizes cfg.freq_offset, improved
+    /// sampling realizes the T/8 advance, CKJ sizes the stage jitter.
+    [[nodiscard]] static Params params_from(
+        const statmodel::ModelConfig& cfg, LinkRate rate = kPaperRate);
+
+    [[nodiscard]] double margin_ui(const RunSample& s) const override;
+    [[nodiscard]] int max_run_length() const override {
+        return params_.max_cid;
+    }
+
+    [[nodiscard]] const Params& params() const { return params_; }
+
+private:
+    Params params_;
+};
+
+}  // namespace gcdr::mc

@@ -38,6 +38,79 @@ double log10_q_function(double x) {
     return (log_phi - std::log(x) + std::log(corr)) / std::numbers::ln10;
 }
 
+namespace {
+
+/// Continued fraction for the incomplete beta (Numerical-Recipes form):
+/// beta_inc(a,b,x) = front * cf / a with the modified-Lentz evaluation.
+double beta_cf(double a, double b, double x) {
+    constexpr int kMaxIter = 400;
+    constexpr double kEps = 1e-15;
+    constexpr double kTiny = 1e-300;
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < kEps) break;
+    }
+    return h;
+}
+
+}  // namespace
+
+double beta_inc(double a, double b, double x) {
+    assert(a > 0.0 && b > 0.0);
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    // Log of the prefactor x^a (1-x)^b / (a B(a,b)); lgamma keeps it finite
+    // for the huge b of Clopper-Pearson bounds at tiny error rates.
+    const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                             std::lgamma(b) + a * std::log(x) +
+                             b * std::log1p(-x);
+    // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) on the side where the
+    // continued fraction converges fast.
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return std::exp(log_front) * beta_cf(a, b, x) / a;
+    }
+    return 1.0 - std::exp(log_front) * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double beta_inc_inv(double a, double b, double p) {
+    assert(a > 0.0 && b > 0.0);
+    if (p <= 0.0) return 0.0;
+    if (p >= 1.0) return 1.0;
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (beta_inc(a, b, mid) < p) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
 double to_db(double ratio) { return 10.0 * std::log10(ratio); }
 
 double from_db(double db) { return std::pow(10.0, db / 10.0); }

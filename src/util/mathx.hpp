@@ -22,6 +22,15 @@ inline constexpr double kRoomTempK = 300.0;
 /// log10 of Q(x), stable for x up to ~400 (asymptotic expansion in the tail).
 [[nodiscard]] double log10_q_function(double x);
 
+/// Regularized incomplete beta function I_x(a, b) = P(Beta(a,b) <= x).
+/// Continued-fraction evaluation (Lentz), accurate for a, b up to ~1e12 —
+/// large enough for Clopper–Pearson bounds on terabit error counts.
+[[nodiscard]] double beta_inc(double a, double b, double x);
+
+/// Inverse of beta_inc in x: smallest x with I_x(a, b) >= p. Bisection on
+/// the monotone CDF; used for exact binomial (Clopper–Pearson) intervals.
+[[nodiscard]] double beta_inc_inv(double a, double b, double p);
+
 /// Convert a power ratio to decibels.
 [[nodiscard]] double to_db(double ratio);
 /// Convert decibels to a power ratio.

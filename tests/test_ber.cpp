@@ -48,6 +48,56 @@ TEST(ErrorCounter, NoBitsGivesVacuousBound) {
     EXPECT_DOUBLE_EQ(c.ber_upper_bound(), 1.0);
 }
 
+TEST(ErrorCounter, ExactClopperPearsonUpperBound) {
+    // References computed with arbitrary-precision binomial tail sums.
+    ErrorCounter a;
+    a.record_bits(1000000, 3);
+    EXPECT_NEAR(a.ber_upper_bound(0.95), 7.753638099e-6, 1e-13);
+    ErrorCounter b;
+    b.record_bits(100000, 10);
+    EXPECT_NEAR(b.ber_upper_bound(0.95), 1.696162876e-4, 1e-12);
+}
+
+TEST(ErrorCounter, TwoSidedIntervalReferenceValues) {
+    struct Case {
+        std::uint64_t n, k;
+        double lo, hi;
+    };
+    const Case cases[] = {
+        {30, 0, 0.0, 0.1157033082},
+        {10, 1, 0.002528578544, 0.445016117},
+        {100, 5, 0.01643187918, 0.1128349111},
+        {1000000, 3, 6.186725502e-7, 8.767247788e-6},
+        {100000, 10, 4.795489514e-5, 1.838958454e-4},
+        {1000, 50, 0.0373353976, 0.06539048792},
+    };
+    for (const Case& c : cases) {
+        ErrorCounter counter;
+        counter.record_bits(c.n, c.k);
+        const auto iv = counter.ber_interval(0.95);
+        EXPECT_NEAR(iv.lo, c.lo, 1e-8 * (c.lo > 0 ? c.lo : 1.0))
+            << "n=" << c.n << " k=" << c.k;
+        EXPECT_NEAR(iv.hi, c.hi, 1e-8 * c.hi)
+            << "n=" << c.n << " k=" << c.k;
+        // The counted point estimate lies inside, and the one-sided
+        // bound is looser than the two-sided hi at the same confidence.
+        EXPECT_LE(iv.lo, counter.ber());
+        EXPECT_GE(iv.hi, counter.ber());
+    }
+}
+
+TEST(ErrorCounter, IntervalDegenerateCases) {
+    ErrorCounter none;
+    const auto vac = none.ber_interval();
+    EXPECT_DOUBLE_EQ(vac.lo, 0.0);
+    EXPECT_DOUBLE_EQ(vac.hi, 1.0);
+    ErrorCounter all;
+    all.record_bits(20, 20);
+    const auto iv = all.ber_interval(0.95);
+    EXPECT_GT(iv.lo, 0.5);
+    EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+}
+
 TEST(BitsNeeded, MatchesRuleOfThree) {
     EXPECT_NEAR(bits_needed_for(1e-12, 0.95), 3.0e12, 0.01e12);
     // Tighter confidence costs more bits.

@@ -187,6 +187,63 @@ TEST(SweepRunner, StochasticSweepBitIdenticalAcrossThreadCounts) {
     EXPECT_NE(a, c);
 }
 
+TEST(SweepRunner, ZeroPointGridYieldsEmptyResult) {
+    SweepGrid empty;                      // no axes at all
+    SweepGrid degenerate;
+    degenerate.axis("x", {}).axis("y", {1.0, 2.0});  // one axis empty
+    ThreadPool pool(2);
+    int calls = 0;
+    const auto eval = [&](const SweepPoint&) {
+        ++calls;
+        return 1.0;
+    };
+    EXPECT_TRUE(SweepRunner(pool, empty, 1).map<double>(eval).empty());
+    EXPECT_TRUE(
+        SweepRunner(pool, degenerate, 1).map<double>(eval).empty());
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(SweepRunner, SingleThreadPoolRunsEveryPointInOrder) {
+    SweepGrid grid;
+    grid.axis("x", {1.0, 2.0, 3.0, 4.0, 5.0});
+    ThreadPool serial(1);
+    std::vector<std::size_t> visited;
+    const auto out =
+        SweepRunner(serial, grid, 7).map<double>([&](const SweepPoint& p) {
+            visited.push_back(p.index);
+            return p.value[0] * 10.0;
+        });
+    ASSERT_EQ(out.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(visited[i], i);  // serial pool: caller-thread, in order
+        EXPECT_DOUBLE_EQ(out[i], (static_cast<double>(i) + 1.0) * 10.0);
+    }
+}
+
+TEST(SweepRunner, PointCountNotDividingLaneCountCoversAll) {
+    // Stratum/point counts that don't divide evenly across lanes: 7
+    // points on 4 lanes, 13 on 8 — every index runs exactly once and
+    // results land in their own slots.
+    for (auto [points, lanes] :
+         {std::pair<std::size_t, std::size_t>{7, 4}, {13, 8}, {3, 8}}) {
+        SweepGrid grid;
+        std::vector<double> xs(points);
+        for (std::size_t i = 0; i < points; ++i) {
+            xs[i] = static_cast<double>(i);
+        }
+        grid.axis("x", xs);
+        ThreadPool pool(lanes);
+        const auto out = SweepRunner(pool, grid, 3)
+                             .map<double>([](const SweepPoint& p) {
+                                 return p.value[0] + 0.5;
+                             });
+        ASSERT_EQ(out.size(), points);
+        for (std::size_t i = 0; i < points; ++i) {
+            EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) + 0.5);
+        }
+    }
+}
+
 TEST(Xoshiro, LongJumpStreamsDoNotCollide) {
     // Channels get streams separated by 2^128 steps. Draw 4 streams from
     // one seed and check the first 1000 outputs of all streams are
