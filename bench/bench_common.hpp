@@ -10,6 +10,15 @@
 //                   (0 or omitted flag value semantics below); sweep
 //                   results are bit-identical for every N by design
 //   --seed S        base seed all sweep points derive from
+//   --trace FILE    enable span profiling (obs::SpanCollector::global())
+//                   and write a Chrome trace_event JSON to FILE at the
+//                   end — open in chrome://tracing or ui.perfetto.dev.
+//                   --trace=FILE also accepted. A per-span summary is
+//                   folded into the --json report's "spans" object.
+//   --flight-recorder
+//                   create an obs::FlightRecorder (dumps in the current
+//                   directory) that benches wire into their receivers /
+//                   margin models via RunReport::flight()
 // Unrecognized arguments are left in argv for the bench (so
 // bench_kernel_perf can forward --benchmark_* flags to google-benchmark).
 // Both --threads and --seed are recorded in the report's "run" object.
@@ -24,8 +33,10 @@
 #include <thread>
 
 #include "exec/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace_span.hpp"
 
 namespace gcdr::bench {
 
@@ -39,6 +50,10 @@ struct Options {
     /// Base seed for per-point seed derivation (exec::derive_seed) and
     /// any behavioral-model RNG streams.
     std::uint64_t seed = 1;
+    /// Chrome trace output path; empty = span profiling disabled.
+    std::string trace_path;
+    /// Create a FlightRecorder for the run (RunReport::flight()).
+    bool flight_recorder = false;
 
     /// Strip the flags this layer owns out of (argc, argv).
     [[nodiscard]] static Options parse(int& argc, char** argv) {
@@ -58,6 +73,13 @@ struct Options {
                        i + 1 < argc) {
                 opts.seed =
                     std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                       i + 1 < argc) {
+                opts.trace_path = argv[++i];
+            } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+                opts.trace_path = argv[i] + 8;
+            } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+                opts.flight_recorder = true;
             } else {
                 argv[out++] = argv[i];
             }
@@ -82,11 +104,28 @@ public:
         : opts_(opts),
           id_(std::move(id)),
           title_(std::move(title)),
-          t0_(std::chrono::steady_clock::now()) {}
+          t0_(std::chrono::steady_clock::now()) {
+        if (!opts_.trace_path.empty()) {
+            obs::SpanCollector::global().enable();
+            run_span_ = std::make_unique<obs::TraceSpan>("bench.run");
+        }
+    }
 
     [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
     [[nodiscard]] bool quiet() const { return opts_.quiet; }
     [[nodiscard]] std::uint64_t seed() const { return opts_.seed; }
+    [[nodiscard]] bool tracing() const { return !opts_.trace_path.empty(); }
+
+    /// The run's flight recorder: non-null when --flight-recorder was
+    /// given (also created lazily by an explicit call in tests/benches
+    /// that force it). Benches pass this to MultiChannelCdr /
+    /// BehavioralMarginModel.
+    [[nodiscard]] obs::FlightRecorder* flight() {
+        if (!flight_ && opts_.flight_recorder) {
+            flight_ = std::make_unique<obs::FlightRecorder>();
+        }
+        return flight_.get();
+    }
 
     /// The bench's sweep pool, created on first use with --threads lanes.
     [[nodiscard]] exec::ThreadPool& pool() {
@@ -97,9 +136,23 @@ public:
         return *pool_;
     }
 
-    /// Write the report if requested. Returns false only on I/O failure.
+    /// Write the report (and the Chrome trace, when --trace was given).
+    /// Returns false only on I/O failure.
     bool write() {
-        if (opts_.json_path.empty()) return true;
+        bool ok = true;
+        if (!opts_.trace_path.empty()) {
+            // Close the whole-run span before exporting so it appears in
+            // both the Chrome trace and the report summary.
+            run_span_.reset();
+            auto& spans = obs::SpanCollector::global();
+            ok = spans.write_chrome_trace(opts_.trace_path) && ok;
+            if (ok && !opts_.quiet) {
+                std::printf("\n[trace written to %s — open in "
+                            "chrome://tracing or ui.perfetto.dev]\n",
+                            opts_.trace_path.c_str());
+            }
+        }
+        if (opts_.json_path.empty()) return ok;
         obs::ReportInfo info;
         info.id = id_;
         info.title = title_;
@@ -109,8 +162,10 @@ public:
                 .count();
         info.threads = pool_ ? pool_->size() : opts_.resolved_threads();
         info.seed = opts_.seed;
-        const bool ok =
-            obs::write_run_report(opts_.json_path, registry_, info);
+        if (!opts_.trace_path.empty()) {
+            info.spans = &obs::SpanCollector::global();
+        }
+        ok = obs::write_run_report(opts_.json_path, registry_, info) && ok;
         if (ok && !opts_.quiet) {
             std::printf("\n[report written to %s]\n",
                         opts_.json_path.c_str());
@@ -124,6 +179,8 @@ private:
     std::string title_;
     obs::MetricsRegistry registry_;
     std::unique_ptr<exec::ThreadPool> pool_;
+    std::unique_ptr<obs::FlightRecorder> flight_;
+    std::unique_ptr<obs::TraceSpan> run_span_;
     std::chrono::steady_clock::time_point t0_;
 };
 

@@ -169,8 +169,11 @@ int main(int argc, char** argv) {
     }
     {
         const Point& pt = points[0];
-        mc::BehavioralMarginModel beh(
-            mc::BehavioralMarginModel::params_from(pt.cfg));
+        auto bp = mc::BehavioralMarginModel::params_from(pt.cfg);
+        // With --flight-recorder, every behavioral clone that decodes the
+        // wrong bit count leaves a per-lane post-mortem dump.
+        bp.flight = report.flight();
+        mc::BehavioralMarginModel beh(bp);
 
         mc::DirectSampler::Config dc;
         dc.budget.max_evals = deep ? (1u << 17) : (1u << 14);
@@ -203,8 +206,9 @@ int main(int argc, char** argv) {
     }
     if (deep) {
         const Point& pt = points[1];
-        mc::BehavioralMarginModel beh(
-            mc::BehavioralMarginModel::params_from(pt.cfg));
+        auto bp = mc::BehavioralMarginModel::params_from(pt.cfg);
+        bp.flight = report.flight();
+        mc::BehavioralMarginModel beh(bp);
         mc::SplittingEngine::Config sc;
         sc.n_particles = 512;
         sc.budget.max_evals = 300'000;

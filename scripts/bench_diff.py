@@ -148,6 +148,27 @@ def main():
         ratio = c / b if b else float("inf")
         print(f"  {name}: {fmt(b)} -> {fmt(c)}  (x{ratio:.3f})")
 
+    # Span profiles (bench --trace) ride along as a top-level "spans"
+    # object; wall-clock data, so informational only — never a failure,
+    # even when one side was traced and the other was not.
+    b_spans = base.get("spans", {})
+    c_spans = cand.get("spans", {})
+    if b_spans or c_spans:
+        deltas = []
+        for name in set(b_spans) | set(c_spans):
+            bt = b_spans.get(name, {}).get("total_seconds", 0.0)
+            ct = c_spans.get(name, {}).get("total_seconds", 0.0)
+            deltas.append((ct - bt, ct, bt, name))
+        deltas.sort(key=lambda d: (-abs(d[0]), d[3]))
+        print("\nspans, top 5 by |total_seconds delta| "
+              "(baseline -> candidate, informational):")
+        for delta, ct, bt, name in deltas[:5]:
+            ratio = ct / bt if bt else float("inf")
+            print(f"  {name}: {fmt(bt)}s -> {fmt(ct)}s  "
+                  f"(delta {delta:+.6g}s, x{ratio:.3f})")
+        if len(deltas) > 5:
+            print(f"  ... {len(deltas) - 5} more span(s) not shown")
+
     for metric, want in constraints.items():
         b, c = b_gauges.get(metric), c_gauges.get(metric)
         if b is None or c is None:

@@ -33,6 +33,7 @@ mkdir -p "$reports_dir"
 # adopt RunReport.
 benches=(
     kernel_perf
+    trace_overhead
     fig8_timing
     fig9_ber_sj
     fig10_ber_freqoff
@@ -55,6 +56,16 @@ for id in "${benches[@]}"; do
     if ! "$bin" --quiet --json "$out" --threads "$threads"; then
         echo "FAILED: bench_$id" >&2
         failed=1
+    fi
+done
+
+# The perf-gate baselines live at the repo root as well, so a perf PR
+# diff (scripts/bench_diff.py) can reference them without digging into
+# bench/reports/. Keep the two copies identical.
+for id in kernel_perf trace_overhead; do
+    if [[ -f "$reports_dir/BENCH_$id.json" ]]; then
+        cp "$reports_dir/BENCH_$id.json" "$repo_root/BENCH_$id.json"
+        echo "canonical copy: BENCH_$id.json -> $repo_root"
     fi
 done
 

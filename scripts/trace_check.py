@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by bench --trace.
+
+Usage:
+    trace_check.py TRACE.json [--min-events N] [--require-name NAME ...]
+
+Checks (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+  - the document is a JSON object with a "traceEvents" list (the array
+    form is also accepted);
+  - every event has "name", "ph", "pid", "tid" and a numeric, non-negative
+    "ts", with "ph" one of B E X I M C;
+  - complete events ("ph" == "X") carry a numeric "dur" >= 0;
+  - duration events balance: per (pid, tid), every E closes a matching B
+    and no B is left open at end of file;
+  - with --min-events, at least N events are present;
+  - with --require-name, an event with that exact name exists (repeatable;
+    the CI smoke test requires the whole-run "bench.run" span).
+
+Exit codes: 0 valid, 1 validation failure, 2 bad invocation/unreadable.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PH = {"B", "E", "X", "I", "M", "C"}
+
+
+def fail(errors):
+    print(f"FAIL: {len(errors)} problem(s)")
+    for e in errors[:20]:
+        print(f"  {e}")
+    if len(errors) > 20:
+        print(f"  ... {len(errors) - 20} more")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1, metavar="N",
+                    help="require at least N trace events (default 1)")
+    ap.add_argument("--require-name", action="append", default=[],
+                    metavar="NAME",
+                    help="require an event with this name; repeatable")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {args.trace}: {e}")
+
+    if isinstance(doc, list):  # bare-array form of the format
+        events = doc
+    elif isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            sys.exit(f"error: {args.trace}: no \"traceEvents\" list")
+    else:
+        sys.exit(f"error: {args.trace}: top level is {type(doc).__name__}, "
+                 "want object or array")
+
+    errors = []
+    open_stacks = {}  # (pid, tid) -> count of unclosed B events
+    names = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                errors.append(f"{where}: missing \"{key}\"")
+        ph = ev.get("ph")
+        if ph is not None and ph not in VALID_PH:
+            errors.append(f"{where}: ph {ph!r} not in {sorted(VALID_PH)}")
+        ts = ev.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            errors.append(f"{where}: ts {ts!r} not a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs dur >= 0, "
+                              f"got {dur!r}")
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            open_stacks[key] = open_stacks.get(key, 0) + 1
+        elif ph == "E":
+            if open_stacks.get(key, 0) == 0:
+                errors.append(f"{where}: E with no open B on pid/tid {key}")
+            else:
+                open_stacks[key] -= 1
+        if isinstance(ev.get("name"), str):
+            names.add(ev["name"])
+
+    for key, depth in sorted(open_stacks.items()):
+        if depth:
+            errors.append(f"pid/tid {key}: {depth} B event(s) never closed")
+    if len(events) < args.min_events:
+        errors.append(f"only {len(events)} event(s), need {args.min_events}")
+    for name in args.require_name:
+        if name not in names:
+            errors.append(f"no event named {name!r}")
+
+    if errors:
+        return fail(errors)
+    print(f"OK: {len(events)} event(s), {len(names)} distinct name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

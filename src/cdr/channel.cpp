@@ -44,6 +44,10 @@ GccoChannel::GccoChannel(sim::Scheduler& sched, Rng& rng,
         [this](SimTime t, bool bit) {
             decisions_.push_back(Decision{t, bit});
             if (m_decisions_) m_decisions_->inc();
+            if (flight_) {
+                flight_->append(t.femtoseconds(), "decision",
+                                bit ? 1.0 : 0.0, sched_->current_event_id());
+            }
         });
 
     // Instrumentation: track sampling-clock rises, fold DDIN transitions
@@ -90,6 +94,29 @@ void GccoChannel::attach_metrics(obs::MetricsRegistry& registry,
     gcco_->attach_metrics(registry, prefix + ".gcco");
     din_->attach_metrics(registry, prefix + ".din");
     q_->attach_metrics(registry, prefix + ".q");
+}
+
+void GccoChannel::record_flight(obs::FlightRing& ring) {
+    flight_ = &ring;
+    din_->on_change([this] {
+        flight_->append(sched_->now().femtoseconds(), "din",
+                        din_->value() ? 1.0 : 0.0,
+                        sched_->current_event_id());
+    });
+    // The EDET pulse is the GCCO's gate input (active low): a fall stops
+    // the ring, the matching rise restarts it phase-aligned to the data
+    // edge. These are the events a lock-loss chain must reach.
+    edet_->edet().on_change([this] {
+        const bool v = edet_->edet().value();
+        flight_->append(sched_->now().femtoseconds(),
+                        v ? "gcco_restart" : "gcco_gate", v ? 1.0 : 0.0,
+                        sched_->current_event_id());
+    });
+    sample_clk_->on_change([this] {
+        if (!sample_clk_->value()) return;
+        flight_->append(sched_->now().femtoseconds(), "sample_clk_rise", 1.0,
+                        sched_->current_event_id());
+    });
 }
 
 void GccoChannel::drive(const std::vector<jitter::Edge>& edges) {

@@ -15,6 +15,7 @@
 #include "eye/eye_diagram.hpp"
 #include "gates/cml_gates.hpp"
 #include "jitter/jitter.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace gcdr::cdr {
 
@@ -85,6 +86,16 @@ public:
     void attach_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix);
 
+    /// Record this channel's key simulation events into a flight-recorder
+    /// ring: input transitions ("din"), GCCO gating/restart (the EDET
+    /// falls/rises that stop and relaunch the ring oscillator), sampling
+    /// clock rises, and sampler decisions. Each entry carries the causal
+    /// trace id of the scheduler event that produced it (0 when no tracer
+    /// is attached), so a post-mortem can be walked decision → clock edge
+    /// → GCCO gate → input edge. Call once; the ring must outlive the
+    /// channel's simulation.
+    void record_flight(obs::FlightRing& ring);
+
     /// Counted BER of the recovered stream against a PRBS reference
     /// (self-synchronizing). The first `skip_first` decisions are excluded:
     /// they cover the oscillator start-up and the idle-to-payload boundary,
@@ -108,6 +119,7 @@ private:
     std::vector<SimTime> pending_eye_edges_;
     SimTime last_clk_rise_{-1};
     obs::Counter* m_decisions_ = nullptr;
+    obs::FlightRing* flight_ = nullptr;
 };
 
 }  // namespace gcdr::cdr

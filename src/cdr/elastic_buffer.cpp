@@ -18,6 +18,7 @@ void ElasticBuffer::write(bool bit, bool skippable) {
     if (fifo_.size() >= depth_) {
         ++overflows_;
         if (m_overflows_) m_overflows_->inc();
+        if (fault_hook_) fault_hook_("elastic_overflow");
         recenter();
         if (fifo_.size() >= depth_) return;  // recentering found no slack
     }
@@ -30,6 +31,7 @@ std::optional<bool> ElasticBuffer::read() {
     if (fifo_.empty()) {
         ++underflows_;
         if (m_underflows_) m_underflows_->inc();
+        if (fault_hook_) fault_hook_("elastic_underflow");
         return std::nullopt;
     }
     const Entry e = fifo_.front();

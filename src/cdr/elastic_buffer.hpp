@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -45,6 +46,14 @@ public:
     void attach_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix);
 
+    /// Invoked on every overflow ("elastic_overflow") and underflow
+    /// ("elastic_underflow"), after the counters update — the flight
+    /// recorder hooks in here to dump a post-mortem when the +-100 ppm
+    /// recentering budget is exceeded.
+    void set_fault_hook(std::function<void(const char* kind)> hook) {
+        fault_hook_ = std::move(hook);
+    }
+
 private:
     struct Entry {
         bool bit;
@@ -67,6 +76,7 @@ private:
     obs::Counter* m_inserted_ = nullptr;
     obs::Gauge* m_occ_high_ = nullptr;
     obs::Gauge* m_occ_low_ = nullptr;
+    std::function<void(const char*)> fault_hook_;
 };
 
 }  // namespace gcdr::cdr

@@ -95,29 +95,100 @@ void MultiChannelCdr::attach_metrics(obs::MetricsRegistry& registry,
 }
 
 void MultiChannelCdr::update_lock_metrics(double lock_tol_rel) {
-    if (!metrics_) return;
-    auto& reg = *metrics_;
+    if (!metrics_ && !flight_) return;
     const double pll_err = std::abs(pll_.frequency_error_rel());
     const bool pll_locked = pll_err <= lock_tol_rel;
-    reg.gauge(metrics_prefix_ + ".pll.freq_error_rel").set(pll_err);
-    reg.gauge(metrics_prefix_ + ".pll.locked").set(pll_locked ? 1.0 : 0.0);
+    if (metrics_) {
+        metrics_->gauge(metrics_prefix_ + ".pll.freq_error_rel").set(pll_err);
+        metrics_->gauge(metrics_prefix_ + ".pll.locked")
+            .set(pll_locked ? 1.0 : 0.0);
+    }
     const double f_target = pll_.target_frequency_hz();
     int locked = 0;
     for (std::size_t i = 0; i < channels_.size(); ++i) {
-        const std::string ch =
-            metrics_prefix_ + ".ch" + std::to_string(i);
         // Matched-oscillator assumption check (Sec. 2.2): the channel CCO
         // at the distributed control current vs the PLL target rate.
         const double err =
             std::abs(channels_[i]->gcco().frequency_hz() - f_target) /
             f_target;
         const bool ch_locked = pll_locked && err <= lock_tol_rel;
-        reg.gauge(ch + ".freq_error_rel").set(err);
-        reg.gauge(ch + ".locked").set(ch_locked ? 1.0 : 0.0);
+        if (metrics_) {
+            const std::string ch =
+                metrics_prefix_ + ".ch" + std::to_string(i);
+            metrics_->gauge(ch + ".freq_error_rel").set(err);
+            metrics_->gauge(ch + ".locked").set(ch_locked ? 1.0 : 0.0);
+        }
+        if (flight_ && was_locked_[i] && !ch_locked) {
+            flight_->dump("lock_loss:ch" + std::to_string(i));
+        }
+        if (flight_) was_locked_[i] = ch_locked;
         if (ch_locked) ++locked;
     }
-    reg.gauge(metrics_prefix_ + ".locked_channels")
-        .set(static_cast<double>(locked));
+    if (metrics_) {
+        metrics_->gauge(metrics_prefix_ + ".locked_channels")
+            .set(static_cast<double>(locked));
+    }
+}
+
+void MultiChannelCdr::enable_flight_recorder(obs::FlightRecorder& recorder,
+                                             std::size_t vcd_max_changes) {
+    flight_ = &recorder;
+    // Every channel starts "locked": a receiver that never locks is as
+    // much a failure as one that drops lock mid-run, and this way the
+    // first update_lock_metrics() catches both.
+    was_locked_.assign(channels_.size(), true);
+
+    // One tracer per scheduler. In shared-scheduler mode every channel's
+    // events interleave on one queue, so they share one id space (and one
+    // tracer); in per-channel mode each scheduler gets its own.
+    const std::size_t n_tracers = owns_schedulers() ? channels_.size() : 1;
+    for (std::size_t s = 0; s < n_tracers; ++s) {
+        tracers_.push_back(std::make_unique<obs::CausalTracer>());
+    }
+    if (owns_schedulers()) {
+        for (std::size_t i = 0; i < owned_scheds_.size(); ++i) {
+            owned_scheds_[i]->attach_tracer(tracers_[i].get());
+        }
+    } else {
+        shared_sched_->attach_tracer(tracers_[0].get());
+    }
+
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const std::string name = "ch" + std::to_string(i);
+        obs::FlightRing& ring = recorder.ring(name);
+        ring.set_tracer(tracers_[owns_schedulers() ? i : 0].get());
+        channels_[i]->record_flight(ring);
+
+        auto vcd = std::make_unique<sim::VcdWriter>();
+        vcd->set_max_changes(vcd_max_changes);
+        vcd->watch(channels_[i]->din());
+        vcd->watch(channels_[i]->edge_detector().edet());
+        vcd->watch(channels_[i]->recovered_clock());
+        vcd->watch(channels_[i]->recovered_data());
+        vcds_.push_back(std::move(vcd));
+
+        elastic_[i]->set_fault_hook([this, name](const char* kind) {
+            flight_->dump(std::string(kind) + ":" + name);
+        });
+        scheduler(static_cast<int>(i))
+            .set_fault_hook([this](const char* kind, const std::string&) {
+                flight_->dump(kind);
+            });
+    }
+
+    recorder.set_waveform_dump(
+        [this](const std::string& stem, std::int64_t t0_fs,
+               std::int64_t t1_fs) {
+            std::vector<std::string> paths;
+            for (std::size_t i = 0; i < vcds_.size(); ++i) {
+                const std::string path =
+                    stem + "_ch" + std::to_string(i) + ".vcd";
+                if (vcds_[i]->write_window(path, t0_fs, t1_fs)) {
+                    paths.push_back(path);
+                }
+            }
+            return paths;
+        });
 }
 
 std::vector<std::vector<bool>> MultiChannelCdr::drain_elastic() {

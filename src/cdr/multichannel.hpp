@@ -12,6 +12,9 @@
 #include "cdr/elastic_buffer.hpp"
 #include "cdr/pll.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_causal.hpp"
+#include "sim/vcd.hpp"
 
 namespace gcdr::cdr {
 
@@ -96,8 +99,27 @@ public:
     /// Lock gauges refresh on attach and on update_lock_metrics().
     void attach_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix = "cdr");
-    /// Recompute the lock-status gauges (e.g. after retuning).
+    /// Recompute the lock-status gauges (e.g. after retuning). With a
+    /// flight recorder enabled, a channel transitioning locked->unlocked
+    /// triggers a post-mortem dump ("lock_loss:ch<i>") focused on that
+    /// channel's newest traced event.
     void update_lock_metrics(double lock_tol_rel = 1e-2);
+
+    /// Wire the whole receiver into `recorder`:
+    ///  - one flight ring per channel ("ch<i>") fed by record_flight(),
+    ///  - one causal tracer per scheduler, attached so ring entries carry
+    ///    walkable trace ids,
+    ///  - a bounded per-channel VcdWriter (din / EDET / recovered clock /
+    ///    recovered data, newest `vcd_max_changes` transitions) installed
+    ///    as the recorder's waveform hook, so every dump includes a VCD
+    ///    window around the failure,
+    ///  - elastic over/underflow and schedule_at-in-the-past fault hooks
+    ///    that dump immediately.
+    /// Call once, before running; `recorder` must outlive the receiver.
+    /// All channels start considered locked, so a receiver that never
+    /// achieves lock dumps on the first update_lock_metrics().
+    void enable_flight_recorder(obs::FlightRecorder& recorder,
+                                std::size_t vcd_max_changes = 65536);
 
 private:
     /// Instantiate channels + elastics; `shared_rng` null = per-channel
@@ -113,6 +135,12 @@ private:
     std::vector<std::unique_ptr<ElasticBuffer>> elastic_;
     obs::MetricsRegistry* metrics_ = nullptr;
     std::string metrics_prefix_;
+
+    // Flight-recorder state (empty until enable_flight_recorder()).
+    obs::FlightRecorder* flight_ = nullptr;
+    std::vector<std::unique_ptr<obs::CausalTracer>> tracers_;
+    std::vector<std::unique_ptr<sim::VcdWriter>> vcds_;
+    std::vector<bool> was_locked_;
 };
 
 }  // namespace gcdr::cdr

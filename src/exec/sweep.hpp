@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/trace_span.hpp"
 
 namespace gcdr::exec {
 
@@ -93,8 +94,10 @@ public:
     /// the returned vector's order is not.
     template <typename R, typename F>
     [[nodiscard]] std::vector<R> map(F&& fn) const {
+        obs::TraceSpan span("sweep.map");
         std::vector<R> out(grid_.size());
         pool_->parallel_for(out.size(), [&](std::size_t i) {
+            obs::TraceSpan point_span("sweep.point");
             out[i] = fn(grid_.point(i, base_seed_));
         });
         return out;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "exec/sweep.hpp"
+#include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
 namespace gcdr::mc {
@@ -72,6 +73,7 @@ McEstimate DirectSampler::estimate(exec::ThreadPool& pool) const {
         }
     };
     while (total + runs_per_round_ <= cfg_.budget.max_evals) {
+        obs::TraceSpan round_span("mc.direct.round");
         std::vector<std::uint64_t> round_err(cap, 0);
         pool.parallel_for(cap, [&](std::size_t l) {
             Rng rng(exec::derive_seed(cfg_.budget.base_seed,

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "exec/sweep.hpp"
+#include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
 namespace gcdr::mc {
@@ -151,6 +152,7 @@ McEstimate ImportanceSampler::estimate(exec::ThreadPool& pool) const {
     McEstimate est;
     std::uint64_t round = 0;
     while (total + round_evals <= cfg_.budget.max_evals) {
+        obs::TraceSpan round_span("mc.is.round");
         std::vector<WeightedTally> round_tallies(n_strata);
         pool.parallel_for(n_strata, [&](std::size_t s) {
             const std::uint64_t seed = exec::derive_seed(

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <string>
 
+#include "exec/thread_pool.hpp"
+#include "obs/trace_causal.hpp"
 #include "sim/scheduler.hpp"
 
 namespace gcdr::mc {
@@ -180,6 +184,22 @@ double BehavioralMarginModel::margin_ui(const RunSample& s) const {
     sim::Scheduler sched;
     Rng rng(s.noise_seed);
     cdr::GccoChannel ch(sched, rng, params_.channel, "mc");
+
+    // Per-lane flight ring + a tracer local to this evaluation, so a
+    // failed clone's dump carries a walkable causal chain. The tracer is
+    // detached from the ring before it goes out of scope.
+    obs::FlightRing* ring = nullptr;
+    std::unique_ptr<obs::CausalTracer> tracer;
+    if (params_.flight) {
+        ring = &params_.flight->ring(
+            "mc.lane" + std::to_string(exec::ThreadPool::lane_index()));
+        tracer =
+            std::make_unique<obs::CausalTracer>(params_.flight_tracer_capacity);
+        sched.attach_tracer(tracer.get());
+        ring->set_tracer(tracer.get());
+        ch.record_flight(*ring);
+    }
+
     ch.drive(edges);
     sched.run_until(edges.back().time + rate.ui_to_time(4.0));
 
@@ -191,11 +211,20 @@ double BehavioralMarginModel::margin_ui(const RunSample& s) const {
     // unwrap maps errors deeper than ~half a period back into the healthy
     // band.
     const auto& margins = ch.margins_ui();
-    if (margins.empty() || ch.decisions().empty()) return 1.0;
+    if (margins.empty() || ch.decisions().empty()) {
+        if (ring) ring->set_tracer(nullptr);
+        return 1.0;
+    }
     std::size_t ones = 0;
     for (const auto& d : ch.decisions()) ones += d.bit ? 1u : 0u;
     const std::size_t expected = static_cast<std::size_t>(w / 2 + L);
     const bool error = ones != expected;
+    if (ring) {
+        // Dump while this evaluation's tracer is still alive, then detach
+        // it — the ring outlives the eval, the tracer does not.
+        if (error) params_.flight->dump("mc_margin_error");
+        ring->set_tracer(nullptr);
+    }
     // The closing edge is the last DDIN transition, so its measured margin
     // is the final entry: continuous through 0 for near misses (the
     // channel unwraps those to small negatives). Errors the unwrap missed

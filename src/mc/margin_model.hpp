@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cdr/channel.hpp"
+#include "obs/flight_recorder.hpp"
 #include "statmodel/gated_osc_model.hpp"
 
 namespace gcdr::mc {
@@ -112,6 +113,14 @@ public:
         double sj_freq_norm = 0.0;
         int max_cid = 5;
         int warmup_bits = 12;
+        /// Optional post-mortem sink: every evaluation records its channel
+        /// events (with causal ids) into the ring "mc.lane<k>" for the
+        /// executing pool lane, and an evaluation whose recovered-bit
+        /// count is wrong dumps ("mc_margin_error") before returning — so
+        /// a failed splitting clone leaves a walkable trace. nullptr (the
+        /// default) costs nothing.
+        obs::FlightRecorder* flight = nullptr;
+        std::size_t flight_tracer_capacity = 1024;
     };
 
     explicit BehavioralMarginModel(Params p);

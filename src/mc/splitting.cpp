@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "exec/sweep.hpp"
+#include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
 namespace gcdr::mc {
@@ -51,6 +52,7 @@ double SplittingEngine::eval_h(const Particle& p) const {
 }
 
 McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
+    obs::TraceSpan span("mc.split");
     const std::size_t n = cfg_.n_particles;
     const std::size_t ns = std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg_.p0 * static_cast<double>(n)));
@@ -61,13 +63,16 @@ McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
     if (cfg_.budget.max_evals < n) return est;  // can't even seed level 0
 
     std::vector<Particle> particles(n);
-    pool.parallel_for(n, [&](std::size_t i) {
-        Rng rng(exec::derive_seed(cfg_.budget.base_seed, i));
-        Particle& p = particles[i];
-        for (double& z : p.z) z = rng.gaussian();
-        p.noise_seed = rng.generator()();
-        p.h = eval_h(p);
-    });
+    {
+        obs::TraceSpan seed_span("mc.split.seed");
+        pool.parallel_for(n, [&](std::size_t i) {
+            Rng rng(exec::derive_seed(cfg_.budget.base_seed, i));
+            Particle& p = particles[i];
+            for (double& z : p.z) z = rng.gaussian();
+            p.noise_seed = rng.generator()();
+            p.h = eval_h(p);
+        });
+    }
     std::uint64_t total = n;
 
     // Evaluations one repopulation costs: every slot except each active
@@ -126,6 +131,7 @@ McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
         return std::max(0.0, gamma);
     };
     for (;; ++level) {
+        obs::TraceSpan level_span("mc.split.level");
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(),
                   [&](std::size_t a, std::size_t b) {

@@ -1,0 +1,216 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace gcdr::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+// Crash-handler registry: one recorder at a time (see header).
+std::atomic<FlightRecorder*> g_crash_recorder{nullptr};
+
+const char* signal_name(int sig) {
+    switch (sig) {
+        case SIGSEGV: return "SIGSEGV";
+        case SIGABRT: return "SIGABRT";
+        case SIGFPE: return "SIGFPE";
+        case SIGILL: return "SIGILL";
+        case SIGBUS: return "SIGBUS";
+        default: return "signal";
+    }
+}
+
+void crash_handler(int sig) {
+    // Restore default disposition first so a second fault (or our own
+    // re-raise) terminates instead of recursing.
+    std::signal(sig, SIG_DFL);
+    if (FlightRecorder* rec =
+            g_crash_recorder.exchange(nullptr, std::memory_order_acq_rel)) {
+        rec->dump(std::string("signal:") + signal_name(sig));
+    }
+    std::raise(sig);
+}
+
+}  // namespace
+
+FlightRing::FlightRing(std::string name, std::size_t capacity)
+    : name_(std::move(name)),
+      slots_(round_up_pow2(capacity == 0 ? 1 : capacity)),
+      mask_(slots_.size() - 1) {}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, slots_.size());
+    std::vector<FlightEvent> out;
+    out.reserve(n);
+    for (std::uint64_t i = h - n; i < h; ++i) out.push_back(slots_[i & mask_]);
+    return out;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Config()) {}
+
+FlightRecorder::FlightRecorder(Config config) : config_(std::move(config)) {}
+
+FlightRecorder::~FlightRecorder() {
+    // Detach from the crash handler so a later signal doesn't dump
+    // through a destroyed recorder.
+    FlightRecorder* self = this;
+    g_crash_recorder.compare_exchange_strong(self, nullptr,
+                                             std::memory_order_acq_rel);
+}
+
+FlightRing& FlightRecorder::ring(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& r : rings_)
+        if (r->name() == name) return *r;
+    rings_.push_back(
+        std::make_unique<FlightRing>(name, config_.ring_capacity));
+    return *rings_.back();
+}
+
+void FlightRecorder::set_waveform_dump(
+    std::function<std::vector<std::string>(const std::string&, std::int64_t,
+                                           std::int64_t)>
+        hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    waveform_dump_ = std::move(hook);
+}
+
+std::string FlightRecorder::dump(const std::string& reason,
+                                 std::uint64_t focus_id) {
+    const std::uint64_t n =
+        triggers_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (n >= config_.max_dumps) return "";
+
+    // Snapshot every ring up front; find the trigger time (newest event
+    // anywhere) and, if no focus was given, the newest traced event.
+    struct RingView {
+        const FlightRing* ring;
+        std::vector<FlightEvent> events;
+    };
+    std::vector<RingView> views;
+    views.reserve(rings_.size());
+    std::int64_t trigger_time_fs = 0;
+    const CausalTracer* focus_tracer = nullptr;
+    std::int64_t focus_time_fs = -1;
+    for (const auto& r : rings_) {
+        views.push_back(RingView{r.get(), r->snapshot()});
+        for (const FlightEvent& ev : views.back().events) {
+            trigger_time_fs = std::max(trigger_time_fs, ev.time_fs);
+            if (focus_id == 0 && ev.cause_id != 0 && r->tracer() &&
+                ev.time_fs > focus_time_fs) {
+                focus_time_fs = ev.time_fs;
+                focus_id = ev.cause_id;
+                focus_tracer = r->tracer();
+            }
+        }
+    }
+    if (focus_id != 0 && !focus_tracer) {
+        // Explicit focus id: resolve against the first ring that has a
+        // tracer attached (single-scheduler dumps, the common case).
+        for (const auto& r : rings_)
+            if (r->tracer()) { focus_tracer = r->tracer(); break; }
+    }
+
+    const std::string stem = config_.dump_dir + "/flight_dump_" +
+                             std::to_string(n);
+    const std::string json_path = stem + ".json";
+
+    std::vector<std::string> waveform_paths;
+    if (waveform_dump_) {
+        waveform_paths = waveform_dump_(
+            stem, trigger_time_fs - config_.window_fs,
+            trigger_time_fs + config_.window_fs);
+    }
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("gcdr.flight.dump/v1");
+    w.key("reason").value(reason);
+    w.key("trigger_time_fs").value(static_cast<std::int64_t>(trigger_time_fs));
+    w.key("rings").begin_object();
+    for (const RingView& view : views) {
+        w.key(view.ring->name()).begin_object();
+        w.key("appended").value(view.ring->appended());
+        w.key("events").begin_array();
+        for (const FlightEvent& ev : view.events) {
+            w.begin_object();
+            w.key("time_fs").value(ev.time_fs);
+            w.key("kind").value(ev.kind);
+            w.key("value").value(ev.value);
+            w.key("cause_id").value(ev.cause_id);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+    w.key("causal_chain").begin_array();
+    if (focus_id != 0 && focus_tracer) {
+        for (const CausalTracer::Record& rec : focus_tracer->chain(focus_id)) {
+            w.begin_object();
+            w.key("id").value(rec.id);
+            w.key("parent").value(rec.parent);
+            w.key("time_fs").value(rec.time_fs);
+            // Annotate with any recorded event that this id caused, so
+            // the chain reads "decision ← stage eval ← EDET gate" without
+            // cross-referencing by hand.
+            for (const RingView& view : views) {
+                for (const FlightEvent& ev : view.events) {
+                    if (ev.cause_id == rec.id) {
+                        w.key("ring").value(view.ring->name());
+                        w.key("kind").value(ev.kind);
+                        goto annotated;
+                    }
+                }
+            }
+        annotated:
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.key("waveforms").begin_array();
+    for (const std::string& p : waveform_paths) w.value(p);
+    w.end_array();
+    w.end_object();
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::fprintf(stderr, "flight-recorder: cannot open %s\n",
+                     json_path.c_str());
+        return "";
+    }
+    out << w.str() << '\n';
+    if (!out) return "";
+    dump_paths_.push_back(json_path);
+    std::fprintf(stderr, "flight-recorder: %s -> %s\n", reason.c_str(),
+                 json_path.c_str());
+    return json_path;
+}
+
+std::vector<std::string> FlightRecorder::dump_paths() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dump_paths_;
+}
+
+void FlightRecorder::install_crash_handler() {
+    g_crash_recorder.store(this, std::memory_order_release);
+    if (handler_installed_) return;
+    handler_installed_ = true;
+    for (int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGBUS})
+        std::signal(sig, crash_handler);
+}
+
+}  // namespace gcdr::obs

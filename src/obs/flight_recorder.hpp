@@ -1,0 +1,138 @@
+#pragma once
+// Flight recorder: fixed-size wait-free rings of the last N simulation
+// events per channel, dumped to JSON (plus an optional VCD window around
+// the failure time) when something goes wrong — lock loss, elastic
+// over/underflow, schedule_at-in-the-past, or a fatal signal.
+//
+// Layering note: this module is obs-level and knows nothing about
+// sim::Wire or sim::VcdWriter. Times are raw femtosecond integers and the
+// waveform window is produced by a caller-installed hook, so sim/cdr can
+// depend on obs without a cycle.
+//
+// Concurrency: each FlightRing has exactly one producer (the thread
+// driving that channel's scheduler); append() is wait-free for that
+// producer. snapshot()/dump() are meant for after the producer has
+// stopped (post-mortem) or from the producing thread itself (the
+// lock-loss and fault paths); a racing dump can only see a torn *oldest*
+// slot, never corrupt the ring.
+//
+// The crash handler is best-effort: dumping from a signal context is not
+// async-signal-safe (it allocates and does file I/O), but on SIGSEGV the
+// alternative is no post-mortem at all. It re-raises with the default
+// disposition after dumping so exit codes and core dumps are preserved.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_causal.hpp"
+
+namespace gcdr::obs {
+
+/// One recorded simulation event. `kind` must be a string literal (the
+/// ring stores the pointer; the append path never allocates).
+struct FlightEvent {
+    std::int64_t time_fs = 0;
+    const char* kind = "";
+    double value = 0.0;
+    std::uint64_t cause_id = 0;  ///< causal trace id, 0 = untraced
+};
+
+class FlightRing {
+public:
+    FlightRing(std::string name, std::size_t capacity);
+
+    void append(std::int64_t time_fs, const char* kind, double value,
+                std::uint64_t cause_id = 0) {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        slots_[h & mask_] = FlightEvent{time_fs, kind, value, cause_id};
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    /// Retained events, oldest first.
+    [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+    /// Tracer whose ids this ring's cause_id fields refer to; used by
+    /// FlightRecorder::dump to emit the causal chain. The tracer must
+    /// outlive the ring or be detached (set nullptr) first.
+    void set_tracer(const CausalTracer* tracer) { tracer_ = tracer; }
+    [[nodiscard]] const CausalTracer* tracer() const { return tracer_; }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+    [[nodiscard]] std::uint64_t appended() const {
+        return head_.load(std::memory_order_acquire);
+    }
+
+private:
+    std::string name_;
+    std::vector<FlightEvent> slots_;
+    std::uint64_t mask_;
+    std::atomic<std::uint64_t> head_{0};
+    const CausalTracer* tracer_ = nullptr;
+};
+
+class FlightRecorder {
+public:
+    struct Config {
+        std::size_t ring_capacity = 512;  ///< per ring, rounded to pow2
+        std::string dump_dir = ".";
+        std::size_t max_dumps = 8;  ///< later triggers are counted, not dumped
+        std::int64_t window_fs = 50'000'000;  ///< waveform half-window (50 ns)
+    };
+
+    FlightRecorder();  ///< default Config
+    explicit FlightRecorder(Config config);
+    ~FlightRecorder();
+
+    /// The ring for `name`, created on first use. Returned reference is
+    /// stable for the recorder's lifetime.
+    FlightRing& ring(const std::string& name);
+
+    /// Install the waveform hook: given a file stem (dump path minus
+    /// extension) and a [t0, t1] femtosecond window, write any waveform
+    /// files and return their paths (listed in the JSON dump). Typically
+    /// wraps VcdWriter::write_window.
+    void set_waveform_dump(
+        std::function<std::vector<std::string>(const std::string& stem,
+                                               std::int64_t t0_fs,
+                                               std::int64_t t1_fs)>
+            hook);
+
+    /// Write a post-mortem: JSON (schema gcdr.flight.dump/v1) with every
+    /// ring's retained events plus the causal chain walked back from
+    /// `focus_id` (or, when 0, from the newest traced event across all
+    /// rings), and waveform files from the installed hook. Returns the
+    /// JSON path, or "" once max_dumps is exhausted (the trigger still
+    /// counts in triggers()).
+    std::string dump(const std::string& reason, std::uint64_t focus_id = 0);
+
+    [[nodiscard]] std::uint64_t triggers() const {
+        return triggers_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::vector<std::string> dump_paths() const;
+    [[nodiscard]] const Config& config() const { return config_; }
+
+    /// Route SIGSEGV/SIGABRT/SIGFPE/SIGILL/SIGBUS through a best-effort
+    /// dump("signal:<name>") on this recorder, then re-raise. Only one
+    /// recorder can hold the handlers; installing from a second recorder
+    /// replaces the first. Not async-signal-safe (see header comment).
+    void install_crash_handler();
+
+private:
+    Config config_;
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<FlightRing>> rings_;
+    std::function<std::vector<std::string>(const std::string&, std::int64_t,
+                                           std::int64_t)>
+        waveform_dump_;
+    std::atomic<std::uint64_t> triggers_{0};
+    std::vector<std::string> dump_paths_;
+    bool handler_installed_ = false;
+};
+
+}  // namespace gcdr::obs

@@ -59,6 +59,17 @@ std::string run_report_json(const MetricsRegistry& registry,
     w.end_object();
     w.key("metrics");
     registry.write_json(w);
+    if (info.spans) {
+        w.key("spans").begin_object();
+        for (const SpanCollector::Summary& s : info.spans->summaries()) {
+            w.key(s.name).begin_object();
+            w.key("count").value(s.count);
+            w.key("total_seconds").value(s.total_s);
+            w.key("max_seconds").value(s.max_s);
+            w.end_object();
+        }
+        w.end_object();
+    }
     w.end_object();
     return w.str() + "\n";
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace gcdr::obs {
 
@@ -37,6 +38,12 @@ struct ReportInfo {
     /// "run" object so perf diffs can bucket reports by concurrency.
     std::size_t threads = 0;
     std::uint64_t seed = 0;
+    /// Optional span profile (bench --trace): emitted as a top-level
+    /// "spans" object — per-name count/total_seconds/max_seconds — kept
+    /// OUT of "metrics" so bench_diff's missing-metric check doesn't fire
+    /// when diffing a traced run against an untraced baseline. Wall-clock
+    /// data: informational in diffs, never identity-compared.
+    const SpanCollector* spans = nullptr;
 };
 
 /// Serialize the full report document (schema above) to a string.

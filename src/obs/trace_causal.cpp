@@ -1,0 +1,34 @@
+#include "obs/trace_causal.hpp"
+
+namespace gcdr::obs {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+}  // namespace
+
+CausalTracer::CausalTracer(std::size_t capacity)
+    : ring_(round_up_pow2(capacity == 0 ? 1 : capacity)),
+      mask_(ring_.size() - 1) {}
+
+std::vector<CausalTracer::Record> CausalTracer::chain(
+    std::uint64_t id, std::size_t max_len) const {
+    std::vector<Record> out;
+    while (id != 0 && out.size() < max_len) {
+        const Record* r = find(id);
+        if (!r) break;  // evicted: the chain is truncated, not wrong
+        out.push_back(*r);
+        id = r->parent;
+    }
+    return out;
+}
+
+void CausalTracer::clear() {
+    for (Record& r : ring_) r = Record{};
+    recorded_ = 0;
+}
+
+}  // namespace gcdr::obs

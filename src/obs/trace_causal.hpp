@@ -1,0 +1,72 @@
+#pragma once
+// Causal event tracing: every event pushed through the calendar-queue
+// kernel carries a trace id (its queue sequence number + 1; id 0 is the
+// "no parent" root) and the id of the event that was executing when it
+// was scheduled. The Scheduler calls on_schedule() from inside
+// schedule_at, so a sampled bit or lock-loss can be walked backwards —
+// sampler decision → GCCO stage eval → EDET gate → input edge — with
+// chain().
+//
+// Storage is a ring indexed by id % capacity (capacity rounded up to a
+// power of two). Ids are assigned sequentially by the queue, so the ring
+// always holds the most recent `capacity` schedules and find() is a
+// single masked load — no hashing, no allocation after construction.
+// Records older than `capacity` schedules are overwritten; chain()
+// truncates cleanly when it walks off the retained window.
+//
+// The tracer is single-scheduler state (one writer); attach one tracer
+// per Scheduler, exactly like MetricsRegistry attachment.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcdr::obs {
+
+class CausalTracer {
+public:
+    struct Record {
+        std::uint64_t id = 0;      ///< 0 = empty slot
+        std::uint64_t parent = 0;  ///< 0 = scheduled from outside any event
+        std::int64_t time_fs = 0;  ///< due time captured at schedule_at
+    };
+
+    explicit CausalTracer(std::size_t capacity = 8192);
+
+    /// Called by the scheduler at schedule_at time. `id` must be nonzero.
+    void on_schedule(std::uint64_t id, std::uint64_t parent,
+                     std::int64_t time_fs) {
+        Record& r = ring_[id & mask_];
+        r.id = id;
+        r.parent = parent;
+        r.time_fs = time_fs;
+        ++recorded_;
+    }
+
+    /// The record for `id`, or nullptr if it was never recorded or has
+    /// been overwritten by a newer id in the same ring slot.
+    [[nodiscard]] const Record* find(std::uint64_t id) const {
+        if (id == 0) return nullptr;
+        const Record& r = ring_[id & mask_];
+        return r.id == id ? &r : nullptr;
+    }
+
+    /// Parent walk starting at `id` (inclusive), newest first, stopping
+    /// at the root (parent 0), at an evicted record, or after `max_len`
+    /// hops.
+    [[nodiscard]] std::vector<Record> chain(std::uint64_t id,
+                                            std::size_t max_len = 64) const;
+
+    [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+    [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+    /// Empty every slot (capacity unchanged).
+    void clear();
+
+private:
+    std::vector<Record> ring_;
+    std::uint64_t mask_;
+    std::uint64_t recorded_ = 0;
+};
+
+}  // namespace gcdr::obs

@@ -40,7 +40,7 @@ void EventQueue::bucket_insert(std::int64_t slot, std::uint32_t idx) {
     }
 }
 
-void EventQueue::push(SimTime t, Callback&& fn) {
+std::uint64_t EventQueue::push(SimTime t, Callback&& fn) {
     const std::uint32_t idx = acquire_slot();
     Event& ev = event(idx);
     ev.time = t;
@@ -60,6 +60,7 @@ void EventQueue::push(SimTime t, Callback&& fn) {
         std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
     }
     ++size_;
+    return ev.seq;
 }
 
 void EventQueue::drain_overflow() {

@@ -46,8 +46,9 @@ public:
 
     EventQueue() = default;
 
-    /// Enqueue; assigns the next FIFO tie-break sequence number.
-    void push(SimTime t, Callback&& fn);
+    /// Enqueue; assigns and returns the next FIFO tie-break sequence
+    /// number (the scheduler derives causal-trace ids from it).
+    std::uint64_t push(SimTime t, Callback&& fn);
 
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] std::size_t size() const { return size_; }
@@ -66,6 +67,7 @@ public:
     /// the callback is executed in place — no move out of the pool.
     [[nodiscard]] Handle take_if_at_most(SimTime t_end);
     [[nodiscard]] SimTime time_of(Handle h) { return event(h).time; }
+    [[nodiscard]] std::uint64_t seq_of(Handle h) { return event(h).seq; }
     /// Invoke the event's callback, then return its slot to the pool.
     /// Reentrant: the callback may push new events.
     void run_and_recycle(Handle h);

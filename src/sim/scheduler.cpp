@@ -13,12 +13,20 @@ void Scheduler::schedule_at(SimTime t, Callback fn) {
     // of the run. An assert would vanish under NDEBUG (Release), which is
     // exactly where long bench runs happen.
     if (t < now_) {
-        throw std::logic_error(
+        const std::string detail =
             "Scheduler::schedule_at: event time " +
             std::to_string(t.femtoseconds()) + " fs is before now() = " +
-            std::to_string(now_.femtoseconds()) + " fs");
+            std::to_string(now_.femtoseconds()) + " fs";
+        // Let the flight recorder write a post-mortem before the stack
+        // unwinds — by the time the exception surfaces, the rings are
+        // often gone.
+        if (fault_hook_) fault_hook_("schedule_in_past", detail);
+        throw std::logic_error(detail);
     }
-    queue_.push(t, std::move(fn));
+    const std::uint64_t seq = queue_.push(t, std::move(fn));
+    if (tracer_) {
+        tracer_->on_schedule(seq + 1, current_event_id_, t.femtoseconds());
+    }
     if (m_scheduled_) {
         ++pending_scheduled_;
         if (queue_.size() > local_hwm_) local_hwm_ = queue_.size();
@@ -34,7 +42,9 @@ bool Scheduler::step() {
     const EventQueue::Handle h = queue_.take_if_at_most(SimTime::max());
     now_ = queue_.time_of(h);
     ++executed_;
+    if (tracer_) current_event_id_ = queue_.seq_of(h) + 1;
     queue_.run_and_recycle(h);
+    current_event_id_ = 0;
     if (m_executed_) {
         m_executed_->inc();
         flush_pending_telemetry();
@@ -42,30 +52,38 @@ bool Scheduler::step() {
     return true;
 }
 
-template <bool kTelemetry>
+template <bool kTelemetry, bool kTrace>
 void Scheduler::drain(SimTime t_end) {
     std::uint64_t n = 0;
     EventQueue::Handle h;
     while ((h = queue_.take_if_at_most(t_end)) != EventQueue::kNoEvent) {
         now_ = queue_.time_of(h);
         ++n;
+        if constexpr (kTrace) current_event_id_ = queue_.seq_of(h) + 1;
         // Runs the callback in place in the event pool: no move out, and
         // any events it schedules reuse other pool slots.
         queue_.run_and_recycle(h);
     }
+    if constexpr (kTrace) current_event_id_ = 0;
     executed_ += n;
     if constexpr (kTelemetry) m_executed_->inc(n);
+}
+
+void Scheduler::dispatch_drain(SimTime t_end) {
+    if (m_executed_) {
+        if (tracer_) drain<true, true>(t_end);
+        else drain<true, false>(t_end);
+    } else {
+        if (tracer_) drain<false, true>(t_end);
+        else drain<false, false>(t_end);
+    }
 }
 
 void Scheduler::run_until(SimTime t_end) {
     using Clock = std::chrono::steady_clock;
     const auto wall0 = m_wall_seconds_ ? Clock::now() : Clock::time_point{};
     const SimTime sim0 = now_;
-    if (m_executed_) {
-        drain<true>(t_end);
-    } else {
-        drain<false>(t_end);
-    }
+    dispatch_drain(t_end);
     if (now_ < t_end) now_ = t_end;
     if (m_wall_seconds_) {
         finish_run(sim0,
@@ -77,11 +95,7 @@ void Scheduler::run() {
     using Clock = std::chrono::steady_clock;
     const auto wall0 = m_wall_seconds_ ? Clock::now() : Clock::time_point{};
     const SimTime sim0 = now_;
-    if (m_executed_) {
-        drain<true>(SimTime::max());
-    } else {
-        drain<false>(SimTime::max());
-    }
+    dispatch_drain(SimTime::max());
     if (m_wall_seconds_) {
         finish_run(sim0,
                    std::chrono::duration<double>(Clock::now() - wall0).count());

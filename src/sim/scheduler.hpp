@@ -12,8 +12,10 @@
 // kernel, so seeded runs stay byte-for-byte reproducible across the swap.
 
 #include <cstdint>
+#include <functional>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_causal.hpp"
 #include "sim/event_queue.hpp"
 #include "util/sim_time.hpp"
 
@@ -66,11 +68,36 @@ public:
     void attach_metrics(obs::MetricsRegistry* registry,
                         const std::string& prefix = "sim");
 
+    /// Attach a causal tracer (obs/trace_causal.hpp). Every schedule_at
+    /// records (id = queue seq + 1, parent = id of the event executing at
+    /// schedule time, due time); pass nullptr to detach. Like telemetry,
+    /// the tracing branch is template-hoisted out of the drain loop, so
+    /// the detached default costs nothing per event.
+    void attach_tracer(obs::CausalTracer* tracer) { tracer_ = tracer; }
+    [[nodiscard]] obs::CausalTracer* tracer() const { return tracer_; }
+
+    /// Causal id of the event currently executing (0 between events).
+    /// Decision callbacks read this to stamp flight-recorder entries.
+    [[nodiscard]] std::uint64_t current_event_id() const {
+        return current_event_id_;
+    }
+
+    /// Invoked (before throwing) when schedule_at receives a past-time
+    /// event — the flight recorder hooks in here so a corrupted run
+    /// leaves a post-mortem. `kind` is a stable token ("schedule_in_past"),
+    /// `detail` the human-readable message.
+    using FaultHook = std::function<void(const char* kind,
+                                        const std::string& detail)>;
+    void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
 private:
-    /// Drain loop; the telemetry branch is hoisted to a template parameter
-    /// so the detached (default) configuration pays nothing per event.
-    template <bool kTelemetry>
+    /// Drain loop; the telemetry and tracing branches are hoisted to
+    /// template parameters so the detached (default) configuration pays
+    /// nothing per event.
+    template <bool kTelemetry, bool kTrace>
     void drain(SimTime t_end);
+
+    void dispatch_drain(SimTime t_end);
 
     void finish_run(SimTime sim_start, double wall_seconds);
 
@@ -80,6 +107,11 @@ private:
     EventQueue queue_;
     SimTime now_{0};
     std::uint64_t executed_ = 0;
+
+    // Causal tracing (null = detached, the default).
+    obs::CausalTracer* tracer_ = nullptr;
+    std::uint64_t current_event_id_ = 0;
+    FaultHook fault_hook_;
 
     // Telemetry instruments (null when no registry is attached).
     obs::Counter* m_scheduled_ = nullptr;

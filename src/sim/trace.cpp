@@ -1,6 +1,8 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 namespace gcdr::sim {
 
@@ -29,19 +31,38 @@ void Tracer::attach_metrics(obs::MetricsRegistry& registry,
 
 std::vector<SimTime> Tracer::edges_of(const std::string& wire_name,
                                       bool rising_only) const {
-    std::vector<SimTime> out;
+    // An unknown name used to silently return nothing, indistinguishable
+    // from a watched wire that never toggled — a typo in a test would
+    // "pass" with zero edges. Name lookup failures are now loud.
+    std::size_t wire = names_.size();
     for (std::size_t i = 0; i < names_.size(); ++i) {
-        if (names_[i] != wire_name) continue;
-        for (const auto& s : samples_) {
-            if (s.wire == i && (!rising_only || s.value)) out.push_back(s.time);
+        if (names_[i] == wire_name) {
+            wire = i;
+            break;
         }
+    }
+    if (wire == names_.size()) {
+        std::string msg = "Tracer::edges_of: wire '" + wire_name +
+                          "' is not watched; watched wires:";
+        for (const auto& n : names_) msg += " '" + n + "'";
+        throw std::invalid_argument(msg);
+    }
+    std::vector<SimTime> out;
+    for (const auto& s : samples_) {
+        if (s.wire == wire && (!rising_only || s.value)) out.push_back(s.time);
     }
     return out;
 }
 
 std::string Tracer::ascii_diagram(SimTime t0, SimTime t1,
                                   std::size_t columns) const {
-    std::ostringstream os;
+    // Build straight into a pre-sized string: one row per wire of
+    // label(>=10) + columns + newline. ostringstream paid a streambuf
+    // round-trip per chunk and a final copy out.
+    std::string out;
+    std::size_t label_width = 10;
+    for (const auto& n : names_) label_width = std::max(label_width, n.size());
+    out.reserve(names_.size() * (label_width + columns + 1));
     const double span = static_cast<double>((t1 - t0).femtoseconds());
     for (std::size_t w = 0; w < names_.size(); ++w) {
         // Reconstruct the level in each time bin from the transition list.
@@ -63,21 +84,32 @@ std::string Tracer::ascii_diagram(SimTime t0, SimTime t1,
             }
             row[c] = toggled ? '|' : (level ? '#' : '_');
         }
-        os << names_[w];
-        for (std::size_t pad = names_[w].size(); pad < 10; ++pad) os << ' ';
-        os << row << '\n';
+        out += names_[w];
+        out.append(names_[w].size() < 10 ? 10 - names_[w].size() : 0, ' ');
+        out += row;
+        out += '\n';
     }
-    return os.str();
+    return out;
 }
 
 std::string Tracer::to_csv() const {
-    std::ostringstream os;
-    os << "time_ps,wire,value\n";
+    // ~24 bytes of digits/punctuation per line plus the wire name.
+    std::size_t per_line = 24;
+    for (const auto& n : names_) per_line = std::max(per_line, n.size() + 24);
+    std::string out = "time_ps,wire,value\n";
+    out.reserve(out.size() + samples_.size() * per_line);
+    char ps[32];
     for (const auto& s : samples_) {
-        os << s.time.picoseconds() << ',' << names_[s.wire] << ','
-           << (s.value ? 1 : 0) << '\n';
+        // %g matches the old ostream formatting ("250", not "250.000000").
+        std::snprintf(ps, sizeof ps, "%g", s.time.picoseconds());
+        out += ps;
+        out += ',';
+        out += names_[s.wire];
+        out += ',';
+        out += s.value ? '1' : '0';
+        out += '\n';
     }
-    return os.str();
+    return out;
 }
 
 }  // namespace gcdr::sim

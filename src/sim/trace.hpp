@@ -33,6 +33,9 @@ public:
     }
 
     /// Transition times of one watched wire, optionally rising edges only.
+    /// A watched wire with no recorded transitions returns an empty
+    /// vector; a name that was never watched throws std::invalid_argument
+    /// listing the watched wires (it used to silently return nothing).
     [[nodiscard]] std::vector<SimTime> edges_of(const std::string& wire_name,
                                                 bool rising_only = false) const;
 

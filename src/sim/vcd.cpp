@@ -1,6 +1,8 @@
 #include "sim/vcd.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace gcdr::sim {
@@ -15,9 +17,42 @@ void VcdWriter::watch(Wire& w) {
     names_.push_back(name);
     initial_.push_back(w.value());
     w.on_change([this, idx, &w] {
-        changes_.push_back(Change{w.scheduler().now().femtoseconds(), idx,
-                                  w.value()});
+        record(w.scheduler().now().femtoseconds(), idx, w.value());
     });
+}
+
+void VcdWriter::record(std::int64_t time_fs, std::size_t signal, bool value) {
+    if (max_changes_ == 0 || changes_.size() < max_changes_) {
+        changes_.push_back(Change{time_fs, signal, value});
+        return;
+    }
+    // Ring is full: the oldest change becomes part of the pre-window
+    // state, and its slot takes the new change.
+    Change& oldest = changes_[evict_pos_];
+    initial_[oldest.signal] = oldest.value;
+    oldest = Change{time_fs, signal, value};
+    evict_pos_ = (evict_pos_ + 1) % max_changes_;
+}
+
+void VcdWriter::set_max_changes(std::size_t n) {
+    // Linearize the ring, fold anything beyond the new cap into the
+    // initial values, and restart the ring at slot 0.
+    std::vector<Change> ordered;
+    ordered.reserve(changes_.size());
+    for (std::size_t i = 0; i < changes_.size(); ++i) {
+        ordered.push_back(changes_[(evict_pos_ + i) % changes_.size()]);
+    }
+    if (n != 0 && ordered.size() > n) {
+        const std::size_t drop = ordered.size() - n;
+        for (std::size_t i = 0; i < drop; ++i) {
+            initial_[ordered[i].signal] = ordered[i].value;
+        }
+        ordered.erase(ordered.begin(),
+                      ordered.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+    changes_ = std::move(ordered);
+    max_changes_ = n;
+    evict_pos_ = 0;
 }
 
 std::string VcdWriter::id_of(std::size_t index) const {
@@ -30,7 +65,24 @@ std::string VcdWriter::id_of(std::size_t index) const {
     return id;
 }
 
-std::string VcdWriter::to_string(const std::string& module_name) const {
+std::string VcdWriter::render(const std::string& module_name,
+                              const std::vector<bool>& state_in,
+                              std::int64_t t0_fs, std::int64_t t1_fs) const {
+    // Fold everything before the window into the starting state and keep
+    // the in-window changes in recorded (ring) order, which is time order.
+    std::vector<bool> state = state_in;
+    std::vector<Change> window;
+    for (std::size_t i = 0; i < changes_.size(); ++i) {
+        const Change& c = max_changes_ == 0
+                              ? changes_[i]
+                              : changes_[(evict_pos_ + i) % changes_.size()];
+        if (c.time_fs < t0_fs) {
+            state[c.signal] = c.value;
+        } else if (c.time_fs <= t1_fs) {
+            window.push_back(c);
+        }
+    }
+
     std::ostringstream os;
     os << "$comment gcco-cdr behavioral simulation $end\n";
     if (timescale_fs_ >= 1'000'000) {
@@ -47,11 +99,11 @@ std::string VcdWriter::to_string(const std::string& module_name) const {
     os << "$upscope $end\n$enddefinitions $end\n";
     os << "$dumpvars\n";
     for (std::size_t i = 0; i < names_.size(); ++i) {
-        os << (initial_[i] ? '1' : '0') << id_of(i) << '\n';
+        os << (state[i] ? '1' : '0') << id_of(i) << '\n';
     }
     os << "$end\n";
-    std::int64_t last_time = -1;
-    for (const auto& c : changes_) {
+    std::int64_t last_time = std::numeric_limits<std::int64_t>::min();
+    for (const auto& c : window) {
         const std::int64_t t = c.time_fs / timescale_fs_;
         if (t != last_time) {
             os << '#' << t << '\n';
@@ -62,11 +114,31 @@ std::string VcdWriter::to_string(const std::string& module_name) const {
     return os.str();
 }
 
+std::string VcdWriter::to_string(const std::string& module_name) const {
+    return render(module_name, initial_,
+                  std::numeric_limits<std::int64_t>::min(),
+                  std::numeric_limits<std::int64_t>::max());
+}
+
+std::string VcdWriter::to_string_window(std::int64_t t0_fs, std::int64_t t1_fs,
+                                        const std::string& module_name) const {
+    return render(module_name, initial_, t0_fs, t1_fs);
+}
+
 bool VcdWriter::write_file(const std::string& path,
                            const std::string& module_name) const {
     std::ofstream f(path);
     if (!f) return false;
     f << to_string(module_name);
+    return static_cast<bool>(f);
+}
+
+bool VcdWriter::write_window(const std::string& path, std::int64_t t0_fs,
+                             std::int64_t t1_fs,
+                             const std::string& module_name) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << to_string_window(t0_fs, t1_fs, module_name);
     return static_cast<bool>(f);
 }
 

@@ -21,13 +21,32 @@ public:
     /// Attach a wire; transitions from now on are recorded.
     void watch(Wire& w);
 
+    /// Bound the retained history to the newest `n` changes (0 = unbounded,
+    /// the default). Evicted changes fold into the per-signal initial
+    /// values, so a capped writer still renders a correct waveform for the
+    /// window it retains — this is what lets the flight recorder watch a
+    /// channel for an entire run without unbounded growth.
+    void set_max_changes(std::size_t n);
+
     /// Render the complete VCD document.
     [[nodiscard]] std::string to_string(
+        const std::string& module_name = "gcco_cdr") const;
+
+    /// Render only changes with time_fs in [t0_fs, t1_fs]; changes before
+    /// the window fold into the initial values, so signal states entering
+    /// the window are correct. Used for flight-recorder failure windows.
+    [[nodiscard]] std::string to_string_window(
+        std::int64_t t0_fs, std::int64_t t1_fs,
         const std::string& module_name = "gcco_cdr") const;
 
     /// Write to a file; returns false on I/O failure.
     bool write_file(const std::string& path,
                     const std::string& module_name = "gcco_cdr") const;
+
+    /// write_file restricted to the [t0_fs, t1_fs] window.
+    bool write_window(const std::string& path, std::int64_t t0_fs,
+                      std::int64_t t1_fs,
+                      const std::string& module_name = "gcco_cdr") const;
 
     [[nodiscard]] std::size_t signal_count() const { return names_.size(); }
     [[nodiscard]] std::size_t change_count() const { return changes_.size(); }
@@ -40,11 +59,20 @@ private:
     };
 
     [[nodiscard]] std::string id_of(std::size_t index) const;
+    void record(std::int64_t time_fs, std::size_t signal, bool value);
+    /// Header + $dumpvars with `state` as the initial values, then every
+    /// change in [t0_fs, t1_fs].
+    [[nodiscard]] std::string render(const std::string& module_name,
+                                     const std::vector<bool>& state,
+                                     std::int64_t t0_fs,
+                                     std::int64_t t1_fs) const;
 
     std::int64_t timescale_fs_;
     std::vector<std::string> names_;
     std::vector<bool> initial_;
     std::vector<Change> changes_;
+    std::size_t max_changes_ = 0;  ///< 0 = unbounded
+    std::size_t evict_pos_ = 0;    ///< ring start when bounded
 };
 
 }  // namespace gcdr::sim

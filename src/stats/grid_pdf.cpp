@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/trace_span.hpp"
 #include "util/fft.hpp"
 
 namespace gcdr::stats {
@@ -170,6 +171,7 @@ double GridPdf::tail_outside(double lo, double hi) const {
 }
 
 GridPdf GridPdf::convolve(const GridPdf& other, double prune_floor) const {
+    obs::TraceSpan span("pdf.convolve");
     if (empty() || other.empty()) return {};
     assert(std::abs(dx_ - other.dx_) < 1e-12 * dx_ &&
            "convolution requires a shared grid step");

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "sim/vcd.hpp"
 #include "statmodel/bathtub.hpp"
@@ -118,6 +119,103 @@ TEST(Vcd, WritesFile) {
     std::string line;
     std::getline(f, line);
     EXPECT_NE(line.find("$comment"), std::string::npos);
+}
+
+TEST(Vcd, ZeroWidthGlitchKeepsBothChanges) {
+    // A pulse that rises and falls at the same timestamp (zero width at
+    // the VCD timescale) must keep both changes, in order, under a single
+    // #time line — GTKWave renders this as a glitch marker.
+    sim::Scheduler sched;
+    sim::Wire w(sched, "pulse");
+    sim::VcdWriter vcd;
+    vcd.watch(w);
+    sched.schedule_at(SimTime::ps(100), [&] { w.set_now(true); });
+    sched.schedule_at(SimTime::ps(100), [&] { w.set_now(false); });
+    sched.run();
+    EXPECT_EQ(vcd.change_count(), 2u);
+    const auto doc = vcd.to_string("tb");
+    const auto t = doc.find("#100");
+    ASSERT_NE(t, std::string::npos);
+    EXPECT_EQ(doc.find("#100", t + 1), std::string::npos);
+    const auto rise = doc.find("1!", t);
+    const auto fall = doc.find("0!", t);
+    ASSERT_NE(rise, std::string::npos);
+    ASSERT_NE(fall, std::string::npos);
+    EXPECT_LT(rise, fall);
+}
+
+TEST(Vcd, MidRunWatchCapturesCurrentValueAsInitial) {
+    // Watching a wire after the run has started (out-of-order relative to
+    // wire creation and earlier events) snapshots its current value as
+    // the $dumpvars initial and records only later transitions.
+    sim::Scheduler sched;
+    sim::Wire a(sched, "a");
+    sim::Wire b(sched, "b");
+    sim::VcdWriter vcd;
+    vcd.watch(a);
+    sched.schedule_at(SimTime::ps(100), [&] {
+        a.set_now(true);
+        b.set_now(true);  // not yet watched: must not be recorded
+    });
+    sched.run();
+    vcd.watch(b);  // b currently high
+    sched.schedule_at(SimTime::ps(200), [&] { b.set_now(false); });
+    sched.run();
+
+    EXPECT_EQ(vcd.signal_count(), 2u);
+    EXPECT_EQ(vcd.change_count(), 2u);  // a@100 and b@200 only
+    const auto doc = vcd.to_string("tb");
+    EXPECT_NE(doc.find("$var wire 1 \" b $end"), std::string::npos);
+    // Initial dump: a = 0 (pre-first-change), b = 1 (value at watch time).
+    const auto dump = doc.find("$dumpvars");
+    ASSERT_NE(dump, std::string::npos);
+    const auto end = doc.find("$end", dump);
+    EXPECT_NE(doc.substr(dump, end - dump).find("1\""), std::string::npos);
+    EXPECT_NE(doc.find("#200"), std::string::npos);
+}
+
+TEST(Vcd, BoundedWindowMatchesGoldenDocument) {
+    // The flight-recorder configuration: a bounded writer whose evicted
+    // changes fold into the initial state, rendered over a failure
+    // window. The full document is compared against a golden rendering,
+    // and the file round-trip must be byte-identical.
+    sim::Scheduler sched;
+    sim::Wire w(sched, "sig");
+    sim::VcdWriter vcd;
+    vcd.watch(w);
+    vcd.set_max_changes(4);
+    for (int i = 1; i <= 10; ++i) {
+        sched.schedule_at(SimTime::ps(i * 10),
+                          [&w, i] { w.set_now(i % 2 == 1); });
+    }
+    sched.run();
+    EXPECT_EQ(vcd.change_count(), 4u);  // ps 70, 80, 90, 100 retained
+
+    const auto doc = vcd.to_string_window(SimTime::ps(70).femtoseconds(),
+                                          SimTime::ps(90).femtoseconds(),
+                                          "fr");
+    const std::string golden =
+        "$comment gcco-cdr behavioral simulation $end\n"
+        "$timescale 1 ps $end\n"
+        "$scope module fr $end\n"
+        "$var wire 1 ! sig $end\n"
+        "$upscope $end\n"
+        "$enddefinitions $end\n"
+        "$dumpvars\n"
+        "0!\n"  // evicted ps-60 fall folded into the window's entry state
+        "$end\n"
+        "#70\n1!\n"
+        "#80\n0!\n"
+        "#90\n1!\n";
+    EXPECT_EQ(doc, golden);
+
+    const std::string path = "/tmp/gcdr_vcd_window_test.vcd";
+    ASSERT_TRUE(vcd.write_window(path, SimTime::ps(70).femtoseconds(),
+                                 SimTime::ps(90).femtoseconds(), "fr"));
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    EXPECT_EQ(os.str(), golden);
 }
 
 }  // namespace
