@@ -19,6 +19,18 @@
 //                   create an obs::FlightRecorder (dumps in the current
 //                   directory) that benches wire into their receivers /
 //                   margin models via RunReport::flight()
+//   --log-level L   structured-logger threshold (trace|debug|info|warn|
+//                   error|off); default info
+//   --log-json FILE route structured log records to an append-mode JSONL
+//                   file (gcdr.log/v1) IN ADDITION to stderr text
+//   --progress      live rate-limited progress lines for sweeps and MC
+//                   budgets (obs::ProgressReporter; default off)
+//   --metrics-out FILE
+//                   write the final metrics snapshot in Prometheus text
+//                   exposition format (obs::to_prometheus)
+//   --ledger FILE   append one gcdr.bench.ledger/v1 record (full metrics
+//                   + build provenance) to FILE — the persistent run
+//                   history scripts/perf_history.py trends and gates on
 // Unrecognized arguments are left in argv for the bench (so
 // bench_kernel_perf can forward --benchmark_* flags to google-benchmark).
 // Both --threads and --seed are recorded in the report's "run" object.
@@ -34,7 +46,12 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/ledger.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+#include "obs/progress.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_span.hpp"
 
@@ -54,8 +71,18 @@ struct Options {
     std::string trace_path;
     /// Create a FlightRecorder for the run (RunReport::flight()).
     bool flight_recorder = false;
+    /// Prometheus text-exposition output path; empty = not requested.
+    std::string metrics_out_path;
+    /// Run-ledger path to append to; empty = not requested.
+    std::string ledger_path;
+    /// JSONL log-sink path; empty = stderr text only.
+    std::string log_json_path;
+    /// Live progress reporting (obs::ProgressReporter); default off.
+    bool progress = false;
 
-    /// Strip the flags this layer owns out of (argc, argv).
+    /// Strip the flags this layer owns out of (argc, argv). Also applies
+    /// the global observability toggles (log level/sink, progress) so
+    /// benches need no extra wiring.
     [[nodiscard]] static Options parse(int& argc, char** argv) {
         Options opts;
         int out = 1;
@@ -80,11 +107,43 @@ struct Options {
                 opts.trace_path = argv[i] + 8;
             } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
                 opts.flight_recorder = true;
+            } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                       i + 1 < argc) {
+                opts.metrics_out_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--ledger") == 0 &&
+                       i + 1 < argc) {
+                opts.ledger_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--log-json") == 0 &&
+                       i + 1 < argc) {
+                opts.log_json_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--log-level") == 0 &&
+                       i + 1 < argc) {
+                obs::LogLevel level{};
+                if (obs::parse_log_level(argv[++i], level)) {
+                    obs::Logger::global().set_level(level);
+                } else {
+                    obs::log_warn("bench", "unknown --log-level value",
+                                  {{"value", argv[i]}});
+                }
+            } else if (std::strcmp(argv[i], "--progress") == 0) {
+                opts.progress = true;
             } else {
                 argv[out++] = argv[i];
             }
         }
         argc = out;
+        if (!opts.log_json_path.empty()) {
+            auto sink =
+                std::make_shared<obs::JsonlFileSink>(opts.log_json_path);
+            // Keep stderr text alongside the file: add_sink() drops the
+            // implicit default, so re-add it explicitly first.
+            if (sink->ok()) {
+                obs::Logger::global().add_sink(
+                    std::make_shared<obs::StderrSink>());
+                obs::Logger::global().add_sink(std::move(sink));
+            }
+        }
+        if (opts.progress) obs::ProgressReporter::set_enabled(true);
         return opts;
     }
 
@@ -128,13 +187,22 @@ public:
     }
 
     /// The bench's sweep pool, created on first use with --threads lanes.
+    /// Always instrumented: the exec.* gauges cost two clock reads per
+    /// sweep item, noise next to the >= 10 us items the pool contract
+    /// assumes.
     [[nodiscard]] exec::ThreadPool& pool() {
         if (!pool_) {
             pool_ = std::make_unique<exec::ThreadPool>(
                 opts_.resolved_threads());
+            pool_->attach_metrics(&registry_);
         }
         return *pool_;
     }
+
+    /// Canonical workload-defining flag string for the run ledger
+    /// ("--deep --channels 4"). Benches with no workload flags can skip
+    /// this; the key then distinguishes runs by seed/threads/build only.
+    void set_config(std::string config) { config_ = std::move(config); }
 
     /// Write the report (and the Chrome trace, when --trace was given).
     /// Returns false only on I/O failure.
@@ -152,7 +220,12 @@ public:
                             opts_.trace_path.c_str());
             }
         }
-        if (opts_.json_path.empty()) return ok;
+        if (opts_.json_path.empty() && opts_.metrics_out_path.empty() &&
+            opts_.ledger_path.empty()) {
+            return ok;
+        }
+        // Peak/current RSS gauges ride along in every exported snapshot.
+        obs::record_process_stats(registry_);
         obs::ReportInfo info;
         info.id = id_;
         info.title = title_;
@@ -165,10 +238,35 @@ public:
         if (!opts_.trace_path.empty()) {
             info.spans = &obs::SpanCollector::global();
         }
-        ok = obs::write_run_report(opts_.json_path, registry_, info) && ok;
-        if (ok && !opts_.quiet) {
-            std::printf("\n[report written to %s]\n",
-                        opts_.json_path.c_str());
+        if (!opts_.json_path.empty()) {
+            ok = obs::write_run_report(opts_.json_path, registry_, info) &&
+                 ok;
+            if (ok && !opts_.quiet) {
+                std::printf("\n[report written to %s]\n",
+                            opts_.json_path.c_str());
+            }
+        }
+        if (!opts_.metrics_out_path.empty()) {
+            ok = obs::write_prometheus(opts_.metrics_out_path, registry_) &&
+                 ok;
+            if (ok && !opts_.quiet) {
+                std::printf("[metrics written to %s]\n",
+                            opts_.metrics_out_path.c_str());
+            }
+        }
+        if (!opts_.ledger_path.empty()) {
+            obs::LedgerKey key;
+            key.bench = id_;
+            key.config = config_;
+            key.seed = opts_.seed;
+            key.threads = info.threads;
+            ok = obs::ledger_append(opts_.ledger_path, key, registry_,
+                                    info) &&
+                 ok;
+            if (ok && !opts_.quiet) {
+                std::printf("[ledger record appended to %s]\n",
+                            opts_.ledger_path.c_str());
+            }
         }
         return ok;
     }
@@ -177,6 +275,7 @@ private:
     Options opts_;
     std::string id_;
     std::string title_;
+    std::string config_;
     obs::MetricsRegistry registry_;
     std::unique_ptr<exec::ThreadPool> pool_;
     std::unique_ptr<obs::FlightRecorder> flight_;

@@ -6,15 +6,24 @@
 // drain<kTelemetry, kTrace> dispatch.
 //
 // Reports (with --json):
-//   trace_overhead.cdr_events_per_s_off      best-of-reps, tracer detached
-//   trace_overhead.cdr_events_per_s_traced   best-of-reps, tracer attached
-//   trace_overhead.traced_over_off_ratio     traced / off (1.0 = free)
+//   trace_overhead.cdr_events_per_s_off      median-of-reps, tracer off
+//   trace_overhead.cdr_events_per_s_traced   median-of-reps, tracer on
+//   trace_overhead.traced_over_off_ratio     median of the per-rep paired
+//                                            traced/off ratios (1.0 = free)
 // plus deterministic counters (events executed, decisions, trace records)
 // that must be identical across machines for a given --seed.
+//
+// Methodology: reps run as interleaved off/traced PAIRS and the reported
+// ratio is the median of per-pair ratios. Best-of with separated blocks
+// (the original scheme) let one frequency-scaling or cache-warmth burst
+// land entirely in one block and produced physically impossible ratios
+// (> 1: tracing "speeding up" the kernel); pairing cancels slow drift
+// and the median rejects single-rep outliers.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "cdr/channel.hpp"
@@ -62,6 +71,12 @@ RunResult run_channel(std::uint64_t seed, std::size_t n_bits,
     return r;
 }
 
+double median(std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,30 +87,38 @@ int main(int argc, char** argv) {
     auto& reg = report.metrics();
 
     constexpr std::size_t kBits = 20000;
-    constexpr int kReps = 3;
+    constexpr int kReps = 5;
 
     if (!opts.quiet) {
         bench::header("TRACE", "causal-tracing overhead, CDR workload");
-        std::printf("[%zu bits/run, best of %d reps, seed %llu]\n", kBits,
-                    kReps, static_cast<unsigned long long>(report.seed()));
+        std::printf("[%zu bits/run, median of %d interleaved rep pairs, "
+                    "seed %llu]\n",
+                    kBits, kReps,
+                    static_cast<unsigned long long>(report.seed()));
     }
 
-    // Warm-up rep (page-in, branch training) shared by both configs.
-    (void)run_channel(report.seed(), kBits, nullptr);
-
-    RunResult off;
-    for (int i = 0; i < kReps; ++i) {
-        const auto r = run_channel(report.seed(), kBits, nullptr);
-        if (r.events_per_s > off.events_per_s) off = r;
-    }
+    // Warm-up pair (page-in, branch training) shared by both configs.
     obs::CausalTracer tracer;
-    RunResult traced;
-    for (int i = 0; i < kReps; ++i) {
-        const auto r = run_channel(report.seed(), kBits, &tracer);
-        if (r.events_per_s > traced.events_per_s) traced = r;
-    }
+    (void)run_channel(report.seed(), kBits, nullptr);
+    (void)run_channel(report.seed(), kBits, &tracer);
 
-    const double ratio = traced.events_per_s / off.events_per_s;
+    // Interleaved pairs: each rep measures off and traced back to back,
+    // so slow drift (thermal, frequency scaling) hits both configs alike.
+    RunResult off, traced;
+    std::vector<double> off_rates, traced_rates, pair_ratios;
+    for (int i = 0; i < kReps; ++i) {
+        const auto r_off = run_channel(report.seed(), kBits, nullptr);
+        const auto r_traced = run_channel(report.seed(), kBits, &tracer);
+        off = r_off;        // counters identical across reps; keep last
+        traced = r_traced;
+        off_rates.push_back(r_off.events_per_s);
+        traced_rates.push_back(r_traced.events_per_s);
+        pair_ratios.push_back(r_traced.events_per_s / r_off.events_per_s);
+    }
+    off.events_per_s = median(off_rates);
+    traced.events_per_s = median(traced_rates);
+
+    const double ratio = median(pair_ratios);
     reg.gauge("trace_overhead.cdr_events_per_s_off").set(off.events_per_s);
     reg.gauge("trace_overhead.cdr_events_per_s_traced")
         .set(traced.events_per_s);

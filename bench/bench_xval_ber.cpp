@@ -124,14 +124,14 @@ int main(int argc, char** argv) {
         ic.budget.target_rel_err = deep ? 0.05 : 0.1;
         ic.budget.max_evals = deep ? 6'000'000 : 1'500'000;
         ic.budget.base_seed = report.seed();
-        mc::ImportanceSampler is(model, ic);
+        mc::ImportanceSampler is(model, ic, &reg);
         const auto ie = is.estimate(pool);
 
         mc::SplittingEngine::Config sc;
         sc.n_particles = deep ? 4096 : 1024;
         sc.budget.max_evals = deep ? 2'000'000 : 400'000;
         sc.budget.base_seed = report.seed();
-        mc::SplittingEngine split(model, sc);
+        mc::SplittingEngine split(model, sc, &reg);
         const auto se = split.estimate(pool);
 
         const bool in_ci = ie.contains(sm);
@@ -179,14 +179,14 @@ int main(int argc, char** argv) {
         dc.budget.max_evals = deep ? (1u << 17) : (1u << 14);
         dc.runs_per_round = 1u << 13;
         dc.budget.base_seed = report.seed();
-        mc::DirectSampler direct(beh, dc);
+        mc::DirectSampler direct(beh, dc, &reg);
         const auto de = direct.estimate(pool);
 
         mc::SplittingEngine::Config sc;
         sc.n_particles = 512;
         sc.budget.max_evals = deep ? 100'000 : 20'000;
         sc.budget.base_seed = report.seed();
-        mc::SplittingEngine split(beh, sc);
+        mc::SplittingEngine split(beh, sc, &reg);
         const auto se = split.estimate(pool);
 
         reg.gauge("xval.sj030.beh_direct_ber").set(de.mean);
@@ -213,7 +213,7 @@ int main(int argc, char** argv) {
         sc.n_particles = 512;
         sc.budget.max_evals = 300'000;
         sc.budget.base_seed = report.seed();
-        mc::SplittingEngine split(beh, sc);
+        mc::SplittingEngine split(beh, sc, &reg);
         const auto se = split.estimate(pool);
         reg.gauge("xval.sj020.beh_split_ber").set(se.mean);
         reg.counter("xval.sj020.beh_split_evals").inc(se.n_samples);

@@ -4,6 +4,7 @@
 Usage:
     bench_diff.py BASELINE.json CANDIDATE.json [--min-ratio METRIC=X ...]
                   [--require-identical-counters] [--ignore-missing]
+                  [--require-spans]
 
 Prints a side-by-side diff of wall time, counters and gauges, plus derived
 event throughput (<prefix>.events_per_s from <prefix>.events_executed /
@@ -25,6 +26,12 @@ message naming the report it is missing from (a renamed or dropped metric
 is a real schema change, not noise). Pass --ignore-missing to downgrade
 those to informational notes — useful when diffing across revisions that
 legitimately added instrumentation.
+
+Span profiles ("spans", from bench --trace) are optional: a report
+without them gets a clear note naming the side and how to collect them,
+and the comparison still succeeds. Pass --require-spans to instead fail
+when either report lacks a span profile (for workflows that gate on the
+span summary being present).
 """
 
 import argparse
@@ -89,6 +96,12 @@ def main():
         help="report metrics present in only one report as notes instead "
         "of failures",
     )
+    ap.add_argument(
+        "--require-spans",
+        action="store_true",
+        help="fail when either report has no span profile (default: a "
+        "missing 'spans' object is an informational note)",
+    )
     args = ap.parse_args()
 
     constraints = {}
@@ -149,10 +162,25 @@ def main():
         print(f"  {name}: {fmt(b)} -> {fmt(c)}  (x{ratio:.3f})")
 
     # Span profiles (bench --trace) ride along as a top-level "spans"
-    # object; wall-clock data, so informational only — never a failure,
-    # even when one side was traced and the other was not.
-    b_spans = base.get("spans", {})
-    c_spans = cand.get("spans", {})
+    # object; wall-clock data, so informational only — unless
+    # --require-spans insists both sides were traced.
+    b_spans = base.get("spans")
+    c_spans = cand.get("spans")
+    missing_spans = [
+        name
+        for name, spans in (("baseline", b_spans), ("candidate", c_spans))
+        if not isinstance(spans, dict) or not spans
+    ]
+    if missing_spans:
+        sides = " and ".join(missing_spans)
+        msg = (f"no span profile in {sides} report(s) — re-run the bench "
+               "with --trace FILE to collect one")
+        if args.require_spans:
+            failures.append(msg)
+        else:
+            print(f"\nspans: {msg}; skipping span comparison")
+    b_spans = b_spans if isinstance(b_spans, dict) else {}
+    c_spans = c_spans if isinstance(c_spans, dict) else {}
     if b_spans or c_spans:
         deltas = []
         for name in set(b_spans) | set(c_spans):

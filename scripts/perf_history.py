@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Trend and gate bench throughput from gcdr.bench.ledger/v1 files.
+
+Usage:
+    perf_history.py LEDGER.jsonl [MORE.jsonl ...]
+                    [--metric GLOB ...] [--window N] [--min-ratio X]
+                    [--check] [--bench NAME]
+
+Each ledger line is one bench run (bench --ledger FILE appends them).
+Runs are grouped by (bench, config_hash, build_mode, sanitizer, threads)
+so only like-for-like workloads are ever compared, and within each group
+the trend of every selected metric is printed oldest-to-newest.
+
+Metric selection: gauges matching any --metric glob (fnmatch syntax);
+default is '*_per_s' — the throughput gauges every perf-sensitive bench
+publishes. Counters are identity data, not trends, and are ignored here
+(bench_diff.py checks those).
+
+--check turns the tool into a regression gate: for every group with at
+least two runs of a metric, the newest value must be at least
+--min-ratio (default 0.90) times the median of the preceding runs, up to
+--window (default 5) of them. The trailing median absorbs run-to-run
+noise; a real regression shifts the newest point against a stable
+reference. Single-run groups are reported and skipped, never failed — a
+fresh ledger must not wedge CI.
+
+Exit codes:
+    0  trends printed (and, with --check, no regressions)
+    1  --check found at least one regression
+    2  bad invocation, unreadable ledger, or no usable records
+"""
+
+import argparse
+import fnmatch
+import json
+import sys
+from collections import defaultdict
+
+SCHEMA = "gcdr.bench.ledger/v1"
+
+
+def load_records(paths):
+    """Parse ledger lines; malformed or foreign-schema lines are counted,
+    not fatal (a crash mid-append must not poison the history)."""
+    records, skipped = [], 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as e:
+            sys.exit(f"error: cannot read {path}: {e}")
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(rec, dict) or rec.get("schema") != SCHEMA:
+                skipped += 1
+                continue
+            records.append(rec)
+    return records, skipped
+
+
+def group_key(rec):
+    return (
+        rec.get("bench", "?"),
+        rec.get("config_hash", "?"),
+        rec.get("build_mode", "?"),
+        rec.get("sanitizer", "none"),
+        rec.get("threads", 0),
+    )
+
+
+def selected_gauges(rec, patterns):
+    gauges = rec.get("metrics", {}).get("gauges", {})
+    out = {}
+    for name, value in gauges.items():
+        if not isinstance(value, (int, float)):
+            continue
+        if any(fnmatch.fnmatch(name, p) for p in patterns):
+            out[name] = float(value)
+    return out
+
+
+def median(values):
+    v = sorted(values)
+    n = len(v)
+    return v[n // 2] if n % 2 else 0.5 * (v[n // 2 - 1] + v[n // 2])
+
+
+def fmt(v):
+    return f"{v:.6g}"
+
+
+def describe(key):
+    bench, config_hash, build_mode, sanitizer, threads = key
+    parts = [bench, f"cfg={config_hash[:8]}", build_mode]
+    if sanitizer != "none":
+        parts.append(f"san={sanitizer}")
+    parts.append(f"threads={threads}")
+    return "  ".join(str(p) for p in parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("ledgers", nargs="+", metavar="LEDGER.jsonl")
+    ap.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="gauge name glob to trend (repeatable; default '*_per_s')",
+    )
+    ap.add_argument(
+        "--bench",
+        default=None,
+        help="only consider this bench id (default: all)",
+    )
+    ap.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="trailing runs forming the reference median (default 5)",
+    )
+    ap.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.90,
+        metavar="X",
+        help="--check fails when newest/median(window) < X (default 0.90)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 on any regression against the trailing window",
+    )
+    args = ap.parse_args()
+    if args.window < 1:
+        sys.exit("error: --window must be >= 1")
+    patterns = args.metric or ["*_per_s"]
+
+    records, skipped = load_records(args.ledgers)
+    if args.bench:
+        records = [r for r in records if r.get("bench") == args.bench]
+    if skipped:
+        print(f"note: skipped {skipped} malformed/foreign line(s)")
+    if not records:
+        sys.exit("error: no usable ledger records")
+
+    # Ledger files are append-only, so file order IS chronological; the
+    # utc stamp is printed for humans but never used to sort (clock skew
+    # between CI runners must not reshuffle history).
+    groups = defaultdict(list)
+    for rec in records:
+        groups[group_key(rec)].append(rec)
+
+    regressions = []
+    shown = 0
+    for key in sorted(groups):
+        runs = groups[key]
+        metric_series = defaultdict(list)
+        for rec in runs:
+            for name, value in selected_gauges(rec, patterns).items():
+                metric_series[name].append((rec, value))
+        if not metric_series:
+            continue
+        print(f"\n== {describe(key)}  ({len(runs)} run(s), "
+              f"latest {runs[-1].get('utc', '?')} "
+              f"@ {runs[-1].get('git_sha', '?')[:12]})")
+        shown += 1
+        for name in sorted(metric_series):
+            series = metric_series[name]
+            values = [v for _, v in series]
+            tail = " ".join(fmt(v) for v in values[-(args.window + 1):])
+            line = f"  {name}: {tail}"
+            if len(values) < 2:
+                print(line + "  [single run, no trend]")
+                continue
+            window = values[-(args.window + 1):-1]
+            ref = median(window)
+            ratio = values[-1] / ref if ref > 0 else float("inf")
+            line += f"  [latest/median({len(window)}) = {ratio:.3f}]"
+            if args.check and ratio < args.min_ratio:
+                line += f"  REGRESSION (< {args.min_ratio})"
+                regressions.append(
+                    f"{describe(key)}  {name}: "
+                    f"{fmt(values[-1])} vs median {fmt(ref)} "
+                    f"(ratio {ratio:.3f} < {args.min_ratio})")
+            print(line)
+
+    if shown == 0:
+        sys.exit("error: no records matched the metric/bench selection")
+
+    if regressions:
+        print("\nFAIL: perf regressions against the trailing window:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    if args.check:
+        print("\nOK: no regressions against the trailing window")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,9 @@
 # Run every bench with telemetry enabled and collect the JSON run reports
 # under bench/reports/BENCH_<id>.json. These are the repo's perf-trajectory
 # artifacts (schema: gcdr.bench.report/v1, see DESIGN.md "Telemetry").
+# Every run also appends one gcdr.bench.ledger/v1 record to
+# bench/reports/ledger.jsonl — the persistent history that
+# scripts/perf_history.py trends and gates on.
 #
 # Usage:
 #   scripts/run_benches.sh [build-dir] [reports-dir] [threads]
@@ -20,6 +23,14 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 reports_dir="${2:-$repo_root/bench/reports}"
 threads="${3:-${GCDR_BENCH_THREADS:-1}}"
+
+# Stamp every ledger record with the sha actually checked out; the
+# compile-time fallback can be stale after an incremental rebuild.
+if [[ -z "${GCDR_GIT_SHA:-}" ]]; then
+    GCDR_GIT_SHA="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+    export GCDR_GIT_SHA
+fi
+ledger="$reports_dir/ledger.jsonl"
 
 if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
     cmake -B "$build_dir" -S "$repo_root"
@@ -53,7 +64,8 @@ for id in "${benches[@]}"; do
     fi
     out="$reports_dir/BENCH_$id.json"
     echo "== bench_$id -> $out (threads=$threads)"
-    if ! "$bin" --quiet --json "$out" --threads "$threads"; then
+    if ! "$bin" --quiet --json "$out" --threads "$threads" \
+            --ledger "$ledger"; then
         echo "FAILED: bench_$id" >&2
         failed=1
     fi
@@ -72,4 +84,11 @@ done
 echo
 echo "reports in $reports_dir:"
 ls -l "$reports_dir"
+
+# Trend table over the accumulated run history (informational here; CI
+# gates with --check on a same-runner ledger).
+if [[ -f "$ledger" ]]; then
+    echo
+    python3 "$repo_root/scripts/perf_history.py" "$ledger" || true
+fi
 exit "$failed"

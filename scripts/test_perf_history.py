@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Unit tests for perf_history.py on synthetic ledgers (no build needed).
+
+Run directly (python3 scripts/test_perf_history.py) or via ctest, which
+registers it as tier-1 test 'perf_history_py'.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import perf_history  # noqa: E402
+
+SCHEMA = "gcdr.bench.ledger/v1"
+
+
+def record(bench="kernel_perf", value=100.0, metric="kernel_perf.cdr_events_per_s",
+           threads=1, build_mode="release", sanitizer="none",
+           config="", sha="abc123"):
+    return {
+        "schema": SCHEMA,
+        "utc": "2026-08-07T00:00:00Z",
+        "bench": bench,
+        "config": config,
+        "config_hash": "00000000deadbeef",
+        "git_sha": sha,
+        "seed": 1,
+        "threads": threads,
+        "build_mode": build_mode,
+        "sanitizer": sanitizer,
+        "wall_seconds": 1.0,
+        "metrics": {"counters": {"events": 10}, "gauges": {metric: value}},
+    }
+
+
+class PerfHistoryTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_ledger(self, records, name="ledger.jsonl"):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            for rec in records:
+                f.write(json.dumps(rec) + "\n")
+        return path
+
+    def run_main(self, argv):
+        out = io.StringIO()
+        old_argv = sys.argv
+        sys.argv = ["perf_history.py"] + argv
+        try:
+            with redirect_stdout(out):
+                try:
+                    rc = perf_history.main()
+                except SystemExit as e:
+                    rc = e.code
+        finally:
+            sys.argv = old_argv
+        return rc, out.getvalue()
+
+    def test_stable_history_passes_check(self):
+        path = self.write_ledger(
+            [record(value=v) for v in (100, 101, 99, 100, 102, 100)])
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+        self.assertIn("OK: no regressions", out)
+
+    def test_regression_fails_check(self):
+        path = self.write_ledger(
+            [record(value=v) for v in (100, 101, 99, 100, 102, 70)])
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("kernel_perf.cdr_events_per_s", out)
+
+    def test_regression_ignored_without_check(self):
+        path = self.write_ledger(
+            [record(value=v) for v in (100, 101, 99, 100, 102, 70)])
+        rc, _ = self.run_main([path])
+        self.assertEqual(rc, 0)
+
+    def test_min_ratio_threshold_is_configurable(self):
+        path = self.write_ledger([record(value=100), record(value=85)])
+        rc, _ = self.run_main([path, "--check"])  # 0.85 < default 0.90
+        self.assertEqual(rc, 1)
+        rc, _ = self.run_main([path, "--check", "--min-ratio", "0.8"])
+        self.assertEqual(rc, 0)
+
+    def test_two_runs_gate_against_each_other(self):
+        path = self.write_ledger([record(value=100), record(value=98)])
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+        self.assertIn("latest/median(1) = 0.980", out)
+
+    def test_single_run_is_skipped_not_failed(self):
+        path = self.write_ledger([record(value=100)])
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+        self.assertIn("single run, no trend", out)
+
+    def test_window_bounds_the_reference(self):
+        # Old slow runs fall out of a window of 2; the newest run only
+        # competes with the recent fast ones.
+        values = [10, 10, 10, 100, 100, 95]
+        path = self.write_ledger([record(value=v) for v in values])
+        rc, _ = self.run_main([path, "--check", "--window", "2"])
+        self.assertEqual(rc, 0)
+        # With the full default window the median is 10 -> huge ratio,
+        # still no regression (only drops fail).
+        rc, _ = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+
+    def test_groups_do_not_mix(self):
+        # A slow 1-thread run must not be compared against 4-thread runs,
+        # and a different config hash forms its own group.
+        recs = [record(value=400, threads=4) for _ in range(3)]
+        recs.append(record(value=100, threads=1))
+        path = self.write_ledger(recs)
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+        self.assertIn("threads=4", out)
+        self.assertIn("threads=1", out)
+
+    def test_sanitizer_runs_form_their_own_group(self):
+        recs = [record(value=100), record(value=101),
+                record(value=10, sanitizer="thread")]
+        path = self.write_ledger(recs)
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+        self.assertIn("san=thread", out)
+
+    def test_malformed_lines_are_skipped(self):
+        path = self.write_ledger([record(value=100), record(value=100)])
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("{truncated\n")
+            f.write('{"schema": "other/v1"}\n')
+            f.write("\n")
+        rc, out = self.run_main([path, "--check"])
+        self.assertEqual(rc, 0)
+        self.assertIn("skipped 2 malformed/foreign line(s)", out)
+
+    def test_metric_glob_selection(self):
+        recs = [
+            {
+                **record(value=100),
+                "metrics": {
+                    "counters": {},
+                    "gauges": {
+                        "kernel_perf.cdr_events_per_s": 100.0,
+                        "mc.is.ber": 1e-12,
+                    },
+                },
+            }
+            for _ in range(2)
+        ]
+        path = self.write_ledger(recs)
+        rc, out = self.run_main([path])
+        self.assertEqual(rc, 0)
+        self.assertIn("cdr_events_per_s", out)
+        self.assertNotIn("mc.is.ber", out)
+        rc, out = self.run_main([path, "--metric", "mc.is.*"])
+        self.assertEqual(rc, 0)
+        self.assertIn("mc.is.ber", out)
+
+    def test_bench_filter(self):
+        recs = [record(bench="a", value=1), record(bench="b", value=2)]
+        path = self.write_ledger(recs)
+        rc, out = self.run_main([path, "--bench", "a"])
+        self.assertEqual(rc, 0)
+        self.assertIn("== a", out)
+        self.assertNotIn("== b", out)
+
+    def test_multiple_ledger_files_concatenate_in_order(self):
+        p1 = self.write_ledger([record(value=100)], "a.jsonl")
+        p2 = self.write_ledger([record(value=50)], "b.jsonl")
+        rc, out = self.run_main([p1, p2, "--check", "--min-ratio", "0.9"])
+        self.assertEqual(rc, 1)
+        self.assertIn("ratio 0.500", out)
+
+    def test_empty_ledger_is_an_error(self):
+        path = self.write_ledger([])
+        rc, _ = self.run_main([path])
+        self.assertEqual(rc, "error: no usable ledger records")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -32,7 +32,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "exec/thread_pool.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace_span.hpp"
 
 namespace gcdr::exec {
@@ -96,10 +99,20 @@ public:
     [[nodiscard]] std::vector<R> map(F&& fn) const {
         obs::TraceSpan span("sweep.map");
         std::vector<R> out(grid_.size());
+        // Live progress is globally opt-in (bench --progress); the
+        // disabled path costs one relaxed load per sweep, nothing per
+        // point. Purely observational — results stay bit-identical.
+        std::unique_ptr<obs::ProgressReporter> progress;
+        if (obs::ProgressReporter::enabled() && out.size() > 1) {
+            progress = std::make_unique<obs::ProgressReporter>(
+                "sweep.map", out.size());
+        }
         pool_->parallel_for(out.size(), [&](std::size_t i) {
             obs::TraceSpan point_span("sweep.point");
             out[i] = fn(grid_.point(i, base_seed_));
+            if (progress) progress->add();
         });
+        if (progress) progress->finish();
         return out;
     }
 

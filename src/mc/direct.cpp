@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "exec/sweep.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
@@ -72,6 +74,14 @@ McEstimate DirectSampler::estimate(exec::ThreadPool& pool) const {
                             est.rel_err() <= cfg_.budget.target_rel_err;
         }
     };
+    // Opt-in live progress against the eval budget (convergence exits
+    // early; finish() emits the actual total).
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (obs::ProgressReporter::enabled() &&
+        runs_per_round_ <= cfg_.budget.max_evals) {
+        progress = std::make_unique<obs::ProgressReporter>(
+            "mc.direct", cfg_.budget.max_evals);
+    }
     while (total + runs_per_round_ <= cfg_.budget.max_evals) {
         obs::TraceSpan round_span("mc.direct.round");
         std::vector<std::uint64_t> round_err(cap, 0);
@@ -100,13 +110,17 @@ McEstimate DirectSampler::estimate(exec::ThreadPool& pool) const {
         total += runs_per_round_;
         ++round;
         refresh();
+        if (progress) progress->add(runs_per_round_);
         if (metrics_) {
             metrics_->counter("mc.direct.runs").inc(runs_per_round_);
+            metrics_->gauge("mc.direct.rounds").set(
+                static_cast<double>(round));
             metrics_->gauge("mc.direct.ber").set(est.mean);
             metrics_->gauge("mc.direct.rel_err").set(est.rel_err());
         }
         if (est.converged) break;
     }
+    if (progress) progress->finish();
     refresh();
     return est;
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numbers>
 
 #include "exec/sweep.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
@@ -151,6 +153,14 @@ McEstimate ImportanceSampler::estimate(exec::ThreadPool& pool) const {
     std::uint64_t total = 0;
     McEstimate est;
     std::uint64_t round = 0;
+    // Opt-in live progress against the eval budget (the loop may exit
+    // early on convergence — finish() emits the final count either way).
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (obs::ProgressReporter::enabled() &&
+        round_evals <= cfg_.budget.max_evals) {
+        progress = std::make_unique<obs::ProgressReporter>(
+            "mc.is", cfg_.budget.max_evals);
+    }
     while (total + round_evals <= cfg_.budget.max_evals) {
         obs::TraceSpan round_span("mc.is.round");
         std::vector<WeightedTally> round_tallies(n_strata);
@@ -167,14 +177,17 @@ McEstimate ImportanceSampler::estimate(exec::ThreadPool& pool) const {
         total += round_evals;
         ++round;
         est = assemble(cum, total);
+        if (progress) progress->add(round_evals);
         if (metrics_) {
             metrics_->counter("mc.is.samples").inc(round_evals);
+            metrics_->gauge("mc.is.rounds").set(static_cast<double>(round));
             metrics_->gauge("mc.is.ber").set(est.mean);
             metrics_->gauge("mc.is.rel_err").set(est.rel_err());
             metrics_->gauge("mc.is.ess").set(est.ess);
         }
         if (est.converged) break;
     }
+    if (progress) progress->finish();
     if (total == 0) est = assemble(cum, 0);  // budget below one round
     return est;
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "exec/sweep.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
@@ -94,6 +96,15 @@ McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
     // acceptance-rate feedback below re-tunes it between levels.
     double beta = std::sqrt(1.0 - cfg_.pcn_rho * cfg_.pcn_rho);
     int level = 0;
+    // Opt-in live progress against the eval budget; the run usually ends
+    // well short of it (on reaching the target set), so finish() stamps
+    // the actual total.
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (obs::ProgressReporter::enabled()) {
+        progress = std::make_unique<obs::ProgressReporter>(
+            "mc.split", cfg_.budget.max_evals);
+        progress->add(total);
+    }
 
     // Au & Beck's gamma: variance inflation of a level-probability
     // estimate from the indicator autocorrelation along the chains that
@@ -194,6 +205,7 @@ McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
         });
         particles.swap(next);
         total += level_evals;
+        if (progress) progress->add(level_evals);
         // Adaptive conditional sampling: steer the pCN step size toward
         // the ~0.44 acceptance sweet spot (Papaioannou et al.). The
         // statistic is merged in fixed order after the barrier, so the
@@ -204,8 +216,13 @@ McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
             const double acc_rate = static_cast<double>(acc_total) /
                                     static_cast<double>(level_evals);
             beta = std::clamp(beta * std::exp(acc_rate - 0.44), 0.02, 1.0);
+            if (metrics_) {
+                metrics_->gauge("mc.split.acceptance_rate").set(acc_rate);
+                metrics_->gauge("mc.split.pcn_beta").set(beta);
+            }
         }
     }
+    if (progress) progress->finish();
 
     double p = final_fraction;
     for (double pl : level_probs) p *= pl;

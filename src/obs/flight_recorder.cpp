@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 
 namespace gcdr::obs {
 
@@ -188,15 +189,15 @@ std::string FlightRecorder::dump(const std::string& reason,
 
     std::ofstream out(json_path);
     if (!out) {
-        std::fprintf(stderr, "flight-recorder: cannot open %s\n",
-                     json_path.c_str());
+        log_error("obs.flight", "cannot open dump file",
+                  {{"path", json_path}});
         return "";
     }
     out << w.str() << '\n';
     if (!out) return "";
     dump_paths_.push_back(json_path);
-    std::fprintf(stderr, "flight-recorder: %s -> %s\n", reason.c_str(),
-                 json_path.c_str());
+    log_info("obs.flight", "dumped ring buffer",
+             {{"reason", reason}, {"path", json_path}});
     return json_path;
 }
 

@@ -30,6 +30,7 @@ std::string JsonWriter::escape(std::string_view s) {
 }
 
 void JsonWriter::newline_indent() {
+    if (indent_ < 0) return;  // compact mode: everything on one line
     out_ += '\n';
     out_.append(static_cast<std::size_t>(indent_) * stack_.size(), ' ');
 }

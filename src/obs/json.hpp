@@ -13,6 +13,10 @@ namespace gcdr::obs {
 
 class JsonWriter {
 public:
+    /// Pass as `indent` for single-line output (JSONL records, ledger
+    /// lines): no newlines or indentation are emitted at all.
+    static constexpr int kCompact = -1;
+
     explicit JsonWriter(int indent = 2) : indent_(indent) {}
 
     JsonWriter& begin_object();

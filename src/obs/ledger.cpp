@@ -1,0 +1,109 @@
+#include "obs/ledger.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+
+namespace gcdr::obs {
+
+std::uint64_t fnv1a64(std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string ledger_record_json(const LedgerKey& key,
+                               const MetricsRegistry& registry,
+                               const ReportInfo& info) {
+    const BuildInfo build = BuildInfo::current();
+    char hash_hex[17];
+    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key.config)));
+
+    JsonWriter w(JsonWriter::kCompact);
+    w.begin_object();
+    w.key("schema").value(kLedgerSchema);
+    w.key("utc").value(
+        format_utc_rfc3339(std::chrono::system_clock::now()));
+    w.key("bench").value(key.bench);
+    w.key("config").value(key.config);
+    w.key("config_hash").value(hash_hex);
+    w.key("git_sha").value(build.git_sha);
+    w.key("seed").value(key.seed);
+    w.key("threads").value(static_cast<std::uint64_t>(key.threads));
+    w.key("build_mode").value(build.build_mode);
+    w.key("compiler").value(build.compiler);
+    w.key("sanitizer").value(build.sanitizer);
+    w.key("wall_seconds").value(info.wall_seconds);
+    w.key("metrics");
+    registry.write_json(w);
+    if (info.spans) {
+        w.key("spans").begin_object();
+        for (const SpanCollector::Summary& s : info.spans->summaries()) {
+            w.key(s.name).begin_object();
+            w.key("count").value(s.count);
+            w.key("total_seconds").value(s.total_s);
+            w.key("max_seconds").value(s.max_s);
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.end_object();
+    return w.str();
+}
+
+bool ledger_append(const std::string& path, const LedgerKey& key,
+                   const MetricsRegistry& registry, const ReportInfo& info) {
+    const std::string line = ledger_record_json(key, registry, info);
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        log_error("obs.ledger", "cannot open ledger file",
+                  {{"path", path}});
+        return false;
+    }
+    os << line << '\n';
+    os.flush();
+    if (!os.good()) {
+        log_error("obs.ledger", "short write to ledger file",
+                  {{"path", path}});
+        return false;
+    }
+    return true;
+}
+
+bool ledger_read(const std::string& path, std::vector<JsonValue>& out,
+                 std::size_t* skipped) {
+    if (skipped) *skipped = 0;
+    std::ifstream is(path);
+    if (!is) return false;
+    std::string line;
+    while (std::getline(is, line)) {
+        // Strip a stray CR (ledgers may transit Windows tooling).
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;  // blank line: not a skip
+        JsonValue v;
+        std::string err;
+        if (!json_parse(line, v, &err) || v.type != JsonValue::Type::kObject) {
+            if (skipped) ++*skipped;
+            continue;
+        }
+        const JsonValue* schema = v.find("schema");
+        if (!schema || schema->type != JsonValue::Type::kString ||
+            schema->text != kLedgerSchema) {
+            if (skipped) ++*skipped;
+            continue;
+        }
+        out.push_back(std::move(v));
+    }
+    return true;
+}
+
+}  // namespace gcdr::obs

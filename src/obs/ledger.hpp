@@ -1,0 +1,71 @@
+#pragma once
+// Persistent run ledger: one compact JSON object per bench run, appended
+// to a shared JSONL file (bench --ledger PATH, default off). Where a run
+// report (report.hpp) is a snapshot that gets overwritten, the ledger is
+// history — scripts/perf_history.py groups its records by
+// (bench, build_mode, threads), prints throughput trends, and fails CI
+// when the newest run regresses against a trailing window.
+//
+// Record schema gcdr.bench.ledger/v1:
+//   {"schema":"gcdr.bench.ledger/v1","utc":"...",
+//    "bench":"kernel_perf","config":"<canonical flag string>",
+//    "config_hash":"9ae16a3b2f90404f",      // fnv1a64(config), hex
+//    "git_sha":"...","seed":1,"threads":4,"build_mode":"release",
+//    "compiler":"gcc ...","sanitizer":"none","wall_seconds":1.25,
+//    "metrics":{...full gcdr.bench.report/v1 metrics object...},
+//    "spans":{...optional span summary...}}
+//
+// Append-only and line-oriented on purpose: concurrent CI jobs can merge
+// ledgers with `cat`, partial lines from a crashed run are skipped by
+// the reader, and the file stays greppable.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace gcdr::obs {
+
+inline constexpr const char* kLedgerSchema = "gcdr.bench.ledger/v1";
+
+/// FNV-1a 64-bit — stable, dependency-free hash for the canonical config
+/// string, so perf_history can cheaply detect "same bench, different
+/// flags" without string-comparing whole configs.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+/// The identity of a run in the ledger. `config` is the bench's
+/// canonical flag string (whatever the bench considers
+/// workload-defining); the hash is derived, never stored independently.
+struct LedgerKey {
+    std::string bench;
+    std::string config;
+    std::uint64_t seed = 0;
+    std::size_t threads = 0;
+};
+
+/// Serialize one ledger record (no trailing newline). Build provenance
+/// (git sha, build mode, compiler, sanitizer) is taken from
+/// BuildInfo::current(); metrics and the optional span summary come from
+/// the same sources the run report uses, so ledger and report never
+/// disagree.
+[[nodiscard]] std::string ledger_record_json(const LedgerKey& key,
+                                             const MetricsRegistry& registry,
+                                             const ReportInfo& info);
+
+/// Append one record to `path` (created if missing). Returns false and
+/// logs at error level on I/O failure; benches treat that as soft.
+bool ledger_append(const std::string& path, const LedgerKey& key,
+                   const MetricsRegistry& registry, const ReportInfo& info);
+
+/// Read every well-formed record from a ledger file. Lines that are
+/// blank, truncated, or fail to parse are skipped (counted in
+/// *skipped when non-null) — a crash mid-append must not poison the
+/// whole history. Returns false only when the file cannot be opened.
+bool ledger_read(const std::string& path, std::vector<JsonValue>& out,
+                 std::size_t* skipped = nullptr);
+
+}  // namespace gcdr::obs

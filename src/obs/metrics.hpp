@@ -185,6 +185,16 @@ public:
         return histograms_;
     }
 
+    /// Run `fn` with the instrument-creation mutex held, so external
+    /// exporters (obs/prometheus.hpp) can walk the raw maps with the
+    /// same consistency guarantee as write_json/to_csv. `fn` must not
+    /// call back into counter()/gauge()/histogram().
+    template <typename F>
+    void with_export_lock(F&& fn) const {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn();
+    }
+
     /// Serialize as a {"counters":..,"gauges":..,"histograms":..} object
     /// into an in-progress writer (after w.key(...) or inside an array).
     void write_json(JsonWriter& w) const;

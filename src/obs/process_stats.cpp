@@ -1,0 +1,66 @@
+#include "obs/process_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace gcdr::obs {
+
+namespace {
+
+/// Parse a "Vm...:  <n> kB" line from /proc/self/status. Returns 0 when
+/// the file or the key is unavailable (non-Linux).
+std::uint64_t proc_status_kb(const char* key) {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f) return 0;
+    const std::size_t key_len = std::strlen(key);
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+            unsigned long long v = 0;
+            if (std::sscanf(line + key_len + 1, "%llu", &v) == 1) kb = v;
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+}
+
+}  // namespace
+
+std::uint64_t process_peak_rss_bytes() {
+    if (const std::uint64_t kb = proc_status_kb("VmHWM")) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+        return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes
+#else
+        return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB
+#endif
+    }
+#endif
+    return 0;
+}
+
+std::uint64_t process_current_rss_bytes() {
+    return proc_status_kb("VmRSS") * 1024;
+}
+
+void record_process_stats(MetricsRegistry& registry,
+                          const std::string& prefix) {
+    if (const std::uint64_t peak = process_peak_rss_bytes()) {
+        registry.gauge(prefix + ".peak_rss_bytes")
+            .set(static_cast<double>(peak));
+    }
+    if (const std::uint64_t cur = process_current_rss_bytes()) {
+        registry.gauge(prefix + ".current_rss_bytes")
+            .set(static_cast<double>(cur));
+    }
+}
+
+}  // namespace gcdr::obs

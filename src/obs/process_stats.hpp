@@ -1,0 +1,26 @@
+#pragma once
+// Process-level resource gauges: resident-set sizes read from the OS.
+// Sampled, not instrumented — call record_process_stats() at report time
+// (bench::RunReport does) or periodically from the future daemon's
+// metrics endpoint; nothing here touches the hot path.
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace gcdr::obs {
+
+/// Peak resident set size in bytes. Linux: VmHWM from
+/// /proc/self/status; elsewhere falls back to getrusage(ru_maxrss).
+/// Returns 0 when unavailable.
+[[nodiscard]] std::uint64_t process_peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS; 0 when unavailable).
+[[nodiscard]] std::uint64_t process_current_rss_bytes();
+
+/// Record `<prefix>.peak_rss_bytes` / `<prefix>.current_rss_bytes`
+/// gauges (skipping any the OS cannot provide).
+void record_process_stats(MetricsRegistry& registry,
+                          const std::string& prefix = "process");
+
+}  // namespace gcdr::obs

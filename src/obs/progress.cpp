@@ -1,0 +1,66 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+namespace gcdr::obs {
+
+namespace {
+std::atomic<bool> g_progress_enabled{false};
+}  // namespace
+
+void ProgressReporter::set_enabled(bool on) {
+    g_progress_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool ProgressReporter::enabled() {
+    return g_progress_enabled.load(std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(std::string label, std::uint64_t total,
+                                   double min_interval_s)
+    : label_(std::move(label)),
+      total_(total),
+      gate_(min_interval_s),
+      t0_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::add(std::uint64_t n) {
+    const std::uint64_t now_done =
+        done_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::uint64_t suppressed = 0;
+    if (gate_.admit(&suppressed)) emit(now_done, suppressed);
+}
+
+void ProgressReporter::finish() {
+    if (finished_.exchange(true, std::memory_order_relaxed)) return;
+    emit(done_.load(std::memory_order_relaxed), 0);
+}
+
+void ProgressReporter::emit(std::uint64_t done_now,
+                            std::uint64_t suppressed) {
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    const double pct =
+        total_ > 0 ? 100.0 * static_cast<double>(done_now) /
+                         static_cast<double>(total_)
+                   : 0.0;
+    // ETA from the mean rate so far; unknown until work has started.
+    double eta_s = -1.0;
+    if (done_now > 0 && total_ >= done_now) {
+        eta_s = elapsed_s * static_cast<double>(total_ - done_now) /
+                static_cast<double>(done_now);
+    }
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "%llu/%llu (%.1f%%)",
+                  static_cast<unsigned long long>(done_now),
+                  static_cast<unsigned long long>(total_), pct);
+    std::vector<LogField> fields;
+    fields.emplace_back("done", done_now);
+    fields.emplace_back("total", total_);
+    fields.emplace_back("elapsed_s", elapsed_s);
+    if (eta_s >= 0.0) fields.emplace_back("eta_s", eta_s);
+    Logger::global().log(LogLevel::kInfo, "progress." + label_, msg,
+                         std::move(fields), suppressed);
+}
+
+}  // namespace gcdr::obs

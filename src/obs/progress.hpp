@@ -1,0 +1,60 @@
+#pragma once
+// Opt-in live progress for long-running sweeps and MC budgets: a
+// thread-safe done/total tally that emits rate-limited "done/total (pct),
+// eta" lines through the structured logger, so a multi-minute
+// `bench_xval_ber --deep` run is no longer silent.
+//
+// Cost model, matching the rest of obs/: progress is globally opt-in
+// (`ProgressReporter::set_enabled(true)`, wired to the bench --progress
+// flag). Producers (exec::SweepRunner, mc/ engines) check enabled()
+// once and skip construction entirely when off — the disabled path costs
+// one relaxed atomic load per sweep/round, nothing per point. When on,
+// add() is one relaxed fetch_add plus a rate-gate check; the formatted
+// line is only built for the (at most) ~2 records/second that pass the
+// gate. Purely observational: results and RNG streams are untouched, so
+// the exec/ determinism contract holds with progress on or off.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/log.hpp"
+
+namespace gcdr::obs {
+
+class ProgressReporter {
+public:
+    /// `label` names the work ("sweep.map", "mc.is"); `total` is the
+    /// expected unit count (points, evaluations). Emits at most one
+    /// record per `min_interval_s` (plus the final one from finish()).
+    explicit ProgressReporter(std::string label, std::uint64_t total,
+                              double min_interval_s = 0.5);
+
+    /// Count `n` units done; emits a progress record if the gate allows.
+    void add(std::uint64_t n = 1);
+
+    /// Emit the final record unconditionally (idempotent).
+    void finish();
+
+    [[nodiscard]] std::uint64_t done() const {
+        return done_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+
+    /// Global opt-in switch (bench --progress). Default off.
+    static void set_enabled(bool on);
+    [[nodiscard]] static bool enabled();
+
+private:
+    void emit(std::uint64_t done_now, std::uint64_t suppressed);
+
+    std::string label_;
+    std::uint64_t total_;
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<bool> finished_{false};
+    LogRateGate gate_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace gcdr::obs

@@ -1,0 +1,266 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+
+#include "obs/log.hpp"
+
+namespace gcdr::obs {
+
+namespace {
+
+/// Shortest decimal that round-trips (same policy as JsonWriter).
+std::string fmt_double(double v) {
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Split an instrument name into (base, inline labels). The inline form
+/// is `base{k=v,k2=v2}`; anything malformed falls back to treating the
+/// whole string as the base name (it then gets sanitized into '_'s).
+void split_name(const std::string& name, std::string& base,
+                LabelSet& labels) {
+    labels.clear();
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}') {
+        base = name;
+        return;
+    }
+    base = name.substr(0, brace);
+    std::size_t pos = brace + 1;
+    const std::size_t end = name.size() - 1;
+    while (pos < end) {
+        std::size_t comma = name.find(',', pos);
+        if (comma == std::string::npos || comma > end) comma = end;
+        const std::string_view item(name.data() + pos, comma - pos);
+        const std::size_t eq = item.find('=');
+        if (eq != std::string_view::npos && eq > 0) {
+            labels.emplace_back(std::string(item.substr(0, eq)),
+                                std::string(item.substr(eq + 1)));
+        }
+        pos = comma + 1;
+    }
+}
+
+/// Merge const labels under inline ones (inline wins), sorted by key.
+LabelSet merge_labels(const LabelSet& const_labels,
+                      const LabelSet& inline_labels) {
+    LabelSet out = inline_labels;
+    for (const auto& cl : const_labels) {
+        const bool shadowed =
+            std::any_of(inline_labels.begin(), inline_labels.end(),
+                        [&](const auto& il) { return il.first == cl.first; });
+        if (!shadowed) out.push_back(cl);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/// `{k="v",k2="v2"}`, or "" when empty. `extra` (the histogram `le`)
+/// is appended last when non-empty, matching common exporter output.
+std::string render_labels(const LabelSet& labels, const std::string& extra_key,
+                          const std::string& extra_value) {
+    if (labels.empty() && extra_key.empty()) return {};
+    std::string out = "{";
+    bool first = true;
+    auto add = [&](const std::string& k, const std::string& v) {
+        if (!first) out += ',';
+        first = false;
+        out += prometheus_sanitize_name(k);
+        out += "=\"";
+        out += prometheus_escape_label(v);
+        out += '"';
+    };
+    for (const auto& [k, v] : labels) add(k, v);
+    if (!extra_key.empty()) add(extra_key, extra_value);
+    out += '}';
+    return out;
+}
+
+struct Series {
+    LabelSet labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+};
+
+/// All instruments of one exposition family (same rendered name).
+struct Family {
+    const char* type = "untyped";
+    std::vector<Series> series;
+};
+
+void emit_family(std::string& out, const std::string& fam_name,
+                 const Family& fam) {
+    out += "# TYPE ";
+    out += fam_name;
+    out += ' ';
+    out += fam.type;
+    out += '\n';
+    for (const Series& s : fam.series) {
+        if (s.counter) {
+            out += fam_name;
+            out += render_labels(s.labels, "", "");
+            out += ' ';
+            out += std::to_string(s.counter->value());
+            out += '\n';
+        } else if (s.gauge) {
+            out += fam_name;
+            out += render_labels(s.labels, "", "");
+            out += ' ';
+            out += fmt_double(s.gauge->value());
+            out += '\n';
+        } else if (s.histogram) {
+            const Histogram& h = *s.histogram;
+            std::uint64_t cum = 0;
+            bool has_inf_bucket = false;
+            for (const Histogram::Bucket& b : h.nonempty_buckets()) {
+                cum += b.count;
+                const bool inf = std::isinf(b.upper);
+                has_inf_bucket = has_inf_bucket || inf;
+                out += fam_name;
+                out += "_bucket";
+                out += render_labels(s.labels, "le",
+                                     inf ? "+Inf" : fmt_double(b.upper));
+                out += ' ';
+                out += std::to_string(cum);
+                out += '\n';
+            }
+            if (!has_inf_bucket) {
+                out += fam_name;
+                out += "_bucket";
+                out += render_labels(s.labels, "le", "+Inf");
+                out += ' ';
+                out += std::to_string(h.count());
+                out += '\n';
+            }
+            out += fam_name;
+            out += "_sum";
+            out += render_labels(s.labels, "", "");
+            out += ' ';
+            out += fmt_double(h.sum());
+            out += '\n';
+            out += fam_name;
+            out += "_count";
+            out += render_labels(s.labels, "", "");
+            out += ' ';
+            out += std::to_string(h.count());
+            out += '\n';
+        }
+    }
+}
+
+}  // namespace
+
+std::string prometheus_sanitize_name(const std::string& name) {
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry,
+                          const PrometheusOptions& opts) {
+    // (family name -> Family), ordered — the exposition is deterministic.
+    std::map<std::string, Family> families;
+    const std::string prefix = opts.prefix.empty()
+                                   ? std::string{}
+                                   : prometheus_sanitize_name(opts.prefix) + "_";
+
+    auto family_name = [&](const std::string& base, const char* suffix) {
+        return prefix + prometheus_sanitize_name(base) + suffix;
+    };
+
+    registry.with_export_lock([&] {
+        std::string base;
+        LabelSet inline_labels;
+        for (const auto& [name, counter] : registry.counters()) {
+            split_name(name, base, inline_labels);
+            Family& fam = families[family_name(base, "_total")];
+            fam.type = "counter";
+            Series s;
+            s.labels = merge_labels(opts.const_labels, inline_labels);
+            s.counter = counter.get();
+            fam.series.push_back(std::move(s));
+        }
+        for (const auto& [name, gauge] : registry.gauges()) {
+            if (!gauge->has_value()) continue;  // no null in Prometheus
+            split_name(name, base, inline_labels);
+            Family& fam = families[family_name(base, "")];
+            fam.type = "gauge";
+            Series s;
+            s.labels = merge_labels(opts.const_labels, inline_labels);
+            s.gauge = gauge.get();
+            fam.series.push_back(std::move(s));
+        }
+        for (const auto& [name, hist] : registry.histograms()) {
+            split_name(name, base, inline_labels);
+            Family& fam = families[family_name(base, "")];
+            fam.type = "histogram";
+            Series s;
+            s.labels = merge_labels(opts.const_labels, inline_labels);
+            s.histogram = hist.get();
+            fam.series.push_back(std::move(s));
+        }
+    });
+
+    std::string out;
+    for (auto& [name, fam] : families) {
+        // Series order within a family: by label signature, so per-lane /
+        // per-channel series list in a stable order.
+        std::sort(fam.series.begin(), fam.series.end(),
+                  [](const Series& a, const Series& b) {
+                      return a.labels < b.labels;
+                  });
+        emit_family(out, name, fam);
+    }
+    return out;
+}
+
+bool write_prometheus(const std::string& path,
+                      const MetricsRegistry& registry,
+                      const PrometheusOptions& opts) {
+    std::ofstream os(path);
+    if (!os) {
+        log_error("obs.prometheus", "cannot open metrics snapshot file",
+                  {{"path", path}});
+        return false;
+    }
+    os << to_prometheus(registry, opts);
+    return os.good();
+}
+
+}  // namespace gcdr::obs

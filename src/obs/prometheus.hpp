@@ -1,0 +1,60 @@
+#pragma once
+// Point-in-time rendering of a MetricsRegistry in the Prometheus text
+// exposition format (version 0.0.4) — the live-metrics surface for the
+// future simulation-as-a-service daemon and, today, for the bench
+// `--metrics-out` snapshot that any scraper / promtool can ingest.
+//
+// Mapping from the registry's dotted names:
+//   - metric names are sanitized ('.', '-', and every other invalid
+//     character become '_') and prefixed with `<namespace>_`,
+//   - counters additionally get the conventional `_total` suffix,
+//   - an instrument name may carry labels inline after a '{':
+//     `events_total{lane=3,kind=edge}` — the exporter parses them, so
+//     per-lane / per-channel series share one metric family. Series of a
+//     family are emitted under a single # TYPE header, labels sorted by
+//     key and values escaped (\\, \", \n),
+//   - histograms render as classic Prometheus histograms: cumulative
+//     `_bucket{le="..."}` series from the non-empty log-scale buckets,
+//     an `le="+Inf"` bucket, `_sum` and `_count`,
+//   - unset gauges are skipped (they export as null in JSON; Prometheus
+//     has no null).
+//
+// Output is deterministic for a given registry state: families sorted by
+// name (the registry map is ordered), series sorted by label signature —
+// the golden-format tests rely on this.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gcdr::obs {
+
+struct PrometheusOptions {
+    /// Prepended to every metric name as `<prefix>_`; empty = no prefix.
+    std::string prefix = "gcdr";
+    /// Labels added to every series (run id, git sha, ...). Merged with
+    /// per-instrument inline labels; inline labels win on key collision.
+    std::vector<std::pair<std::string, std::string>> const_labels;
+};
+
+/// Render the full exposition document (ends with a newline).
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry,
+                                        const PrometheusOptions& opts = {});
+
+/// Write the exposition to `path`. Returns false (and logs at error
+/// level) on I/O failure.
+bool write_prometheus(const std::string& path,
+                      const MetricsRegistry& registry,
+                      const PrometheusOptions& opts = {});
+
+/// A metric name made exposition-safe: invalid characters replaced by
+/// '_', a leading digit guarded by '_' (exposed for tests).
+[[nodiscard]] std::string prometheus_sanitize_name(const std::string& name);
+
+/// Label-value escaping per the text format: backslash, double-quote and
+/// newline (exposed for tests).
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
+
+}  // namespace gcdr::obs

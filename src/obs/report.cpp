@@ -1,9 +1,11 @@
 #include "obs/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 
 namespace gcdr::obs {
 
@@ -35,6 +37,19 @@ BuildInfo BuildInfo::current() {
 #else
     b.sanitizer = "none";
 #endif
+    // Runtime env wins over the configure-time define: CI exports the sha
+    // it checked out, which stays correct even for an incremental rebuild
+    // of an older configure.
+    if (const char* env = std::getenv("GCDR_GIT_SHA"); env && *env) {
+        b.git_sha = env;
+    } else {
+#ifdef GCDR_GIT_SHA
+        b.git_sha = GCDR_GIT_SHA;
+#else
+        b.git_sha = "unknown";
+#endif
+    }
+    if (b.git_sha.empty()) b.git_sha = "unknown";
     return b;
 }
 
@@ -56,6 +71,7 @@ std::string run_report_json(const MetricsRegistry& registry,
     w.key("cxx_standard").value(static_cast<std::int64_t>(build.cxx_standard));
     w.key("build_mode").value(build.build_mode);
     w.key("sanitizer").value(build.sanitizer);
+    w.key("git_sha").value(build.git_sha);
     w.end_object();
     w.key("metrics");
     registry.write_json(w);
@@ -79,8 +95,8 @@ bool write_run_report(const std::string& path,
                       const ReportInfo& info) {
     std::ofstream os(path);
     if (!os) {
-        std::fprintf(stderr, "obs: cannot open report file '%s'\n",
-                     path.c_str());
+        log_error("obs.report", "cannot open report file",
+                  {{"path", path}});
         return false;
     }
     os << run_report_json(registry, info);

@@ -24,6 +24,10 @@ struct BuildInfo {
     long cxx_standard;       ///< __cplusplus value
     std::string build_mode;  ///< "release" (NDEBUG) or "debug"
     std::string sanitizer;   ///< "address", "thread", ... or "none"
+    /// Checkout the binary was built from: the GCDR_GIT_SHA environment
+    /// variable when set (CI exports it; a stale build can't lie), else
+    /// the sha baked in at configure time, else "unknown".
+    std::string git_sha;
 
     [[nodiscard]] static BuildInfo current();
 };

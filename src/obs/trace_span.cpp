@@ -7,6 +7,7 @@
 #include <map>
 
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 
 namespace gcdr::obs {
 
@@ -135,8 +136,8 @@ std::string SpanCollector::chrome_trace_json() const {
 bool SpanCollector::write_chrome_trace(const std::string& path) const {
     std::ofstream out(path);
     if (!out) {
-        std::fprintf(stderr, "trace: cannot open %s for writing\n",
-                     path.c_str());
+        log_error("obs.trace", "cannot open chrome trace file",
+                  {{"path", path}});
         return false;
     }
     out << chrome_trace_json() << '\n';

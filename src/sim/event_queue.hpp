@@ -53,6 +53,17 @@ public:
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] std::size_t size() const { return size_; }
 
+    /// Pool occupancy, for the scheduler's telemetry gauges: total slots
+    /// ever allocated (slabs never shrink) and slots currently holding a
+    /// live or in-flight event. in_use can exceed size() transiently
+    /// while a taken handle awaits run_and_recycle.
+    [[nodiscard]] std::size_t pool_capacity() const {
+        return slabs_.size() * kSlabSize;
+    }
+    [[nodiscard]] std::size_t pool_in_use() const {
+        return pool_capacity() - free_.size();
+    }
+
     /// Time of the earliest (time, seq) event. Not const: may advance the
     /// wheel window (observably pure). Precondition: !empty().
     [[nodiscard]] SimTime peek_time();

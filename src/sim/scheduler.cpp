@@ -119,6 +119,12 @@ void Scheduler::flush_pending_telemetry() {
         pending_scheduled_ = 0;
     }
     m_queue_hwm_->set_max(static_cast<double>(local_hwm_));
+    // Instantaneous occupancy, sampled off the hot path: queue depth at
+    // flush time plus the event pool's footprint (capacity never shrinks,
+    // so it records the run's high-water memory commitment).
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
+    m_pool_capacity_->set(static_cast<double>(queue_.pool_capacity()));
+    m_pool_in_use_->set(static_cast<double>(queue_.pool_in_use()));
 }
 
 void Scheduler::attach_metrics(obs::MetricsRegistry* registry,
@@ -127,12 +133,16 @@ void Scheduler::attach_metrics(obs::MetricsRegistry* registry,
     local_hwm_ = 0;  // a fresh registry must only see its own peaks
     if (!registry) {
         m_scheduled_ = m_executed_ = nullptr;
-        m_queue_hwm_ = m_wall_seconds_ = m_sim_wall_ratio_ = nullptr;
+        m_queue_hwm_ = m_queue_depth_ = m_pool_capacity_ = nullptr;
+        m_pool_in_use_ = m_wall_seconds_ = m_sim_wall_ratio_ = nullptr;
         return;
     }
     m_scheduled_ = &registry->counter(prefix + ".events_scheduled");
     m_executed_ = &registry->counter(prefix + ".events_executed");
     m_queue_hwm_ = &registry->gauge(prefix + ".queue_high_water");
+    m_queue_depth_ = &registry->gauge(prefix + ".queue_depth");
+    m_pool_capacity_ = &registry->gauge(prefix + ".pool_capacity");
+    m_pool_in_use_ = &registry->gauge(prefix + ".pool_in_use");
     m_wall_seconds_ = &registry->gauge(prefix + ".wall_seconds");
     m_sim_wall_ratio_ = &registry->gauge(prefix + ".sim_wall_ratio");
 }

@@ -56,6 +56,8 @@ public:
     /// Attach telemetry (obs/). Registers under `prefix`:
     ///   <prefix>.events_scheduled / .events_executed   counters
     ///   <prefix>.queue_high_water                      gauge
+    ///   <prefix>.queue_depth                           gauge (at flush)
+    ///   <prefix>.pool_capacity / .pool_in_use          gauges (at flush)
     ///   <prefix>.wall_seconds / .sim_wall_ratio        gauges, updated by
     ///                                                  run()/run_until()
     /// Pass nullptr to detach. When detached (the default) the drain loops
@@ -117,6 +119,9 @@ private:
     obs::Counter* m_scheduled_ = nullptr;
     obs::Counter* m_executed_ = nullptr;
     obs::Gauge* m_queue_hwm_ = nullptr;
+    obs::Gauge* m_queue_depth_ = nullptr;
+    obs::Gauge* m_pool_capacity_ = nullptr;
+    obs::Gauge* m_pool_in_use_ = nullptr;
     obs::Gauge* m_wall_seconds_ = nullptr;
     obs::Gauge* m_sim_wall_ratio_ = nullptr;
     // Hot-path accumulators: published by flush_pending_telemetry() so

@@ -1,0 +1,226 @@
+// Tests for obs/log.hpp: record formatting (text and JSONL), level
+// parsing/filtering, sink routing on the global logger, per-call-site
+// rate limiting, and concurrent emission through one sink.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+#include "obs/log.hpp"
+
+namespace gcdr::obs {
+namespace {
+
+LogRecord make_record() {
+    LogRecord rec;
+    rec.level = LogLevel::kWarn;
+    rec.wall = std::chrono::system_clock::time_point{};  // epoch
+    rec.component = "obs.flight";
+    rec.message = "cannot open dump";
+    rec.fields.emplace_back("path", "/tmp/x.json");
+    rec.fields.emplace_back("attempt", std::uint64_t{3});
+    rec.fields.emplace_back("ratio", 0.25);
+    rec.fields.emplace_back("fatal", false);
+    return rec;
+}
+
+/// Captures records in memory for routing/concurrency assertions.
+struct CaptureSink : LogSink {
+    std::vector<LogRecord> records;
+    void write(const LogRecord& rec) override { records.push_back(rec); }
+};
+
+/// Every test that touches the global logger restores the default
+/// stderr-at-info configuration afterwards.
+struct GlobalLoggerFixture : ::testing::Test {
+    ~GlobalLoggerFixture() override { Logger::global().reset(); }
+};
+
+TEST(LogLevelNames, RoundTrip) {
+    EXPECT_STREQ(log_level_name(LogLevel::kTrace), "trace");
+    EXPECT_STREQ(log_level_name(LogLevel::kError), "error");
+    LogLevel level{};
+    EXPECT_TRUE(parse_log_level("WARN", level));
+    EXPECT_EQ(level, LogLevel::kWarn);
+    EXPECT_TRUE(parse_log_level("warning", level));
+    EXPECT_EQ(level, LogLevel::kWarn);
+    EXPECT_TRUE(parse_log_level("off", level));
+    EXPECT_EQ(level, LogLevel::kOff);
+    EXPECT_FALSE(parse_log_level("loud", level));
+    EXPECT_EQ(level, LogLevel::kOff);  // untouched on failure
+}
+
+TEST(Rfc3339, FormatsUtc) {
+    EXPECT_EQ(format_utc_rfc3339(std::chrono::system_clock::time_point{}),
+              "1970-01-01T00:00:00Z");
+}
+
+TEST(StderrSinkFormat, GoldenLine) {
+    EXPECT_EQ(StderrSink::format(make_record()),
+              "1970-01-01T00:00:00Z WARN  obs.flight: cannot open dump "
+              "path=/tmp/x.json attempt=3 ratio=0.25 fatal=false");
+}
+
+TEST(StderrSinkFormat, SuppressedCountTrails) {
+    LogRecord rec = make_record();
+    rec.fields.clear();
+    rec.suppressed = 17;
+    EXPECT_EQ(StderrSink::format(rec),
+              "1970-01-01T00:00:00Z WARN  obs.flight: cannot open dump "
+              "suppressed=17");
+}
+
+TEST(JsonlSinkFormat, IsOneValidCompactObject) {
+    const std::string line = JsonlFileSink::format(make_record());
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(json_parse(line, doc, &err)) << err << "\n" << line;
+    EXPECT_EQ(doc.find("schema")->string_or(""), "gcdr.log/v1");
+    EXPECT_EQ(doc.find("level")->string_or(""), "warn");
+    EXPECT_EQ(doc.find("component")->string_or(""), "obs.flight");
+    EXPECT_EQ(doc.find("message")->string_or(""), "cannot open dump");
+    const JsonValue* fields = doc.find("fields");
+    ASSERT_NE(fields, nullptr);
+    EXPECT_EQ(fields->find("path")->string_or(""), "/tmp/x.json");
+    EXPECT_EQ(fields->find("attempt")->uint_or(0), 3u);
+    EXPECT_DOUBLE_EQ(fields->find("ratio")->number_or(0.0), 0.25);
+    EXPECT_FALSE(fields->find("fatal")->boolean);
+    EXPECT_EQ(doc.find("suppressed"), nullptr);  // omitted when zero
+}
+
+TEST_F(GlobalLoggerFixture, LevelThresholdFilters) {
+    auto sink = std::make_shared<CaptureSink>();
+    Logger::global().clear_sinks();
+    Logger::global().add_sink(sink);
+    Logger::global().set_level(LogLevel::kWarn);
+    EXPECT_FALSE(Logger::global().enabled(LogLevel::kInfo));
+    EXPECT_TRUE(Logger::global().enabled(LogLevel::kError));
+    log_info("t", "dropped");
+    log_warn("t", "kept");
+    log_error("t", "kept too");
+    ASSERT_EQ(sink->records.size(), 2u);
+    EXPECT_EQ(sink->records[0].message, "kept");
+    EXPECT_EQ(sink->records[1].message, "kept too");
+}
+
+TEST_F(GlobalLoggerFixture, OffLevelSilencesEverything) {
+    auto sink = std::make_shared<CaptureSink>();
+    Logger::global().clear_sinks();
+    Logger::global().add_sink(sink);
+    Logger::global().set_level(LogLevel::kOff);
+    log_error("t", "even errors");
+    EXPECT_TRUE(sink->records.empty());
+}
+
+TEST_F(GlobalLoggerFixture, RecordsFanOutToAllSinks) {
+    auto a = std::make_shared<CaptureSink>();
+    auto b = std::make_shared<CaptureSink>();
+    Logger::global().clear_sinks();
+    Logger::global().add_sink(a);
+    Logger::global().add_sink(b);
+    log_info("t", "hello", {{"k", "v"}});
+    ASSERT_EQ(a->records.size(), 1u);
+    ASSERT_EQ(b->records.size(), 1u);
+    EXPECT_EQ(a->records[0].fields[0].value_text(), "v");
+}
+
+TEST_F(GlobalLoggerFixture, LoggerStampsWallClock) {
+    auto sink = std::make_shared<CaptureSink>();
+    Logger::global().clear_sinks();
+    Logger::global().add_sink(sink);
+    const auto before = std::chrono::system_clock::now();
+    log_info("t", "stamped");
+    ASSERT_EQ(sink->records.size(), 1u);
+    EXPECT_GE(sink->records[0].wall + std::chrono::seconds(1), before);
+}
+
+TEST_F(GlobalLoggerFixture, JsonlFileSinkAppends) {
+    const std::string path =
+        ::testing::TempDir() + "gcdr_log_sink_test.jsonl";
+    std::remove(path.c_str());
+    {
+        auto sink = std::make_shared<JsonlFileSink>(path);
+        ASSERT_TRUE(sink->ok());
+        Logger::global().clear_sinks();
+        Logger::global().add_sink(sink);
+        log_info("t", "first");
+        log_info("t", "second");
+    }
+    Logger::global().reset();
+    std::ifstream is(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(is, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    JsonValue doc;
+    ASSERT_TRUE(json_parse(lines[1], doc, nullptr));
+    EXPECT_EQ(doc.find("message")->string_or(""), "second");
+    std::remove(path.c_str());
+}
+
+TEST(RateGate, AdmitsFirstThenCountsDrops) {
+    LogRateGate gate(3600.0);  // effectively once per test run
+    std::uint64_t suppressed = 99;
+    EXPECT_TRUE(gate.admit(&suppressed));
+    EXPECT_EQ(suppressed, 0u);
+    for (int i = 0; i < 5; ++i) EXPECT_FALSE(gate.admit(nullptr));
+    // The drop count is handed to the NEXT admitted record.
+    LogRateGate fast(0.0);
+    EXPECT_TRUE(fast.admit(&suppressed));
+}
+
+TEST(RateGate, ZeroIntervalAdmitsEverything) {
+    LogRateGate gate(0.0);
+    for (int i = 0; i < 10; ++i) {
+        std::uint64_t suppressed = 1;
+        EXPECT_TRUE(gate.admit(&suppressed));
+        EXPECT_EQ(suppressed, 0u);
+    }
+}
+
+TEST_F(GlobalLoggerFixture, MacroRateLimitsPerCallSite) {
+    auto sink = std::make_shared<CaptureSink>();
+    Logger::global().clear_sinks();
+    Logger::global().add_sink(sink);
+    for (int i = 0; i < 100; ++i) {
+        GCDR_LOG_EVERY(LogLevel::kInfo, 3600.0, "t", "hot loop",
+                       {"i", std::int64_t{1}});
+    }
+    ASSERT_EQ(sink->records.size(), 1u);
+    EXPECT_EQ(sink->records[0].suppressed, 0u);  // drops follow, not lead
+}
+
+TEST_F(GlobalLoggerFixture, ConcurrentEmissionLosesNothing) {
+    auto sink = std::make_shared<CaptureSink>();
+    Logger::global().clear_sinks();
+    Logger::global().add_sink(sink);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 250;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                log_info("t" + std::to_string(t), "m",
+                         {{"i", std::int64_t{i}}});
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    ASSERT_EQ(sink->records.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    for (const LogRecord& rec : sink->records) {
+        EXPECT_EQ(rec.message, "m");
+        ASSERT_EQ(rec.fields.size(), 1u);
+    }
+}
+
+}  // namespace
+}  // namespace gcdr::obs

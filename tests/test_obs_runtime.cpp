@@ -1,0 +1,193 @@
+// Tests for the runtime gauges added to sim/ and exec/ plus the opt-in
+// ProgressReporter: scheduler queue/pool occupancy, ThreadPool lane
+// instruments, and progress emission through the structured logger.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "sim/scheduler.hpp"
+
+namespace gcdr {
+namespace {
+
+// --- scheduler queue/pool gauges -----------------------------------------
+
+TEST(SchedulerGauges, QueueAndPoolPublishedAtFlush) {
+    obs::MetricsRegistry reg;
+    sim::Scheduler s;
+    s.attach_metrics(&reg, "sim");
+    for (int i = 0; i < 100; ++i) {
+        s.schedule_at(SimTime::ps(10 * (i + 1)), [] {});
+    }
+    s.run();
+    ASSERT_TRUE(reg.gauge("sim.queue_depth").has_value());
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth").value(), 0.0);  // drained
+    ASSERT_TRUE(reg.gauge("sim.pool_capacity").has_value());
+    const double capacity = reg.gauge("sim.pool_capacity").value();
+    EXPECT_GT(capacity, 0.0);
+    // The pool grows slab-at-a-time; capacity is a whole slab multiple.
+    EXPECT_EQ(static_cast<std::size_t>(capacity) % 256, 0u);
+    ASSERT_TRUE(reg.gauge("sim.pool_in_use").has_value());
+    EXPECT_LE(reg.gauge("sim.pool_in_use").value(), capacity);
+}
+
+TEST(SchedulerGauges, DepthReflectsPendingEventsMidRun) {
+    obs::MetricsRegistry reg;
+    sim::Scheduler s;
+    s.attach_metrics(&reg, "sim");
+    for (int i = 0; i < 8; ++i) {
+        s.schedule_at(SimTime::ns(i + 1), [] {});
+    }
+    s.run_until(SimTime::ns(4));  // events at 5..8 ns still queued
+    ASSERT_TRUE(reg.gauge("sim.queue_depth").has_value());
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth").value(), 4.0);
+    EXPECT_GE(reg.gauge("sim.pool_in_use").value(), 4.0);
+}
+
+TEST(SchedulerGauges, DetachStopsPublishing) {
+    obs::MetricsRegistry reg;
+    sim::Scheduler s;
+    s.attach_metrics(&reg, "sim");
+    s.schedule_at(SimTime::ps(1), [] {});
+    s.run();
+    s.attach_metrics(nullptr);
+    s.schedule_at(SimTime::ns(1), [] {});
+    // Detached: the stale flushed value must not change.
+    EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth").value(), 0.0);
+    s.run();
+}
+
+// --- thread-pool instruments ---------------------------------------------
+
+TEST(ThreadPoolMetrics, ParallelJobFeedsAllInstruments) {
+    obs::MetricsRegistry reg;
+    exec::ThreadPool pool(4);
+    pool.attach_metrics(&reg, "exec");
+    ASSERT_TRUE(reg.gauge("exec.lanes").has_value());
+    EXPECT_DOUBLE_EQ(reg.gauge("exec.lanes").value(),
+                     static_cast<double>(pool.size()));
+
+    std::atomic<int> touched{0};
+    pool.parallel_for(64, [&](std::size_t) {
+        touched.fetch_add(1, std::memory_order_relaxed);
+        volatile double x = 0;
+        for (int k = 0; k < 2000; ++k) x = x + k;
+    });
+    EXPECT_EQ(touched.load(), 64);
+    EXPECT_EQ(reg.counter("exec.jobs").value(), 1u);
+    EXPECT_EQ(reg.counter("exec.items").value(), 64u);
+    EXPECT_EQ(reg.histogram("exec.item_seconds").count(), 64u);
+    EXPECT_EQ(reg.histogram("exec.job_seconds").count(), 1u);
+    ASSERT_TRUE(reg.gauge("exec.lane_utilization").has_value());
+    EXPECT_GT(reg.gauge("exec.lane_utilization").value(), 0.0);
+    EXPECT_LE(reg.gauge("exec.lane_utilization").value(), 1.0);
+}
+
+TEST(ThreadPoolMetrics, SerialPathCountsToo) {
+    obs::MetricsRegistry reg;
+    exec::ThreadPool pool(1);  // size()==1: parallel_for runs serially
+    pool.attach_metrics(&reg, "exec");
+    pool.parallel_for(10, [](std::size_t) {});
+    EXPECT_EQ(reg.counter("exec.jobs").value(), 1u);
+    EXPECT_EQ(reg.counter("exec.items").value(), 10u);
+    EXPECT_EQ(reg.histogram("exec.item_seconds").count(), 10u);
+    // One lane, never idle: utilization pins to 1.0 on the serial path.
+    EXPECT_DOUBLE_EQ(reg.gauge("exec.lane_utilization").value(), 1.0);
+}
+
+TEST(ThreadPoolMetrics, DetachStopsCounting) {
+    obs::MetricsRegistry reg;
+    exec::ThreadPool pool(2);
+    pool.attach_metrics(&reg, "exec");
+    pool.parallel_for(4, [](std::size_t) {});
+    pool.attach_metrics(nullptr);
+    pool.parallel_for(4, [](std::size_t) {});
+    EXPECT_EQ(reg.counter("exec.jobs").value(), 1u);
+    EXPECT_EQ(reg.counter("exec.items").value(), 4u);
+}
+
+TEST(ThreadPoolMetrics, ResultsUnchangedByAttachment) {
+    // Telemetry must be purely observational: same inputs, same outputs,
+    // instrumented or not.
+    auto run = [](exec::ThreadPool& pool) {
+        std::vector<std::uint64_t> out(100);
+        pool.parallel_for(out.size(),
+                          [&](std::size_t i) { out[i] = i * i + 7; });
+        return out;
+    };
+    exec::ThreadPool bare(3);
+    obs::MetricsRegistry reg;
+    exec::ThreadPool instrumented(3);
+    instrumented.attach_metrics(&reg, "exec");
+    EXPECT_EQ(run(bare), run(instrumented));
+}
+
+// --- progress reporter ----------------------------------------------------
+
+struct CaptureSink : obs::LogSink {
+    std::vector<obs::LogRecord> records;
+    void write(const obs::LogRecord& rec) override {
+        records.push_back(rec);
+    }
+};
+
+/// Restores the global logger and the progress switch after each test.
+struct ProgressFixture : ::testing::Test {
+    ~ProgressFixture() override {
+        obs::ProgressReporter::set_enabled(false);
+        obs::Logger::global().reset();
+    }
+};
+
+TEST_F(ProgressFixture, DisabledByDefault) {
+    EXPECT_FALSE(obs::ProgressReporter::enabled());
+    obs::ProgressReporter::set_enabled(true);
+    EXPECT_TRUE(obs::ProgressReporter::enabled());
+    obs::ProgressReporter::set_enabled(false);
+    EXPECT_FALSE(obs::ProgressReporter::enabled());
+}
+
+TEST_F(ProgressFixture, TallyAndFinishAreIdempotent) {
+    obs::ProgressReporter progress("test.unit", 100, /*min_interval_s=*/3600);
+    progress.add(30);
+    progress.add(20);
+    EXPECT_EQ(progress.done(), 50u);
+    EXPECT_EQ(progress.total(), 100u);
+    progress.finish();
+    progress.finish();  // second call must be a no-op
+    EXPECT_EQ(progress.done(), 50u);
+}
+
+TEST_F(ProgressFixture, EmitsThroughLoggerWhenEnabled) {
+    auto sink = std::make_shared<CaptureSink>();
+    obs::Logger::global().clear_sinks();
+    obs::Logger::global().add_sink(sink);
+    obs::ProgressReporter::set_enabled(true);
+
+    obs::ProgressReporter progress("test.emit", 10, /*min_interval_s=*/3600);
+    progress.add(10);  // first add passes the gate
+    progress.finish();
+    ASSERT_GE(sink->records.size(), 1u);
+    const obs::LogRecord& last = sink->records.back();
+    EXPECT_EQ(last.component, "progress.test.emit");
+    EXPECT_EQ(last.message, "10/10 (100.0%)");
+    bool saw_done = false;
+    bool saw_total = false;
+    for (const auto& field : last.fields) {
+        if (field.key == "done") saw_done = field.value_text() == "10";
+        if (field.key == "total") saw_total = field.value_text() == "10";
+    }
+    EXPECT_TRUE(saw_done);
+    EXPECT_TRUE(saw_total);
+}
+
+}  // namespace
+}  // namespace gcdr

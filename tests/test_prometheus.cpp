@@ -1,0 +1,164 @@
+// Golden-format tests for obs/prometheus.hpp: name sanitization, label
+// escaping and ordering, counter/gauge rendering, cumulative histogram
+// buckets, inline-label families and const-label merging.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace gcdr::obs {
+namespace {
+
+TEST(PromName, SanitizesInvalidCharacters) {
+    EXPECT_EQ(prometheus_sanitize_name("sim.events_executed"),
+              "sim_events_executed");
+    EXPECT_EQ(prometheus_sanitize_name("cdr-ch0/period ps"),
+              "cdr_ch0_period_ps");
+    EXPECT_EQ(prometheus_sanitize_name("a:b_c9"), "a:b_c9");  // legal as-is
+}
+
+TEST(PromName, GuardsLeadingDigit) {
+    EXPECT_EQ(prometheus_sanitize_name("2p5gbit.rate"), "_2p5gbit_rate");
+}
+
+TEST(PromLabel, EscapesBackslashQuoteNewline) {
+    EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+    EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+    EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(prometheus_escape_label("line1\nline2"), "line1\\nline2");
+}
+
+TEST(PromExport, CounterGetsTotalSuffixAndTypeHeader) {
+    MetricsRegistry reg;
+    reg.counter("sim.events_executed").inc(42);
+    EXPECT_EQ(to_prometheus(reg),
+              "# TYPE gcdr_sim_events_executed_total counter\n"
+              "gcdr_sim_events_executed_total 42\n");
+}
+
+TEST(PromExport, GaugeRendersValueAndSkipsUnset) {
+    MetricsRegistry reg;
+    reg.gauge("kernel_perf.cdr_events_per_s").set(1.125e7);
+    reg.gauge("never.set");  // must not appear: Prometheus has no null
+    EXPECT_EQ(to_prometheus(reg),
+              "# TYPE gcdr_kernel_perf_cdr_events_per_s gauge\n"
+              "gcdr_kernel_perf_cdr_events_per_s 11250000\n");
+}
+
+TEST(PromExport, EmptyPrefixOmitsUnderscore) {
+    MetricsRegistry reg;
+    reg.counter("a").inc();
+    PrometheusOptions opts;
+    opts.prefix.clear();
+    EXPECT_EQ(to_prometheus(reg, opts),
+              "# TYPE a_total counter\na_total 1\n");
+}
+
+TEST(PromExport, HistogramBucketsAreCumulativeWithInf) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("exec.item_seconds");
+    h.record(1e-3);
+    h.record(1e-3);
+    h.record(2.0);
+    const std::string text = to_prometheus(reg);
+    std::istringstream is(text);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "# TYPE gcdr_exec_item_seconds histogram");
+    // Cumulative counts: the 1e-3 bucket holds 2, the 2.0 bucket brings
+    // the running total to 3, and +Inf repeats the grand total.
+    std::vector<std::string> body;
+    while (std::getline(is, line)) body.push_back(line);
+    ASSERT_GE(body.size(), 4u);
+    EXPECT_TRUE(body[0].rfind("gcdr_exec_item_seconds_bucket{le=\"", 0) == 0)
+        << body[0];
+    EXPECT_TRUE(body[0].size() > 2 && body[0].substr(body[0].size() - 2) ==
+                                          " 2")
+        << body[0];
+    EXPECT_TRUE(body[1].substr(body[1].size() - 2) == " 3") << body[1];
+    EXPECT_EQ(body[2], "gcdr_exec_item_seconds_bucket{le=\"+Inf\"} 3");
+    // The sum is a float accumulation; pin the prefix, not the last bits.
+    EXPECT_TRUE(body[3].rfind("gcdr_exec_item_seconds_sum 2.002", 0) == 0)
+        << body[3];
+    EXPECT_EQ(body[4], "gcdr_exec_item_seconds_count 3");
+}
+
+TEST(PromExport, OverflowBucketBecomesInf) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("h");
+    h.record(1e20);  // beyond the 1e12 grid: overflow bucket, upper = inf
+    const std::string text = to_prometheus(reg);
+    EXPECT_NE(text.find("gcdr_h_bucket{le=\"+Inf\"} 1\n"), std::string::npos)
+        << text;
+    // Exactly one +Inf bucket: the overflow bucket must not be doubled.
+    const auto first = text.find("le=\"+Inf\"");
+    EXPECT_EQ(text.find("le=\"+Inf\"", first + 1), std::string::npos) << text;
+}
+
+TEST(PromExport, InlineLabelsFormOneFamilySortedBySignature) {
+    MetricsRegistry reg;
+    reg.counter("exec.items{lane=1}").inc(10);
+    reg.counter("exec.items{lane=0}").inc(20);
+    EXPECT_EQ(to_prometheus(reg),
+              "# TYPE gcdr_exec_items_total counter\n"
+              "gcdr_exec_items_total{lane=\"0\"} 20\n"
+              "gcdr_exec_items_total{lane=\"1\"} 10\n");
+}
+
+TEST(PromExport, ConstLabelsMergeAndInlineWins) {
+    MetricsRegistry reg;
+    reg.gauge("g{run=inline}").set(1.0);
+    reg.gauge("plain").set(2.0);
+    PrometheusOptions opts;
+    opts.const_labels = {{"run", "const"}, {"host", "ci"}};
+    EXPECT_EQ(to_prometheus(reg, opts),
+              "# TYPE gcdr_g gauge\n"
+              "gcdr_g{host=\"ci\",run=\"inline\"} 1\n"
+              "# TYPE gcdr_plain gauge\n"
+              "gcdr_plain{host=\"ci\",run=\"const\"} 2\n");
+}
+
+TEST(PromExport, LabelValuesAreEscaped) {
+    MetricsRegistry reg;
+    reg.gauge("g").set(1.0);
+    PrometheusOptions opts;
+    opts.const_labels = {{"path", "C:\\tmp\n\"x\""}};
+    EXPECT_EQ(to_prometheus(reg, opts),
+              "# TYPE gcdr_g gauge\n"
+              "gcdr_g{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1\n");
+}
+
+TEST(PromExport, FamiliesSortDeterministically) {
+    MetricsRegistry reg;
+    reg.gauge("zz").set(1.0);
+    reg.counter("aa").inc();
+    reg.histogram("mm").record(1.0);
+    const std::string text = to_prometheus(reg);
+    const auto a = text.find("gcdr_aa_total");
+    const auto m = text.find("gcdr_mm");
+    const auto z = text.find("gcdr_zz");
+    EXPECT_LT(a, m);
+    EXPECT_LT(m, z);
+}
+
+TEST(PromExport, WriteToFileRoundTrips) {
+    MetricsRegistry reg;
+    reg.counter("c").inc(7);
+    const std::string path =
+        ::testing::TempDir() + "gcdr_prom_test.prom";
+    ASSERT_TRUE(write_prometheus(path, reg));
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str(), to_prometheus(reg));
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gcdr::obs
