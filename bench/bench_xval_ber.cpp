@@ -28,12 +28,14 @@
 // report diffs clean across thread counts.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "mc/direct.hpp"
+#include "sim/batch/channel_batch.hpp"
 #include "mc/importance.hpp"
 #include "mc/splitting.hpp"
 #include "statmodel/gated_osc_model.hpp"
@@ -90,13 +92,31 @@ int main(int argc, char** argv) {
     auto opts = bench::Options::parse(argc, argv);
     bool check = false;
     bool deep = false;
+    bool batch = false;
+    std::size_t channels = 8;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check") == 0) check = true;
         if (std::strcmp(argv[i], "--deep") == 0) deep = true;
+        if (std::strcmp(argv[i], "--batch") == 0) batch = true;
+        if (std::strcmp(argv[i], "--channels") == 0 && i + 1 < argc) {
+            channels = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        }
     }
     bench::RunReport report(
         opts, "xval_ber",
         "Rare-event MC cross-validation: statmodel vs IS vs splitting");
+    {
+        // Workload-defining flags, so ledger records from batched and
+        // scalar-oracle runs never silently share a trend key.
+        std::string config;
+        if (deep) config += "--deep";
+        if (batch) {
+            config += config.empty() ? "" : " ";
+            config += "--batch --channels " + std::to_string(channels);
+        }
+        report.set_config(config);
+    }
     auto& reg = report.metrics();
     auto& pool = report.pool();
     if (!opts.quiet) {
@@ -167,12 +187,31 @@ int main(int argc, char** argv) {
     if (!opts.quiet) {
         bench::section("behavioral channel (event-driven gate level)");
     }
+    // Cumulative batched-oracle telemetry over every behavioral model in
+    // the run. Published as gauges (same keys in scalar and batched mode,
+    // zeros when scalar) so reports diff clean under
+    // --require-identical-counters between the two oracle paths.
+    std::uint64_t batch_evals = 0;
+    std::uint64_t batch_batches = 0;
+    std::uint64_t batch_steps = 0;
+    double batch_wall = 0.0;
+    const auto fold_batch_stats =
+        [&](const mc::BehavioralMarginModel& m) {
+            const auto& st = m.batch_stats();
+            batch_evals += st.evals.load();
+            batch_batches += st.batches.load();
+            batch_steps += st.steps.load();
+            batch_wall += st.wall_seconds.load();
+        };
     {
         const Point& pt = points[0];
         auto bp = mc::BehavioralMarginModel::params_from(pt.cfg);
         // With --flight-recorder, every behavioral clone that decodes the
         // wrong bit count leaves a per-lane post-mortem dump.
         bp.flight = report.flight();
+        // --batch routes every margin_ui_batch through the SoA kernel,
+        // `channels` clones per lockstep batch (bit-identical oracle).
+        if (batch) bp.batch_lanes = channels;
         mc::BehavioralMarginModel beh(bp);
 
         mc::DirectSampler::Config dc;
@@ -195,6 +234,7 @@ int main(int argc, char** argv) {
         reg.counter("xval.sj030.beh_direct_runs").inc(de.n_samples);
         reg.gauge("xval.sj030.beh_split_ber").set(se.mean);
         reg.counter("xval.sj030.beh_split_evals").inc(se.n_samples);
+        fold_batch_stats(beh);
         if (!opts.quiet) {
             std::printf(
                 "%-28s direct=%.3e ci=[%.1e,%.1e]  split=%.3e  (runs %llu"
@@ -208,6 +248,7 @@ int main(int argc, char** argv) {
         const Point& pt = points[1];
         auto bp = mc::BehavioralMarginModel::params_from(pt.cfg);
         bp.flight = report.flight();
+        if (batch) bp.batch_lanes = channels;
         mc::BehavioralMarginModel beh(bp);
         mc::SplittingEngine::Config sc;
         sc.n_particles = 512;
@@ -217,10 +258,36 @@ int main(int argc, char** argv) {
         const auto se = split.estimate(pool);
         reg.gauge("xval.sj020.beh_split_ber").set(se.mean);
         reg.counter("xval.sj020.beh_split_evals").inc(se.n_samples);
+        fold_batch_stats(beh);
         if (!opts.quiet) {
             std::printf("%-28s split=%.3e ci=[%.1e,%.1e]\n",
                         pt.label.c_str(), se.mean, se.ci.lo, se.ci.hi);
         }
+    }
+
+    // Batched-oracle telemetry: gauges, not counters, and the keys exist
+    // in both modes — scalar and batched runs of the same workload must
+    // stay bit-identical in every counter (the CI identity gate diffs
+    // them), while these report how the work was executed.
+    reg.gauge("xval.batch.enabled").set(batch ? 1.0 : 0.0);
+    reg.gauge("xval.batch.lanes")
+        .set(batch ? static_cast<double>(channels) : 0.0);
+    reg.gauge("xval.batch.evals").set(static_cast<double>(batch_evals));
+    reg.gauge("xval.batch.batches").set(static_cast<double>(batch_batches));
+    reg.gauge("xval.batch.steps").set(static_cast<double>(batch_steps));
+    reg.gauge("xval.batch.simd_width")
+        .set(static_cast<double>(sim::batch::ChannelBatch::simd_width()));
+    reg.gauge("xval.batch.evals_per_s")
+        .set(batch_wall > 0.0 ? static_cast<double>(batch_evals) / batch_wall
+                              : 0.0);
+    if (!opts.quiet && batch) {
+        std::printf(
+            "\n[batched oracle: %llu evals in %llu batches, %llu lockstep "
+            "steps, simd width %zu]\n",
+            static_cast<unsigned long long>(batch_evals),
+            static_cast<unsigned long long>(batch_batches),
+            static_cast<unsigned long long>(batch_steps),
+            sim::batch::ChannelBatch::simd_width());
     }
 
     reg.gauge("xval.all_agree").set(all_agree ? 1.0 : 0.0);

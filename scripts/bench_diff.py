@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CANDIDATE.json [--min-ratio METRIC=X ...]
+                  [--min-cross-ratio CAND_METRIC/BASE_METRIC=X ...]
                   [--require-identical-counters] [--ignore-missing]
                   [--require-spans]
 
@@ -20,6 +21,15 @@ named gauge or derived metric (e.g. --min-ratio cdr_sim.events_per_s=1.5).
 Counters compare for identity only; with --require-identical-counters any
 counter difference is an error (the repo's seeded workloads must stay
 bit-identical across kernel changes).
+
+--min-cross-ratio CAND_METRIC/BASE_METRIC=X compares *different* metrics
+across the two reports: candidate[CAND_METRIC] / baseline[BASE_METRIC]
+must be >= X. This is the speedup-gate shape — e.g. the batched 16-channel
+kernel against the committed scalar event-kernel baseline:
+    --min-cross-ratio \\
+      kernel_perf.batch.ch16.events_per_s/kernel_perf.cdr_events_per_s=4.0
+Pass the same report on both sides to gate a same-run ratio (machine
+speed cancels exactly).
 
 A metric present in only one report fails the comparison with a per-key
 message naming the report it is missing from (a renamed or dropped metric
@@ -86,6 +96,14 @@ def main():
         "derived metric; repeatable",
     )
     ap.add_argument(
+        "--min-cross-ratio",
+        action="append",
+        default=[],
+        metavar="CAND_METRIC/BASE_METRIC=X",
+        help="fail unless candidate[CAND_METRIC] / baseline[BASE_METRIC] "
+        ">= X; repeatable",
+    )
+    ap.add_argument(
         "--require-identical-counters",
         action="store_true",
         help="fail on any counter difference",
@@ -111,6 +129,19 @@ def main():
             constraints[metric] = float(threshold)
         except ValueError:
             sys.exit(f"error: bad --min-ratio {spec!r} (want METRIC=X)")
+
+    cross_constraints = []
+    for spec in args.min_cross_ratio:
+        pair, _, threshold = spec.partition("=")
+        cand_metric, slash, base_metric = pair.partition("/")
+        try:
+            want = float(threshold)
+        except ValueError:
+            want = None
+        if not slash or not cand_metric or not base_metric or want is None:
+            sys.exit(f"error: bad --min-cross-ratio {spec!r} "
+                     "(want CAND_METRIC/BASE_METRIC=X)")
+        cross_constraints.append((cand_metric, base_metric, want))
 
     base = load_report(args.baseline)
     cand = load_report(args.candidate)
@@ -209,6 +240,25 @@ def main():
         ratio = c / b if b else float("inf")
         if ratio < want:
             failures.append(f"{metric}: ratio {ratio:.3f} < required {want}")
+
+    for cand_metric, base_metric, want in cross_constraints:
+        c = c_gauges.get(cand_metric)
+        b = b_gauges.get(base_metric)
+        if c is None:
+            failures.append(f"{cand_metric}: --min-cross-ratio metric "
+                            "missing from candidate report")
+            continue
+        if b is None:
+            failures.append(f"{base_metric}: --min-cross-ratio metric "
+                            "missing from baseline report")
+            continue
+        ratio = c / b if b else float("inf")
+        print(f"\ncross-ratio {cand_metric} / {base_metric}: "
+              f"{fmt(c)} / {fmt(b)} = {ratio:.3f} (require >= {want})")
+        if ratio < want:
+            failures.append(
+                f"{cand_metric}/{base_metric}: cross-ratio {ratio:.3f} "
+                f"< required {want}")
 
     if failures:
         print("\nFAIL:")

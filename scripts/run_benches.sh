@@ -71,6 +71,23 @@ for id in "${benches[@]}"; do
     fi
 done
 
+# The batched-oracle cross-validation rides the same ledger under its
+# own config key ("--batch --channels 8" via RunReport::set_config), so
+# perf_history.py trends the batched margin path separately from the
+# scalar oracle. Counters are bit-identical to the scalar run by the
+# lane-identity contract (CI diffs them); only the throughput gauges
+# differ.
+bin="$build_dir/bench/bench_xval_ber"
+if [[ -x "$bin" ]]; then
+    out="$reports_dir/BENCH_xval_ber_batch.json"
+    echo "== bench_xval_ber --batch -> $out (threads=$threads)"
+    if ! "$bin" --quiet --json "$out" --threads "$threads" \
+            --batch --channels 8 --ledger "$ledger"; then
+        echo "FAILED: bench_xval_ber --batch" >&2
+        failed=1
+    fi
+fi
+
 # The perf-gate baselines live at the repo root as well, so a perf PR
 # diff (scripts/bench_diff.py) can reference them without digging into
 # bench/reports/. Keep the two copies identical.

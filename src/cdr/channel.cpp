@@ -1,5 +1,7 @@
 #include "cdr/channel.hpp"
 
+#include "cdr/lane_step.hpp"
+
 #include <cassert>
 #include <cmath>
 
@@ -79,10 +81,8 @@ GccoChannel::GccoChannel(sim::Scheduler& sched, Rng& rng,
         // own sample (a decision error), the latest rise seen is one
         // period older, so the measurement lands near a full period;
         // unwrap those into small negative margins.
-        double margin = cfg_.rate.time_to_ui(t - last_clk_rise_);
-        const double center = 0.5 + (cfg_.improved_sampling ? 0.125 : 0.0);
-        if (margin > center + 0.45) margin -= 1.0;
-        margins_ui_.push_back(margin);
+        margins_ui_.push_back(lane_step::fold_margin_ui(
+            cfg_.rate, t, last_clk_rise_, cfg_.improved_sampling));
     });
 }
 

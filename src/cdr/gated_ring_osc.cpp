@@ -1,5 +1,7 @@
 #include "cdr/gated_ring_osc.hpp"
 
+#include "cdr/lane_step.hpp"
+
 #include <cassert>
 #include <cmath>
 
@@ -55,23 +57,25 @@ SimTime GatedRingOscillator::nominal_stage_delay() const {
 SimTime GatedRingOscillator::stage_delay_sample() {
     const double f = params_.frequency_at(ic_a_);
     assert(f > 0.0);
-    double d = 1.0 / (8.0 * f);
-    if (params_.jitter_sigma > 0.0) {
-        d *= 1.0 + rng_->gaussian(0.0, params_.jitter_sigma);
-    }
-    const auto fs = SimTime::from_seconds(d);
-    return fs > SimTime::fs(1) ? fs : SimTime::fs(1);
+    // Draw discipline: one normal per evaluation iff stage jitter is on —
+    // the SoA kernel mirrors this so RNG streams stay aligned.
+    const double z = params_.jitter_sigma > 0.0 ? rng_->gaussian() : 0.0;
+    return SimTime::fs(lane_step::gcco_stage_delay_fs(
+        1.0 / (8.0 * f), params_.jitter_sigma, z));
 }
 
 void GatedRingOscillator::eval_stage1() {
     // vinv1 <= (vinv4 AND trig) after delay0 (Fig 12; enable/nreset tied
     // high in this model — gating is the EDET input).
-    const bool v = stage_[3]->value() && trig_->value();
+    const bool v =
+        lane_step::gcco_gate_value(stage_[3]->value(), trig_->value());
     stage_[0]->post_transport(stage_delay_sample(), v);
 }
 
 void GatedRingOscillator::eval_inverter(int i) {
-    stage_[i]->post_transport(stage_delay_sample(), !stage_[i - 1]->value());
+    stage_[i]->post_transport(
+        stage_delay_sample(),
+        lane_step::gcco_inverter_value(stage_[i - 1]->value()));
 }
 
 void GatedRingOscillator::attach_metrics(obs::MetricsRegistry& registry,

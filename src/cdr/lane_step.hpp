@@ -1,0 +1,59 @@
+#pragma once
+// Header-only per-lane step equations for the GCCO channel, shared by the
+// scalar event path (cdr/gated_ring_osc.cpp, cdr/channel.cpp) and the
+// batched SoA kernel (sim/batch/channel_batch.cpp). Like gates/
+// cml_equations.hpp these are branch-pure: jitter enters as a pre-drawn
+// standard-normal z and the caller owns the draw-when-enabled rule, so
+// both paths consume the RNG stream at exactly the same points.
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/fast_round.hpp"
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace gcdr::cdr::lane_step {
+
+/// One ring-stage delay in integer femtoseconds, given the nominal stage
+/// delay d0_s = 1/(8f) in seconds, relative stage jitter sigma, and a
+/// pre-drawn z ~ N(0,1). Matches GatedRingOscillator::stage_delay_sample
+/// bit-for-bit: d0 scaled by (1 + sigma*z), quantized via
+/// SimTime::from_seconds (llround at 1e15), clamped to >= 1 fs. Taking
+/// d0_s instead of f_hz lets a fixed-frequency caller hoist the division
+/// out of the per-event path; a caller whose frequency varies (PLL
+/// control-current updates) recomputes 1/(8f) per call, which is the
+/// identical arithmetic.
+[[nodiscard]] inline std::int64_t gcco_stage_delay_fs(double d0_s,
+                                                      double sigma,
+                                                      double z) {
+    double d = d0_s;
+    if (sigma > 0.0) d *= 1.0 + sigma * z;
+    const std::int64_t fs = util::llround_i64(d * 1e15);
+    return fs > 1 ? fs : 1;
+}
+
+/// Gating stage: vinv1 <= vinv4 AND trig (enable/nreset tied high; the
+/// EDET pulse is the gate).
+[[nodiscard]] inline bool gcco_gate_value(bool vinv4, bool trig) {
+    return vinv4 && trig;
+}
+
+/// Ring inverter: stage i output is the complement of stage i-1.
+[[nodiscard]] inline bool gcco_inverter_value(bool prev) { return !prev; }
+
+/// Decision-margin fold for a DDIN transition at time t against the
+/// latest sampling-clock rise: nominally centered at 0.5 UI (0.625 with
+/// the advanced sampling point); measurements landing near a full period
+/// (the edge beat its own sample — a decision error) unwrap to small
+/// negative margins.
+[[nodiscard]] inline double fold_margin_ui(const LinkRate& rate, SimTime t,
+                                           SimTime last_clk_rise,
+                                           bool improved_sampling) {
+    double margin = rate.time_to_ui(t - last_clk_rise);
+    const double center = 0.5 + (improved_sampling ? 0.125 : 0.0);
+    if (margin > center + 0.45) margin -= 1.0;
+    return margin;
+}
+
+}  // namespace gcdr::cdr::lane_step

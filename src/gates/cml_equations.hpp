@@ -1,0 +1,51 @@
+#pragma once
+// Pure per-gate update equations, shared between the scalar event path
+// (gates/cml_gates.cpp, which wraps them in Wire/Scheduler plumbing) and
+// the batched SoA kernel (sim/batch/, which inlines them into flat lane
+// loops). Keeping both paths on the same arithmetic is what makes the
+// lane-granular bit-identity contract hold: any change here changes both
+// simulators identically, and any drift between the paths is a bug.
+//
+// All functions are branch-pure on their arguments: no RNG, no time, no
+// wire access. Jitter enters as a pre-drawn standard-normal z, and the
+// CALLER owns the draw-discipline rule (draw exactly when jitter > 0,
+// never otherwise), because the RNG stream position is part of the
+// bit-identity contract.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/fast_round.hpp"
+
+namespace gcdr::gates::eq {
+
+/// Jittered CML gate delay in integer femtoseconds. With jitter_rel <= 0
+/// the nominal delay passes through (clamped to >= 1 fs so transport
+/// ordering is preserved); otherwise the delay is scaled by
+/// (1 + jitter_rel * z) with z ~ N(0,1) drawn by the caller. Matches
+/// gates::jittered_delay bit-for-bit: Rng::gaussian(0, sigma) expands to
+/// 0.0 + sigma * z, and 0.0 + x == x for every finite x the pipeline can
+/// produce.
+[[nodiscard]] inline std::int64_t cml_delay_fs(std::int64_t delay_fs,
+                                               double jitter_rel, double z) {
+    if (jitter_rel <= 0.0) return std::max<std::int64_t>(delay_fs, 1);
+    const double factor = 1.0 + jitter_rel * z;
+    const std::int64_t fs =
+        util::llround_i64(static_cast<double>(delay_fs) * factor);
+    return std::max<std::int64_t>(1, fs);
+}
+
+[[nodiscard]] inline bool buffer_value(bool in, bool invert) {
+    return in != invert;
+}
+
+[[nodiscard]] inline bool xor_value(bool a, bool b, bool invert) {
+    return (a != b) != invert;
+}
+
+[[nodiscard]] inline bool and_value(bool a, bool b, bool invert) {
+    return (a && b) != invert;
+}
+
+}  // namespace gcdr::gates::eq

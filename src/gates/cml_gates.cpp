@@ -1,16 +1,16 @@
 #include "gates/cml_gates.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include "gates/cml_equations.hpp"
 
 namespace gcdr::gates {
 
 SimTime jittered_delay(const CmlTiming& t, Rng& rng) {
-    if (t.jitter_rel <= 0.0) return std::max(t.delay, SimTime::fs(1));
-    const double factor = 1.0 + rng.gaussian(0.0, t.jitter_rel);
-    const auto fs = static_cast<std::int64_t>(
-        std::llround(static_cast<double>(t.delay.femtoseconds()) * factor));
-    return SimTime::fs(std::max<std::int64_t>(1, fs));
+    // Draw discipline: consume a normal exactly when jitter is enabled.
+    // The batched kernel follows the same rule, so RNG stream positions
+    // line up event for event.
+    const double z = t.jitter_rel > 0.0 ? rng.gaussian() : 0.0;
+    return SimTime::fs(
+        eq::cml_delay_fs(t.delay.femtoseconds(), t.jitter_rel, z));
 }
 
 CmlBuffer::CmlBuffer(sim::Scheduler& sched, Rng& rng, sim::Wire& in,
@@ -25,7 +25,7 @@ CmlBuffer::CmlBuffer(sim::Scheduler& sched, Rng& rng, sim::Wire& in,
 
 void CmlBuffer::evaluate() {
     out_->post_transport(jittered_delay(timing_, *rng_),
-                         in_->value() != invert_);
+                         eq::buffer_value(in_->value(), invert_));
 }
 
 CmlXor::CmlXor(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
@@ -43,7 +43,7 @@ CmlXor::CmlXor(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
 }
 
 void CmlXor::evaluate(const CmlTiming& timing) {
-    const bool v = (a_->value() != b_->value()) != invert_;
+    const bool v = eq::xor_value(a_->value(), b_->value(), invert_);
     out_->post_transport(jittered_delay(timing, *rng_), v);
 }
 
@@ -62,7 +62,7 @@ CmlAnd::CmlAnd(sim::Scheduler& sched, Rng& rng, sim::Wire& a, sim::Wire& b,
 }
 
 void CmlAnd::evaluate(const CmlTiming& timing) {
-    const bool v = (a_->value() && b_->value()) != invert_;
+    const bool v = eq::and_value(a_->value(), b_->value(), invert_);
     out_->post_transport(jittered_delay(timing, *rng_), v);
 }
 

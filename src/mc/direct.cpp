@@ -88,18 +88,35 @@ McEstimate DirectSampler::estimate(exec::ThreadPool& pool) const {
         pool.parallel_for(cap, [&](std::size_t l) {
             Rng rng(exec::derive_seed(cfg_.budget.base_seed,
                                       round * cap + l));
-            RunSample s;
-            s.run_length = static_cast<int>(l) + 1;
+            // Draw-then-evaluate in chunks: the coordinate stream leaves
+            // rng in the same order as one-at-a-time sampling, while the
+            // evaluation goes through the batched oracle (which a
+            // BehavioralMarginModel with batch_lanes set runs on the SoA
+            // kernel). The chunk size only bounds buffer memory.
+            constexpr std::uint64_t kChunk = 1024;
+            std::vector<RunSample> buf;
+            std::vector<double> margins;
             std::uint64_t k = 0;
-            for (std::uint64_t i = 0; i < alloc_[l]; ++i) {
-                s.u_dj = rng.uniform();
-                s.z_edge = rng.gaussian();
-                s.z_trig = rng.gaussian();
-                s.z_osc = rng.gaussian();
-                s.u_phase = rng.uniform();
-                s.z_early = rng.gaussian();
-                s.noise_seed = rng.generator()();
-                if (model_->margin_ui(s) < 0.0) ++k;
+            for (std::uint64_t done = 0; done < alloc_[l];) {
+                const std::uint64_t c = std::min(kChunk, alloc_[l] - done);
+                buf.resize(c);
+                margins.resize(c);
+                for (std::uint64_t i = 0; i < c; ++i) {
+                    RunSample& s = buf[i];
+                    s.run_length = static_cast<int>(l) + 1;
+                    s.u_dj = rng.uniform();
+                    s.z_edge = rng.gaussian();
+                    s.z_trig = rng.gaussian();
+                    s.z_osc = rng.gaussian();
+                    s.u_phase = rng.uniform();
+                    s.z_early = rng.gaussian();
+                    s.noise_seed = rng.generator()();
+                }
+                model_->margin_ui_batch(buf.data(), c, margins.data());
+                for (std::uint64_t i = 0; i < c; ++i) {
+                    if (margins[i] < 0.0) ++k;
+                }
+                done += c;
             }
             round_err[l] = k;
         });

@@ -94,25 +94,42 @@ void ImportanceSampler::sample_stratum(const Stratum& st,
         }
         return;
     }
-    RunSample s;
-    s.run_length = st.run_length;
     const double* mu = st.mu;
     const double mu2 =
         mu[0] * mu[0] + mu[1] * mu[1] + mu[2] * mu[2];
-    for (std::uint64_t i = 0; i < n; ++i) {
-        s.u_dj = rng.uniform();
-        s.u_phase = (static_cast<double>(st.phase_bin) + rng.uniform()) /
-                    static_cast<double>(bins_);
-        const double z0 = rng.gaussian();
-        const double z1 = rng.gaussian();
-        const double z2 = rng.gaussian();
-        s.z_edge = z0 + mu[0];
-        s.z_trig = z1 + mu[1];
-        s.z_osc = z2 + mu[2];
-        const double w = std::exp(-(mu[0] * z0 + mu[1] * z1 + mu[2] * z2) -
-                                  0.5 * mu2);
-        const double m = model_->late_margin_ui(s);
-        tally.add(m < 0.0 ? w : 0.0);
+    // Buffer coordinates and likelihood ratios, batch-evaluate the margin,
+    // then tally in draw order — same rng stream and same tally sequence
+    // as the one-at-a-time loop, but the margin evaluation goes through
+    // the model's buffered entry point. Chunking only bounds memory.
+    constexpr std::uint64_t kChunk = 1024;
+    std::vector<RunSample> buf;
+    std::vector<double> weights;
+    std::vector<double> margins;
+    for (std::uint64_t done = 0; done < n;) {
+        const std::uint64_t c = std::min(kChunk, n - done);
+        buf.resize(c);
+        weights.resize(c);
+        margins.resize(c);
+        for (std::uint64_t i = 0; i < c; ++i) {
+            RunSample& s = buf[i];
+            s.run_length = st.run_length;
+            s.u_dj = rng.uniform();
+            s.u_phase = (static_cast<double>(st.phase_bin) + rng.uniform()) /
+                        static_cast<double>(bins_);
+            const double z0 = rng.gaussian();
+            const double z1 = rng.gaussian();
+            const double z2 = rng.gaussian();
+            s.z_edge = z0 + mu[0];
+            s.z_trig = z1 + mu[1];
+            s.z_osc = z2 + mu[2];
+            weights[i] = std::exp(
+                -(mu[0] * z0 + mu[1] * z1 + mu[2] * z2) - 0.5 * mu2);
+        }
+        model_->late_margin_ui_batch(buf.data(), c, margins.data());
+        for (std::uint64_t i = 0; i < c; ++i) {
+            tally.add(margins[i] < 0.0 ? weights[i] : 0.0);
+        }
+        done += c;
     }
 }
 

@@ -9,9 +9,15 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/trace_causal.hpp"
+#include "sim/batch/channel_batch.hpp"
 #include "sim/scheduler.hpp"
 
 namespace gcdr::mc {
+
+void MarginModel::margin_ui_batch(const RunSample* samples, std::size_t n,
+                                  double* out) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = margin_ui(samples[i]);
+}
 
 std::vector<double> run_length_pmf(int cap) {
     assert(cap >= 1);
@@ -104,6 +110,12 @@ double AnalyticMarginModel::early_margin_ui(double z_early) const {
     return early_nominal_ui() + early_sigma() * z_early;
 }
 
+void AnalyticMarginModel::late_margin_ui_batch(const RunSample* samples,
+                                               std::size_t n,
+                                               double* out) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = late_margin_ui(samples[i]);
+}
+
 double AnalyticMarginModel::margin_ui(const RunSample& s) const {
     return std::min(late_margin_ui(s), early_margin_ui(s.z_early));
 }
@@ -135,11 +147,11 @@ BehavioralMarginModel::Params BehavioralMarginModel::params_from(
     return p;
 }
 
-double BehavioralMarginModel::margin_ui(const RunSample& s) const {
+std::vector<jitter::Edge> BehavioralMarginModel::build_edges(
+    const RunSample& s, int L) const {
     const LinkRate rate = params_.channel.rate;
     const double ui_s = rate.ui_seconds();
     const int w = params_.warmup_bits;
-    const int L = std::clamp(s.run_length, 1, params_.max_cid);
 
     // Pattern: w alternating warmup bits (1,0,...,1,0), the run of L high
     // bits, one low closing bit. Transitions fall on every warmup
@@ -177,6 +189,37 @@ double BehavioralMarginModel::margin_ui(const RunSample& s) const {
     // analytic layer uses.
     push_edge(w + L, (s.u_dj - 0.5) * params_.spec.dj_uipp +
                          params_.spec.rj_uirms * s.z_edge + sj_at(L));
+    return edges;
+}
+
+double BehavioralMarginModel::resolve_margin(
+    const std::vector<double>& margins, std::size_t n_decisions,
+    std::uint64_t ones, int L) const {
+    if (margins.empty() || n_decisions == 0) return 1.0;
+    // Ground truth from the recovered bits: the sampler must emit exactly
+    // (warmup ones + L) ones. A late error drops one (bit L sampled past
+    // the closing edge reads 0), an early/deep shift adds one (the closing
+    // 0 sampled while the run is still high) — either way the count moves.
+    // The channel's margin population alone cannot decide this: its 1-UI
+    // unwrap maps errors deeper than ~half a period back into the healthy
+    // band.
+    const auto expected =
+        static_cast<std::uint64_t>(params_.warmup_bits / 2 + L);
+    const bool error = ones != expected;
+    // The closing edge is the last DDIN transition, so its measured margin
+    // is the final entry: continuous through 0 for near misses (the
+    // channel unwraps those to small negatives). Errors the unwrap missed
+    // saturate at -0.5; healthy runs whose late closing edge tripped the
+    // unwrap get the period added back.
+    const double m = margins.back();
+    if (error) return m < 0.0 ? m : -0.5;
+    return m > 0.0 ? m : m + 1.0;
+}
+
+double BehavioralMarginModel::margin_ui(const RunSample& s) const {
+    const LinkRate rate = params_.channel.rate;
+    const int L = std::clamp(s.run_length, 1, params_.max_cid);
+    const std::vector<jitter::Edge> edges = build_edges(s, L);
 
     // A fresh Scheduler + channel per evaluation IS the clone-and-restart:
     // the trajectory is fully determined by (latent vector, noise_seed),
@@ -203,36 +246,62 @@ double BehavioralMarginModel::margin_ui(const RunSample& s) const {
     ch.drive(edges);
     sched.run_until(edges.back().time + rate.ui_to_time(4.0));
 
-    // Ground truth from the recovered bits: the sampler must emit exactly
-    // (warmup ones + L) ones. A late error drops one (bit L sampled past
-    // the closing edge reads 0), an early/deep shift adds one (the closing
-    // 0 sampled while the run is still high) — either way the count moves.
-    // The channel's margin population alone cannot decide this: its 1-UI
-    // unwrap maps errors deeper than ~half a period back into the healthy
-    // band.
     const auto& margins = ch.margins_ui();
     if (margins.empty() || ch.decisions().empty()) {
         if (ring) ring->set_tracer(nullptr);
         return 1.0;
     }
-    std::size_t ones = 0;
+    std::uint64_t ones = 0;
     for (const auto& d : ch.decisions()) ones += d.bit ? 1u : 0u;
-    const std::size_t expected = static_cast<std::size_t>(w / 2 + L);
-    const bool error = ones != expected;
     if (ring) {
+        const auto expected =
+            static_cast<std::uint64_t>(params_.warmup_bits / 2 + L);
         // Dump while this evaluation's tracer is still alive, then detach
         // it — the ring outlives the eval, the tracer does not.
-        if (error) params_.flight->dump("mc_margin_error");
+        if (ones != expected) params_.flight->dump("mc_margin_error");
         ring->set_tracer(nullptr);
     }
-    // The closing edge is the last DDIN transition, so its measured margin
-    // is the final entry: continuous through 0 for near misses (the
-    // channel unwraps those to small negatives). Errors the unwrap missed
-    // saturate at -0.5; healthy runs whose late closing edge tripped the
-    // unwrap get the period added back.
-    const double m = margins.back();
-    if (error) return m < 0.0 ? m : -0.5;
-    return m > 0.0 ? m : m + 1.0;
+    return resolve_margin(margins, ch.decisions().size(), ones, L);
+}
+
+void BehavioralMarginModel::margin_ui_batch(const RunSample* samples,
+                                            std::size_t n,
+                                            double* out) const {
+    // Flight recording needs the event kernel's tracer; a 0/1-lane batch
+    // gains nothing over the scalar path.
+    if (params_.batch_lanes <= 1 || params_.flight != nullptr) {
+        MarginModel::margin_ui_batch(samples, n, out);
+        return;
+    }
+    const LinkRate rate = params_.channel.rate;
+    for (std::size_t base = 0; base < n; base += params_.batch_lanes) {
+        const std::size_t cnt = std::min(params_.batch_lanes, n - base);
+        sim::batch::ChannelBatch batch(params_.channel, cnt);
+        std::vector<int> lens(cnt);
+        for (std::size_t k = 0; k < cnt; ++k) {
+            const RunSample& s = samples[base + k];
+            lens[k] = std::clamp(s.run_length, 1, params_.max_cid);
+            const std::vector<jitter::Edge> edges = build_edges(s, lens[k]);
+            batch.seed_lane(k, s.noise_seed);
+            batch.drive(k, edges);
+            batch.set_horizon(k, edges.back().time + rate.ui_to_time(4.0));
+        }
+        // No pool handoff here: engines already tile margin_ui_batch
+        // chunks across their ThreadPool, so the kernel runs its lanes on
+        // the calling lane.
+        batch.run_all();
+        for (std::size_t k = 0; k < cnt; ++k) {
+            out[base + k] =
+                resolve_margin(batch.margins_ui(k), batch.decisions(k).size(),
+                               batch.ones(k), lens[k]);
+        }
+        stats_.evals.fetch_add(cnt, std::memory_order_relaxed);
+        stats_.batches.fetch_add(1, std::memory_order_relaxed);
+        stats_.steps.fetch_add(batch.batch_steps(),
+                               std::memory_order_relaxed);
+        stats_.wall_seconds.fetch_add(batch.run_seconds(),
+                                      std::memory_order_relaxed);
+    }
 }
 
 }  // namespace gcdr::mc

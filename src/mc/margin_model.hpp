@@ -21,6 +21,7 @@
 // All evaluations are const and allocate only locally, so one model
 // instance may be shared by every lane of an exec::ThreadPool.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,13 @@ public:
     /// Worst margin of the run (min of late and early mechanisms where
     /// the model resolves both); error <=> negative.
     [[nodiscard]] virtual double margin_ui(const RunSample& s) const = 0;
+    /// Evaluate `n` samples into `out[0..n)`. Semantically identical to
+    /// calling margin_ui per sample (the default does exactly that);
+    /// batched implementations evaluate clones in lockstep on the SoA
+    /// kernel instead of one Scheduler per sample. Engines should prefer
+    /// this entry point wherever their sampling plan admits buffering.
+    virtual void margin_ui_batch(const RunSample* samples, std::size_t n,
+                                 double* out) const;
     [[nodiscard]] virtual int max_run_length() const = 0;
 };
 
@@ -77,6 +85,9 @@ public:
 
     /// Margin of the run's last bit against the closing transition.
     [[nodiscard]] double late_margin_ui(const RunSample& s) const;
+    /// late_margin_ui over a buffer — the importance sampler's hot loop.
+    void late_margin_ui_batch(const RunSample* samples, std::size_t n,
+                              double* out) const;
     /// Margin of the run's first bit against its own trigger.
     [[nodiscard]] double early_margin_ui(double z_early) const;
 
@@ -121,6 +132,22 @@ public:
         /// default) costs nothing.
         obs::FlightRecorder* flight = nullptr;
         std::size_t flight_tracer_capacity = 1024;
+        /// > 1: margin_ui_batch() evaluates clones on the batched SoA
+        /// kernel (sim/batch/ChannelBatch), this many lanes per lockstep
+        /// batch. 0/1 keeps the scalar one-Scheduler-per-eval path.
+        /// Ignored (scalar) whenever `flight` is set — flight recording
+        /// needs the event kernel's causal tracer.
+        std::size_t batch_lanes = 0;
+    };
+
+    /// Cumulative batched-path telemetry (all evaluations routed through
+    /// the SoA kernel by margin_ui_batch). Atomics: the model is shared
+    /// across pool lanes.
+    struct BatchStats {
+        std::atomic<std::uint64_t> evals{0};    ///< samples batch-evaluated
+        std::atomic<std::uint64_t> batches{0};  ///< ChannelBatch runs
+        std::atomic<std::uint64_t> steps{0};    ///< lockstep slices
+        std::atomic<double> wall_seconds{0.0};  ///< kernel time inside runs
     };
 
     explicit BehavioralMarginModel(Params p);
@@ -132,14 +159,30 @@ public:
         const statmodel::ModelConfig& cfg, LinkRate rate = kPaperRate);
 
     [[nodiscard]] double margin_ui(const RunSample& s) const override;
+    /// Batched oracle: chunks of Params::batch_lanes clones share one
+    /// ChannelBatch, bit-identical to the scalar path per sample.
+    void margin_ui_batch(const RunSample* samples, std::size_t n,
+                         double* out) const override;
     [[nodiscard]] int max_run_length() const override {
         return params_.max_cid;
     }
 
     [[nodiscard]] const Params& params() const { return params_; }
+    [[nodiscard]] const BatchStats& batch_stats() const { return stats_; }
 
 private:
+    /// The warmup + run + closing pattern for one sample; `L` is the
+    /// already-clamped run length.
+    [[nodiscard]] std::vector<jitter::Edge> build_edges(const RunSample& s,
+                                                        int L) const;
+    /// Map a finished run's observables to the returned margin (the
+    /// ones-count ground truth + unwrap repair described in margin_ui).
+    [[nodiscard]] double resolve_margin(const std::vector<double>& margins,
+                                        std::size_t n_decisions,
+                                        std::uint64_t ones, int L) const;
+
     Params params_;
+    mutable BatchStats stats_;
 };
 
 }  // namespace gcdr::mc

@@ -40,7 +40,7 @@ SplittingEngine::SplittingEngine(const MarginModel& model, Config cfg,
     mean_len_ = mean_run_length(pmf_);
 }
 
-double SplittingEngine::eval_h(const Particle& p) const {
+RunSample SplittingEngine::to_sample(const Particle& p) const {
     RunSample s;
     s.run_length = run_length_from_uniform(pmf_, to_uniform(p.z[0]));
     s.u_dj = to_uniform(p.z[1]);
@@ -50,7 +50,20 @@ double SplittingEngine::eval_h(const Particle& p) const {
     s.u_phase = to_uniform(p.z[5]);
     s.z_early = p.z[6];
     s.noise_seed = p.noise_seed;
-    return -model_->margin_ui(s);
+    return s;
+}
+
+double SplittingEngine::eval_h(const Particle& p) const {
+    return -model_->margin_ui(to_sample(p));
+}
+
+void SplittingEngine::eval_h_batch(Particle* particles,
+                                   std::size_t n) const {
+    std::vector<RunSample> samples(n);
+    std::vector<double> margins(n);
+    for (std::size_t i = 0; i < n; ++i) samples[i] = to_sample(particles[i]);
+    model_->margin_ui_batch(samples.data(), n, margins.data());
+    for (std::size_t i = 0; i < n; ++i) particles[i].h = -margins[i];
 }
 
 McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
@@ -67,12 +80,21 @@ McEstimate SplittingEngine::estimate(exec::ThreadPool& pool) const {
     std::vector<Particle> particles(n);
     {
         obs::TraceSpan seed_span("mc.split.seed");
+        // Draw first (cheap, per-particle seeds), then evaluate the i.i.d.
+        // population through the batched oracle in pool-tiled blocks. The
+        // block size only shapes scheduling — particles are already fixed,
+        // so results are identical for any blocking or thread count.
         pool.parallel_for(n, [&](std::size_t i) {
             Rng rng(exec::derive_seed(cfg_.budget.base_seed, i));
             Particle& p = particles[i];
             for (double& z : p.z) z = rng.gaussian();
             p.noise_seed = rng.generator()();
-            p.h = eval_h(p);
+        });
+        constexpr std::size_t kBlock = 64;
+        const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+        pool.parallel_for(n_blocks, [&](std::size_t b) {
+            const std::size_t lo = b * kBlock;
+            eval_h_batch(&particles[lo], std::min(kBlock, n - lo));
         });
     }
     std::uint64_t total = n;

@@ -69,7 +69,13 @@ private:
         double h = 0.0;          ///< -margin at this latent state
     };
 
+    [[nodiscard]] RunSample to_sample(const Particle& p) const;
     [[nodiscard]] double eval_h(const Particle& p) const;
+    /// h for a contiguous block of particles via the model's batched
+    /// oracle. Only the i.i.d. level-0 seeding can use it — inside a pCN
+    /// chain each proposal depends on the previous accept, so the chain
+    /// phase stays on the sequential eval_h.
+    void eval_h_batch(Particle* particles, std::size_t n) const;
 
     const MarginModel* model_;
     Config cfg_;

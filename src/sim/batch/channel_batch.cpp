@@ -1,0 +1,580 @@
+#include "sim/batch/channel_batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <limits>
+
+#include "cdr/lane_step.hpp"
+#include "gates/cml_equations.hpp"
+#include "sim/batch/lane_rng.hpp"
+#include "util/simd.hpp"
+
+namespace gcdr::sim::batch {
+
+namespace {
+
+constexpr std::int64_t kNoHorizon = std::numeric_limits<std::int64_t>::max();
+
+/// Pending transport transactions of one wire — sim::Wire's deque with a
+/// consumed-prefix index instead of node allocation. The scheduler seq of
+/// the commit event doubles as the transaction id: it is unique, and a
+/// cancelled transaction's commit simply finds a different seq (or an
+/// empty queue) at the front, exactly like Wire's id check. The posted
+/// value is packed into seq's low bit to keep the struct at 16 bytes
+/// (the queues sit on the hottest loads of the kernel).
+struct Pend {
+    std::int64_t time;
+    std::uint64_t seq_val;  ///< (seq << 1) | value
+
+    [[nodiscard]] std::uint64_t seq() const { return seq_val >> 1; }
+    [[nodiscard]] bool value() const { return (seq_val & 1) != 0; }
+};
+
+struct PendQ {
+    std::vector<Pend> buf;
+    std::size_t head = 0;
+
+    [[nodiscard]] bool empty() const { return head == buf.size(); }
+    [[nodiscard]] const Pend& front() const { return buf[head]; }
+    [[nodiscard]] const Pend& back() const { return buf.back(); }
+    void pop_front() {
+        ++head;
+        if (head == buf.size()) clear();
+    }
+    void pop_back() {
+        buf.pop_back();
+        if (head == buf.size()) clear();
+    }
+    void push_back(const Pend& p) { buf.push_back(p); }
+    void clear() {
+        buf.clear();
+        head = 0;
+    }
+};
+
+/// A scheduled wire-commit event. (time, seq) replicate the scheduler's
+/// total order; seq also identifies the transaction (no-op commit when
+/// the front pending entry carries a different seq), exactly like
+/// Wire::commit's id check. The wire index lives in seq's low 16 bits so
+/// the struct stays at 16 bytes; ordering on the packed field equals
+/// ordering on seq because seqs are unique.
+struct CommitEv {
+    std::int64_t time;
+    std::uint64_t seq_wire;  ///< (seq << 16) | wire
+
+    [[nodiscard]] std::uint64_t seq() const { return seq_wire >> 16; }
+    [[nodiscard]] std::uint32_t wire() const {
+        return static_cast<std::uint32_t>(seq_wire & 0xFFFFu);
+    }
+};
+
+/// Executes-earlier order: (time, seq) ascending.
+inline bool runs_before(const CommitEv& a, const CommitEv& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq_wire < b.seq_wire;
+}
+
+/// Shared (lane-invariant) compile of the channel topology: delays in
+/// integer femtoseconds, jitter sigmas, and the flat wire numbering.
+///
+/// Wire layout (C = delay-line cells):
+///   0         din
+///   1..C      delay-line nodes (C = line out)
+///   C+1       edet          C+2  ddin
+///   C+3..C+6  vinv1..vinv4
+///   C+7       ckout         C+8  q
+struct KernelConfig {
+    explicit KernelConfig(const cdr::ChannelConfig& cfg) : rate(cfg.rate) {
+        n_cells = static_cast<std::uint32_t>(cfg.edge_detector.n_cells);
+        cell_fs = cfg.edge_detector.cell_delay.femtoseconds();
+        cell_jitter = cfg.edge_detector.cell_jitter_rel;
+        xor_fs = cfg.edge_detector.xor_delay.femtoseconds();
+        xor_jitter = cfg.edge_detector.xor_jitter_rel;
+        SimTime dummy = cfg.edge_detector.dummy_delay;
+        if (dummy < SimTime{0}) dummy = cfg.edge_detector.xor_delay;
+        dummy_fs = dummy.femtoseconds();
+        // Control current is fixed for the batch channel, so the nominal
+        // stage delay 1/(8f) hoists out of the per-event path.
+        stage_d0 = 1.0 / (8.0 * cfg.gcco.frequency_at(cfg.control_current_a));
+        gcco_sigma = cfg.gcco.jitter_sigma;
+        // CmlSampler posts q with jittered_delay(clk_to_q) at jitter 0:
+        // the nominal delay clamped to >= 1 fs, no draw.
+        sampler_fs = std::max<std::int64_t>(
+            cfg.sampler_delay.femtoseconds(), 1);
+        improved = cfg.improved_sampling;
+
+        line_out = n_cells;
+        edet = n_cells + 1;
+        ddin = n_cells + 2;
+        v1 = n_cells + 3;
+        v2 = n_cells + 4;
+        v3 = n_cells + 5;
+        v4 = n_cells + 6;
+        ckout = n_cells + 7;
+        q = n_cells + 8;
+        n_wires = n_cells + 9;
+        // CommitEv packs the wire index into 16 bits (delay lines are a
+        // handful of cells; this leaves 48 bits of seq, ~2.8e14 events).
+        assert(n_wires < 0x10000u);
+    }
+
+    LinkRate rate;
+    std::uint32_t n_cells;
+    std::int64_t cell_fs;
+    double cell_jitter;
+    std::int64_t xor_fs;
+    double xor_jitter;
+    std::int64_t dummy_fs;
+    double stage_d0;  ///< nominal GCCO stage delay 1/(8f), seconds
+    double gcco_sigma;
+    std::int64_t sampler_fs;
+    bool improved;
+    std::uint32_t line_out, edet, ddin, v1, v2, v3, v4, ckout, q, n_wires;
+};
+
+/// Dispatch codes, one per wire role (precomputed in Lane::init so the
+/// listener dispatch is a jump table instead of a comparison ladder).
+enum : std::uint8_t {
+    kActNone = 0,  // q: no listeners
+    kActDin,
+    kActInner,
+    kActLineOut,
+    kActEdet,
+    kActDdin,
+    kActV1,
+    kActV2,
+    kActV3,
+    kActV4,
+    kActCkout,
+};
+
+/// One lane's flat event kernel. Event kinds and their sequence numbers
+/// replicate the scalar construction order: the GCCO startup kick is the
+/// first event scheduled (seq 0, time 0), GccoChannel::drive() then
+/// allocates one seq per input edge (1..E), and every wire commit takes
+/// the next seq at post time. The next event is the (time, seq) minimum
+/// across {kick, edge cursor, commit heap}.
+struct Lane {
+    const KernelConfig* kc = nullptr;
+    NormalBank* nb = nullptr;
+    std::size_t lane = 0;
+
+    std::vector<std::uint8_t> val;
+    std::vector<std::uint8_t> action;  ///< dispatch code per wire
+    std::vector<PendQ> pend;
+    std::vector<CommitEv> evq;
+
+    // Cached NormalBank window, valid only inside run_to (see draw()).
+    const double* rn = nullptr;
+    std::size_t rn_head = 0;
+    std::size_t rn_end = 0;
+
+    std::vector<jitter::Edge> edges;
+    std::size_t edge_cursor = 0;
+    bool kicked = false;
+    bool started = false;
+    std::uint64_t seq_next = 0;
+
+    std::int64_t now = 0;
+    std::int64_t horizon = kNoHorizon;
+    std::uint64_t executed = 0;
+
+    std::vector<cdr::Decision> decisions;
+    std::vector<double> margins;
+    std::uint64_t ones = 0;
+    std::int64_t last_clk_rise = -1;
+
+    void init(const KernelConfig& k, NormalBank& bank, std::size_t idx) {
+        kc = &k;
+        nb = &bank;
+        lane = idx;
+        val.assign(k.n_wires, 0);
+        // Initial wire values of the scalar netlist: EDET idles high
+        // (XNOR of equal inputs), the ring starts in the frozen pattern
+        // (0,1,0,1); everything else follows din = low.
+        val[k.edet] = 1;
+        val[k.v2] = 1;
+        val[k.v4] = 1;
+        pend.assign(k.n_wires, PendQ{});
+        for (PendQ& pq : pend) pq.buf.reserve(16);
+        evq.reserve(32);
+        action.assign(k.n_wires, kActNone);
+        action[0] = kActDin;
+        for (std::uint32_t w = 1; w < k.line_out; ++w) action[w] = kActInner;
+        action[k.line_out] = kActLineOut;
+        action[k.edet] = kActEdet;
+        action[k.ddin] = kActDdin;
+        action[k.v1] = kActV1;
+        action[k.v2] = kActV2;
+        action[k.v3] = kActV3;
+        action[k.v4] = kActV4;
+        action[k.ckout] = kActCkout;
+    }
+
+    /// Pop a normal from the cached bank window; the slow path syncs the
+    /// head, lets the bank refill, and re-caches.
+    [[nodiscard]] double draw() {
+        if (rn_head < rn_end) return rn[rn_head++];
+        return draw_slow();
+    }
+
+    [[nodiscard]] double draw_slow() {
+        nb->set_head(lane, rn_head);
+        const double v = nb->next(lane);
+        rn = nb->data(lane);
+        rn_head = nb->head(lane);
+        rn_end = nb->size(lane);
+        return v;
+    }
+
+    /// Schedule v on wire w at absolute time `when`. The current event
+    /// time is threaded through as a parameter (rather than read from a
+    /// member) so the compiler can keep it in a register across the
+    /// vector stores below, which would otherwise force reloads.
+    void post(std::uint32_t w, std::int64_t when, bool v) {
+        PendQ& q = pend[w];
+        // Transport rule + dedup, verbatim from Wire::post_transport: a
+        // dropped post consumes neither a transaction id nor an event seq.
+        while (!q.empty() && q.back().time >= when) q.pop_back();
+        if (q.empty() ? (v == static_cast<bool>(val[w]))
+                      : (q.back().value() == v)) {
+            return;
+        }
+        const std::uint64_t seq = seq_next++;
+        q.push_back(Pend{when, (seq << 1) | (v ? 1u : 0u)});
+        const CommitEv ev{when, (seq << 16) | w};
+        std::size_t i = evq.size();
+        while (i > 0 && runs_before(evq[i - 1], ev)) --i;
+        evq.insert(evq.begin() + static_cast<std::ptrdiff_t>(i), ev);
+    }
+
+    void apply(std::uint32_t w, bool v, std::int64_t t) {
+        if (static_cast<bool>(val[w]) == v) return;
+        val[w] = v ? 1 : 0;
+        dispatch(w, t);
+    }
+
+    // --- gate evaluations (listener bodies of the scalar netlist) ---
+
+    void eval_cell(std::uint32_t i, std::int64_t t) {  // cell i: i -> i+1
+        const double z = kc->cell_jitter > 0.0 ? draw() : 0.0;
+        post(i + 1,
+             t + gates::eq::cml_delay_fs(kc->cell_fs, kc->cell_jitter, z),
+             gates::eq::buffer_value(val[i], false));
+    }
+
+    void eval_xnor(std::int64_t t) {  // EDET = XNOR(din, line out)
+        const bool v = gates::eq::xor_value(val[0], val[kc->line_out], true);
+        const double z = kc->xor_jitter > 0.0 ? draw() : 0.0;
+        post(kc->edet,
+             t + gates::eq::cml_delay_fs(kc->xor_fs, kc->xor_jitter, z), v);
+    }
+
+    void eval_dummy(std::int64_t t) {  // DDIN = line out via dummy gate
+        const double z = kc->xor_jitter > 0.0 ? draw() : 0.0;
+        post(kc->ddin,
+             t + gates::eq::cml_delay_fs(kc->dummy_fs, kc->xor_jitter, z),
+             gates::eq::buffer_value(val[kc->line_out], false));
+    }
+
+    [[nodiscard]] std::int64_t stage_delay_fs() {
+        const double z = kc->gcco_sigma > 0.0 ? draw() : 0.0;
+        return cdr::lane_step::gcco_stage_delay_fs(kc->stage_d0,
+                                                   kc->gcco_sigma, z);
+    }
+
+    void eval_stage1(std::int64_t t) {
+        const bool v =
+            cdr::lane_step::gcco_gate_value(val[kc->v4], val[kc->edet]);
+        post(kc->v1, t + stage_delay_fs(), v);
+    }
+
+    void eval_inv(std::uint32_t j, std::int64_t t) {  // vinv_j, j in 2..4
+        const bool v =
+            cdr::lane_step::gcco_inverter_value(val[kc->v1 + j - 2]);
+        post(kc->v1 + j - 1, t + stage_delay_fs(), v);
+    }
+
+    void eval_ckout(std::int64_t t) {
+        post(kc->ckout, t + 1, !val[kc->v4]);
+    }
+
+    void on_clk_change(std::uint32_t w, std::int64_t t) {
+        if (!val[w]) return;  // sampler + eye fold act on rises only
+        // CmlSampler::on_clk: latch DDIN, post q (no jitter draw), record
+        // the decision...
+        const bool bit = val[kc->ddin];
+        post(kc->q, t + kc->sampler_fs, bit);
+        decisions.push_back(cdr::Decision{SimTime{t}, bit});
+        ones += bit ? 1u : 0u;
+        // ...then the channel's eye-fold listener notes the clock rise.
+        last_clk_rise = t;
+    }
+
+    void on_ddin(std::int64_t t) {
+        if (last_clk_rise < 0) return;  // clock not started yet
+        margins.push_back(cdr::lane_step::fold_margin_ui(
+            kc->rate, SimTime{t}, SimTime{last_clk_rise}, kc->improved));
+    }
+
+    /// Listener dispatch for wire `w`; each case runs that wire's scalar
+    /// listeners in registration order.
+    void dispatch(std::uint32_t w, std::int64_t t) {
+        const KernelConfig& k = *kc;
+        switch (action[w]) {
+            case kActDin:  // din: [delay-line cell 0, XNOR input a]
+                eval_cell(0, t);
+                eval_xnor(t);
+                break;
+            case kActInner:  // inner node: feeds the next cell
+                eval_cell(w, t);
+                break;
+            case kActLineOut:  // line out: [XNOR input b, dummy]
+                eval_xnor(t);
+                eval_dummy(t);
+                break;
+            case kActEdet:  // GCCO gating input
+                eval_stage1(t);
+                break;
+            case kActDdin:  // margin measurement
+                on_ddin(t);
+                break;
+            case kActV1:
+                eval_inv(2, t);
+                break;
+            case kActV2:
+                eval_inv(3, t);
+                break;
+            case kActV3:  // [inverter 3] + sampler in improved mode
+                eval_inv(4, t);
+                if (k.improved) on_clk_change(w, t);
+                break;
+            case kActV4:  // [gating stage, ckout complement]
+                eval_stage1(t);
+                eval_ckout(t);
+                break;
+            case kActCkout:
+                if (!k.improved) on_clk_change(w, t);
+                break;
+            default:  // q has no listeners
+                break;
+        }
+    }
+
+    /// Drain every event with time <= t_end, in scheduler (time, seq)
+    /// order, including no-op commits of cancelled transactions. The seq
+    /// discipline collapses to a static priority at equal times — kick
+    /// (seq 0) < drive edges (seqs 1..E, cursor order) < commits (seqs
+    /// allocated from 1+E at post time) — so the loop drains the commit
+    /// heap up to each edge instead of re-deriving a three-way minimum
+    /// per event.
+    void run_to(std::int64_t t_end) {
+        // Cache the lane's normals window for the duration of the slice.
+        rn = nb->data(lane);
+        rn_head = nb->head(lane);
+        rn_end = nb->size(lane);
+        run_to_inner(t_end);
+        nb->set_head(lane, rn_head);
+    }
+
+    void run_to_inner(std::int64_t t_end) {
+        if (!started) {
+            started = true;
+            seq_next = 1 + edges.size();
+        }
+        if (!kicked) {  // GCCO startup kick at (time 0, seq 0)
+            if (t_end < 0) return;
+            kicked = true;
+            now = 0;
+            ++executed;
+            eval_stage1(0);
+        }
+        const std::size_t n_edges = edges.size();
+        std::uint64_t ran = 0;
+        std::int64_t t_now = now;
+        for (;;) {
+            const std::int64_t edge_t =
+                edge_cursor < n_edges
+                    ? edges[edge_cursor].time.femtoseconds()
+                    : kNoHorizon;
+            // Commits strictly before the next edge (same-time commits
+            // carry larger seqs and run after it).
+            const std::int64_t cap = std::min(t_end, edge_t - 1);
+            while (!evq.empty() && evq.back().time <= cap) {
+                const CommitEv ev = evq.back();
+                evq.pop_back();
+                t_now = ev.time;
+                ++ran;
+                PendQ& pq = pend[ev.wire()];
+                if (!pq.empty() && pq.front().seq() == ev.seq()) {
+                    const bool v = pq.front().value();
+                    pq.pop_front();
+                    apply(ev.wire(), v, t_now);
+                }
+            }
+            if (edge_t > t_end) break;
+            t_now = edge_t;
+            ++ran;
+            const bool v = edges[edge_cursor++].value;
+            pend[0].clear();  // input drive: din set_now semantics
+            apply(0, v, t_now);
+        }
+        now = t_now;
+        executed += ran;
+    }
+};
+
+}  // namespace
+
+struct ChannelBatch::Impl {
+    Impl(const cdr::ChannelConfig& cfg, std::size_t n)
+        : kc(cfg), bank(n), lanes(n) {
+        for (std::size_t l = 0; l < n; ++l) lanes[l].init(kc, bank, l);
+    }
+
+    KernelConfig kc;
+    NormalBank bank;
+    std::vector<Lane> lanes;
+    std::uint64_t steps = 0;
+    double run_seconds = 0.0;
+
+    /// Lockstep slice length. Long slices amortize the per-slice refill
+    /// scan and keep each lane's streams (edges in, decisions out,
+    /// normals in) running sequentially instead of ping-ponging between
+    /// lanes; 1024 UI measured fastest on the 16-lane bench while still
+    /// giving the pool slice-granular progress to tile.
+    static constexpr std::int64_t kSliceUi = 1024;
+    /// Normals kept buffered per lane per slice, covering the per-slice
+    /// draw count (ring + delay line together draw ~10 per UI);
+    /// underflow just falls back to the scalar refill.
+    static constexpr std::size_t kTopUp = 12288;
+
+    void run_to_targets(const std::vector<std::int64_t>& targets,
+                        exec::ThreadPool* pool) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::int64_t ui_fs = kc.rate.ui_time().femtoseconds();
+        const std::int64_t slice_fs = kSliceUi * ui_fs;
+        std::int64_t begin = kNoHorizon;
+        std::int64_t end = 0;
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+            begin = std::min(begin, lanes[l].now);
+            end = std::max(end, targets[l]);
+        }
+        for (std::int64_t hi = begin + slice_fs;; hi += slice_fs) {
+            const std::int64_t cap = std::min(hi, end);
+            bank.top_up(kTopUp);
+            ++steps;
+            auto work = [&](std::size_t l) {
+                lanes[l].run_to(std::min(cap, targets[l]));
+            };
+            if (pool != nullptr) {
+                // Always dispatch through the pool when one is given, even
+                // at size 1: parallel_for's serial path runs the same
+                // per-lane code and the same .jobs/.items accounting, so
+                // pool counters depend only on the workload, never on the
+                // thread count — required by the CI identical-counters
+                // diffs across --threads values.
+                pool->parallel_for(lanes.size(), work);
+            } else {
+                for (std::size_t l = 0; l < lanes.size(); ++l) work(l);
+            }
+            if (cap >= end) break;
+        }
+        run_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+    }
+};
+
+ChannelBatch::ChannelBatch(const cdr::ChannelConfig& cfg, std::size_t lanes)
+    : impl_(std::make_unique<Impl>(cfg, lanes)) {
+    assert(lanes >= 1);
+}
+
+ChannelBatch::~ChannelBatch() = default;
+
+std::size_t ChannelBatch::lanes() const { return impl_->lanes.size(); }
+
+void ChannelBatch::seed_lane(std::size_t lane, std::uint64_t seed) {
+    impl_->bank.seed_lane(lane, seed);
+}
+
+void ChannelBatch::drive(std::size_t lane,
+                         const std::vector<jitter::Edge>& edges) {
+    Lane& ln = impl_->lanes[lane];
+    assert(!ln.started && "drive() must precede the first run");
+    ln.edges.insert(ln.edges.end(), edges.begin(), edges.end());
+    // Clock rises land about once per UI and DDIN toggles once per input
+    // edge; reserving up front keeps reallocation out of the event loop.
+    ln.decisions.reserve(ln.edges.size() * 2 + 64);
+    ln.margins.reserve(ln.edges.size() + 64);
+}
+
+void ChannelBatch::set_horizon(std::size_t lane, SimTime t_end) {
+    impl_->lanes[lane].horizon = t_end.femtoseconds();
+}
+
+void ChannelBatch::run_until(SimTime t_end, exec::ThreadPool* pool) {
+    std::vector<std::int64_t> targets(impl_->lanes.size(),
+                                      t_end.femtoseconds());
+    impl_->run_to_targets(targets, pool);
+}
+
+void ChannelBatch::run_all(exec::ThreadPool* pool) {
+    std::vector<std::int64_t> targets(impl_->lanes.size());
+    for (std::size_t l = 0; l < targets.size(); ++l) {
+        targets[l] = impl_->lanes[l].horizon;
+        assert(targets[l] != kNoHorizon &&
+               "run_all() requires set_horizon on every lane");
+    }
+    impl_->run_to_targets(targets, pool);
+}
+
+const std::vector<cdr::Decision>& ChannelBatch::decisions(
+    std::size_t lane) const {
+    return impl_->lanes[lane].decisions;
+}
+
+const std::vector<double>& ChannelBatch::margins_ui(std::size_t lane) const {
+    return impl_->lanes[lane].margins;
+}
+
+std::uint64_t ChannelBatch::ones(std::size_t lane) const {
+    return impl_->lanes[lane].ones;
+}
+
+std::uint64_t ChannelBatch::events_executed(std::size_t lane) const {
+    return impl_->lanes[lane].executed;
+}
+
+std::uint64_t ChannelBatch::events_executed() const {
+    std::uint64_t total = 0;
+    for (const Lane& l : impl_->lanes) total += l.executed;
+    return total;
+}
+
+std::uint64_t ChannelBatch::batch_steps() const { return impl_->steps; }
+
+double ChannelBatch::run_seconds() const { return impl_->run_seconds; }
+
+std::size_t ChannelBatch::simd_width() {
+    return gcdr::simd::width_doubles();
+}
+
+void ChannelBatch::publish_metrics(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+    registry.gauge(prefix + ".lanes")
+        .set(static_cast<double>(impl_->lanes.size()));
+    registry.gauge(prefix + ".simd_width")
+        .set(static_cast<double>(simd_width()));
+    registry.gauge(prefix + ".steps_per_s")
+        .set(impl_->run_seconds > 0.0
+                 ? static_cast<double>(impl_->steps) / impl_->run_seconds
+                 : 0.0);
+    registry.counter(prefix + ".events").inc(events_executed());
+    registry.counter(prefix + ".steps").inc(impl_->steps);
+}
+
+}  // namespace gcdr::sim::batch

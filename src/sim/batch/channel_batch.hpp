@@ -1,0 +1,115 @@
+#pragma once
+// Batched structure-of-arrays execution of N homogeneous GCCO CDR lanes.
+//
+// The generic event kernel (sim/Scheduler + Wire + gates/) spends most of
+// each event on dispatch machinery: calendar-queue bookkeeping, listener
+// indirection through InlineCallback, telemetry branches, string-named
+// wires. A multi-channel receiver — or a Monte-Carlo engine running
+// thousands of clones of one channel — simulates N *identical* netlists
+// that differ only in seed and input edges, so all of that generality is
+// paid N times for nothing.
+//
+// ChannelBatch replaces it with a flat per-lane micro-kernel plus SoA
+// shared state advanced in lockstep time slices:
+//
+//  - lane state is plain arrays (wire values, per-wire pending transport
+//    rings, a small (time, seq) commit heap, edge cursor) — no listeners,
+//    no allocation in steady state;
+//  - gate/oscillator update equations are the SAME header-only functions
+//    the event path uses (gates/cml_equations.hpp, cdr/lane_step.hpp);
+//  - jitter normals come from a NormalBank: per-lane xoshiro256++ streams
+//    refilled across lanes with SIMD between slices (scalar fallback when
+//    GCDR_SIMD is off);
+//  - run_until()/run_all() advance every lane slice by slice, optionally
+//    tiling lanes across an exec::ThreadPool (lanes are independent, so
+//    results are bit-identical for any thread count).
+//
+// Correctness contract (enforced by tests/test_batch.cpp): for any seed,
+// lane k of a batched run produces the same decision stream, margins and
+// executed-event count as a scalar cdr::GccoChannel driven with the same
+// config, seed and edges — the kernel replicates VHDL transport-delay
+// wire semantics, (time, insertion-seq) event order and the draw-when-
+// jitter-enabled RNG discipline exactly, including no-op commits of
+// cancelled transport transactions.
+//
+// The event kernel is still the right tool when lanes are heterogeneous,
+// when a run needs causal tracing / flight recording / per-wire
+// telemetry, or when the netlist under study is not the fixed GCCO
+// channel topology; see DESIGN.md "Batched SoA execution".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdr/channel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace gcdr::sim::batch {
+
+class ChannelBatch {
+public:
+    /// All lanes share `cfg` (homogeneous channels); per-lane variation
+    /// enters through seed_lane() and drive().
+    ChannelBatch(const cdr::ChannelConfig& cfg, std::size_t lanes);
+    ~ChannelBatch();
+
+    ChannelBatch(const ChannelBatch&) = delete;
+    ChannelBatch& operator=(const ChannelBatch&) = delete;
+
+    [[nodiscard]] std::size_t lanes() const;
+
+    /// Seed lane `k`'s jitter stream; equivalent to handing the scalar
+    /// channel `Rng(seed)`.
+    void seed_lane(std::size_t lane, std::uint64_t seed);
+
+    /// Schedule an edge stream onto lane `k`'s input (times ascending).
+    /// All drives must precede the first run — event sequence numbers are
+    /// frozen when the kernel starts, exactly as GccoChannel::drive()
+    /// allocates them before any event executes.
+    void drive(std::size_t lane, const std::vector<jitter::Edge>& edges);
+
+    /// Per-lane end time used by run_all() (default: unbounded).
+    void set_horizon(std::size_t lane, SimTime t_end);
+
+    /// Advance every lane to `t_end` in lockstep slices. With a pool,
+    /// lanes are tiled across it; bit-identical for any pool size.
+    void run_until(SimTime t_end, exec::ThreadPool* pool = nullptr);
+
+    /// Advance every lane to its own horizon (set_horizon).
+    void run_all(exec::ThreadPool* pool = nullptr);
+
+    [[nodiscard]] const std::vector<cdr::Decision>& decisions(
+        std::size_t lane) const;
+    [[nodiscard]] const std::vector<double>& margins_ui(
+        std::size_t lane) const;
+    /// Count of 1-decisions on the lane (the margin model's ground truth).
+    [[nodiscard]] std::uint64_t ones(std::size_t lane) const;
+
+    /// Events executed, including no-op commits of cancelled transport
+    /// transactions — comparable 1:1 with Scheduler::executed_events().
+    [[nodiscard]] std::uint64_t events_executed(std::size_t lane) const;
+    [[nodiscard]] std::uint64_t events_executed() const;
+
+    /// Lockstep slices run so far.
+    [[nodiscard]] std::uint64_t batch_steps() const;
+    /// Wall seconds spent inside run_until()/run_all().
+    [[nodiscard]] double run_seconds() const;
+
+    /// Doubles per SIMD register in this build (1 = scalar fallback).
+    [[nodiscard]] static std::size_t simd_width();
+
+    /// Publish batched-path runtime metrics under `prefix`:
+    ///   <prefix>.lanes / .simd_width          gauges
+    ///   <prefix>.steps_per_s                  gauge (slices / wall)
+    ///   <prefix>.events / .steps              counters
+    void publish_metrics(obs::MetricsRegistry& registry,
+                         const std::string& prefix) const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gcdr::sim::batch

@@ -1,0 +1,91 @@
+#pragma once
+// Structure-of-arrays bank of per-lane xoshiro256++ streams feeding the
+// batched channel kernel's jitter draws.
+//
+// Contract: for a lane seeded with S, the sequence popped by next(lane)
+// is bit-identical to the sequence util::Rng(S).gaussian() would return —
+// including the polar Box-Muller pair order (u*factor first, then the
+// cached v*factor). The scalar event path consumes its normals one at a
+// time as gate evaluations fire; the batch path pre-generates them in
+// chunks. Because generation within a lane is strictly sequential and
+// consumption is FIFO, chunking changes nothing about the values.
+//
+// top_up() refills every lane with the SIMD kernel (lanes mapped to
+// vector slots, rejection handled with per-slot masks so a slot that
+// finished or rejected never advances another slot's state); next()
+// falls back to a scalar refill when a lane drains mid-slice. Both
+// refills walk the identical generation recurrence, so the stream is the
+// same no matter which path produced it.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcdr::sim::batch {
+
+class NormalBank {
+public:
+    explicit NormalBank(std::size_t lanes);
+
+    /// Re-seed one lane, discarding its buffered normals. Seeding matches
+    /// util::Xoshiro256(seed): four splitmix64 draws plus the zero-state
+    /// guard.
+    void seed_lane(std::size_t lane, std::uint64_t seed);
+
+    [[nodiscard]] std::size_t lanes() const { return s0_.size(); }
+
+    /// Standard normals currently buffered for `lane`.
+    [[nodiscard]] std::size_t available(std::size_t lane) const {
+        const Fifo& f = fifo_[lane];
+        return f.buf.size() - f.head;
+    }
+
+    /// Pop the next normal for `lane`; scalar refill on underflow.
+    double next(std::size_t lane) {
+        Fifo& f = fifo_[lane];
+        if (f.head == f.buf.size()) refill_lane_scalar(lane, kChunk);
+        return f.buf[f.head++];
+    }
+
+    // Raw window access for a consumer that pops many normals in a tight
+    // loop (the lane kernel): read [head(), size()) from data(), then
+    // set_head() with the new position before anything else touches the
+    // bank. The window is invalidated by next()/top_up()/seed_lane().
+    [[nodiscard]] const double* data(std::size_t lane) const {
+        return fifo_[lane].buf.data();
+    }
+    [[nodiscard]] std::size_t head(std::size_t lane) const {
+        return fifo_[lane].head;
+    }
+    [[nodiscard]] std::size_t size(std::size_t lane) const {
+        return fifo_[lane].buf.size();
+    }
+    void set_head(std::size_t lane, std::size_t head) {
+        fifo_[lane].head = head;
+    }
+
+    /// Refill every lane to at least `want` buffered normals, vectorized
+    /// across lanes (scalar-equivalent when GCDR_SIMD is off).
+    void top_up(std::size_t want);
+
+    /// Doubles per vector register in this build (1 = scalar fallback).
+    [[nodiscard]] static std::size_t simd_width();
+
+private:
+    struct Fifo {
+        std::vector<double> buf;
+        std::size_t head = 0;
+    };
+    static constexpr std::size_t kChunk = 64;
+
+    /// Drop consumed entries so append indices stay small.
+    void compact(std::size_t lane);
+    /// Append >= `want` - available normals via the scalar recurrence.
+    void refill_lane_scalar(std::size_t lane, std::size_t want);
+
+    // xoshiro256++ state, one column per lane.
+    std::vector<std::uint64_t> s0_, s1_, s2_, s3_;
+    std::vector<Fifo> fifo_;
+};
+
+}  // namespace gcdr::sim::batch

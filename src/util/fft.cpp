@@ -1,5 +1,7 @@
 #include "util/fft.hpp"
 
+#include "util/simd.hpp"
+
 #include <array>
 #include <bit>
 #include <cassert>
@@ -138,10 +140,11 @@ std::vector<double> convolve_direct(const std::vector<double>& a,
         throw std::invalid_argument("convolve_direct: empty input sequence");
     }
     std::vector<double> out(a.size() + b.size() - 1, 0.0);
+    // axpy over the inner j-loop: each out[i+j] accumulates contributions
+    // in the same i-order as the scalar loop, so vectorization changes
+    // only the instruction mix, not the summation order.
     for (std::size_t i = 0; i < a.size(); ++i) {
-        for (std::size_t j = 0; j < b.size(); ++j) {
-            out[i + j] += a[i] * b[j];
-        }
+        simd::axpy(out.data() + i, b.data(), a[i], b.size());
     }
     return out;
 }

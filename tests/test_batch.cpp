@@ -1,0 +1,270 @@
+// Batched SoA kernel (sim/batch/) correctness anchors:
+//  - lane-granular bit-identity: lane k of a ChannelBatch run equals a
+//    scalar GccoChannel run with the same seed/config/edges — decisions,
+//    margins, ones count and executed-event count, swept over seeds x
+//    channel counts x thread counts x sampling topologies;
+//  - NormalBank streams equal util::Rng::gaussian(), whether produced by
+//    the vectorized top_up or the scalar on-demand refill;
+//  - SIMD-vs-scalar-fallback equivalence for the convolve axpy kernel
+//    (the -DGCDR_SIMD=OFF CI leg reruns this whole file against the
+//    scalar build, closing the loop from the other side);
+//  - the batched BehavioralMarginModel oracle returns the same margins as
+//    the scalar one.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "jitter/jitter.hpp"
+#include "mc/margin_model.hpp"
+#include "sim/batch/channel_batch.hpp"
+#include "sim/batch/lane_rng.hpp"
+#include "sim/scheduler.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+using namespace gcdr;
+
+std::vector<jitter::Edge> lane_edges(std::uint64_t edge_seed,
+                                     std::size_t n_bits,
+                                     const jitter::StreamParams& sp) {
+    encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+    Rng rng(edge_seed);
+    return jitter::jittered_edges(gen.bits(n_bits), sp, rng);
+}
+
+struct ScalarRun {
+    std::vector<cdr::Decision> decisions;
+    std::vector<double> margins;
+    std::uint64_t events = 0;
+};
+
+ScalarRun scalar_lane_run(const cdr::ChannelConfig& cfg,
+                          std::uint64_t noise_seed,
+                          const std::vector<jitter::Edge>& edges,
+                          SimTime t_end) {
+    sim::Scheduler sched;
+    Rng rng(noise_seed);
+    cdr::GccoChannel ch(sched, rng, cfg, "s");
+    ch.drive(edges);
+    sched.run_until(t_end);
+    return ScalarRun{ch.decisions(), ch.margins_ui(), sched.executed_events()};
+}
+
+void expect_lane_matches_scalar(const sim::batch::ChannelBatch& batch,
+                                std::size_t lane, const ScalarRun& ref) {
+    const auto& bd = batch.decisions(lane);
+    ASSERT_EQ(bd.size(), ref.decisions.size()) << "lane " << lane;
+    std::uint64_t ref_ones = 0;
+    for (std::size_t i = 0; i < bd.size(); ++i) {
+        EXPECT_EQ(bd[i].time, ref.decisions[i].time)
+            << "lane " << lane << " decision " << i;
+        EXPECT_EQ(bd[i].bit, ref.decisions[i].bit)
+            << "lane " << lane << " decision " << i;
+        ref_ones += ref.decisions[i].bit ? 1u : 0u;
+    }
+    const auto& bm = batch.margins_ui(lane);
+    ASSERT_EQ(bm.size(), ref.margins.size()) << "lane " << lane;
+    for (std::size_t i = 0; i < bm.size(); ++i) {
+        // Same fold function on identical integer times: bitwise equal.
+        EXPECT_EQ(bm[i], ref.margins[i]) << "lane " << lane << " margin "
+                                         << i;
+    }
+    EXPECT_EQ(batch.ones(lane), ref_ones) << "lane " << lane;
+    EXPECT_EQ(batch.events_executed(lane), ref.events) << "lane " << lane;
+}
+
+TEST(ChannelBatch, LaneBitIdentityAcrossSeedsChannelsAndTopologies) {
+    constexpr std::size_t kBits = 300;
+    for (const bool improved : {false, true}) {
+        auto cfg = cdr::ChannelConfig::nominal(2.5e9 / 1.03);
+        cfg.improved_sampling = improved;
+        jitter::StreamParams sp;
+        sp.spec = jitter::JitterSpec::paper_table1();
+        sp.start = SimTime::ns(4);
+        const SimTime t_end =
+            sp.start + cfg.rate.ui_to_time(static_cast<double>(kBits));
+        for (const std::uint64_t seed : {1ull, 17ull, 99ull}) {
+            for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                                        std::size_t{8}}) {
+                sim::batch::ChannelBatch batch(cfg, n);
+                std::vector<std::vector<jitter::Edge>> edges(n);
+                for (std::size_t k = 0; k < n; ++k) {
+                    edges[k] = lane_edges(exec::derive_seed(seed, 1000 + k),
+                                          kBits, sp);
+                    batch.seed_lane(k, exec::derive_seed(seed, k));
+                    batch.drive(k, edges[k]);
+                }
+                batch.run_until(t_end);
+                for (std::size_t k = 0; k < n; ++k) {
+                    const auto ref = scalar_lane_run(
+                        cfg, exec::derive_seed(seed, k), edges[k], t_end);
+                    expect_lane_matches_scalar(batch, k, ref);
+                }
+            }
+        }
+    }
+}
+
+TEST(ChannelBatch, ThreadCountInvariance) {
+    constexpr std::size_t kBits = 400;
+    constexpr std::size_t kLanes = 6;
+    auto cfg = cdr::ChannelConfig::nominal(2.5e9);
+    jitter::StreamParams sp;
+    sp.spec = jitter::JitterSpec::paper_table1();
+    sp.start = SimTime::ns(4);
+    const SimTime t_end =
+        sp.start + cfg.rate.ui_to_time(static_cast<double>(kBits));
+
+    auto run = [&](exec::ThreadPool* pool) {
+        auto batch =
+            std::make_unique<sim::batch::ChannelBatch>(cfg, kLanes);
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            batch->seed_lane(k, exec::derive_seed(5, k));
+            batch->drive(k, lane_edges(exec::derive_seed(5, 100 + k), kBits,
+                                       sp));
+        }
+        batch->run_until(t_end, pool);
+        return batch;
+    };
+
+    const auto serial = run(nullptr);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        exec::ThreadPool pool(threads);
+        const auto pooled = run(&pool);
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            ASSERT_EQ(pooled->decisions(k).size(),
+                      serial->decisions(k).size());
+            for (std::size_t i = 0; i < serial->decisions(k).size(); ++i) {
+                EXPECT_EQ(pooled->decisions(k)[i].time,
+                          serial->decisions(k)[i].time);
+                EXPECT_EQ(pooled->decisions(k)[i].bit,
+                          serial->decisions(k)[i].bit);
+            }
+            EXPECT_EQ(pooled->margins_ui(k), serial->margins_ui(k));
+            EXPECT_EQ(pooled->events_executed(k),
+                      serial->events_executed(k));
+        }
+    }
+}
+
+TEST(NormalBank, MatchesRngGaussianStream) {
+    for (const std::uint64_t seed : {1ull, 2ull, 0xDEADBEEFull}) {
+        sim::batch::NormalBank bank(3);
+        bank.seed_lane(0, seed);
+        bank.seed_lane(1, seed + 1);
+        bank.seed_lane(2, seed ^ 0x5555);
+        Rng r0(seed), r1(seed + 1), r2(seed ^ 0x5555);
+        for (int i = 0; i < 5000; ++i) {
+            EXPECT_EQ(bank.next(0), r0.gaussian()) << i;
+            EXPECT_EQ(bank.next(1), r1.gaussian()) << i;
+            EXPECT_EQ(bank.next(2), r2.gaussian()) << i;
+        }
+    }
+}
+
+TEST(NormalBank, VectorTopUpEqualsScalarRefill) {
+    // Bank A refills exclusively through the (possibly SIMD) top_up;
+    // bank B through the scalar on-demand path. Streams must agree no
+    // matter how refills interleave with consumption.
+    constexpr std::size_t kLanes = 5;  // odd: exercises the remainder tile
+    sim::batch::NormalBank a(kLanes), b(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        a.seed_lane(l, 42 + l);
+        b.seed_lane(l, 42 + l);
+    }
+    for (int round = 0; round < 20; ++round) {
+        a.top_up(64);
+        // Uneven consumption so lanes sit at different stream offsets.
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            const int n = 13 + static_cast<int>(l) * 7 + round;
+            for (int i = 0; i < n; ++i) {
+                EXPECT_EQ(a.next(l), b.next(l))
+                    << "lane " << l << " round " << round << " draw " << i;
+            }
+        }
+    }
+}
+
+TEST(SimdShim, AxpyMatchesScalar) {
+    Rng rng(7);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, std::size_t{1023}}) {
+        std::vector<double> b(n), out_v(n, 0.0), out_s(n, 0.0);
+        for (auto& x : b) x = rng.gaussian();
+        for (int rep = 0; rep < 8; ++rep) {
+            const double a = rng.gaussian();
+            simd::axpy(out_v.data(), b.data(), a, n);
+            simd::axpy_scalar(out_s.data(), b.data(), a, n);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            // Identical on FMA-free targets; allow 1-ulp-scale drift for
+            // -march builds where contraction may differ.
+            EXPECT_NEAR(out_v[i], out_s[i],
+                        std::abs(out_s[i]) * 1e-15 + 1e-300)
+                << i;
+        }
+    }
+}
+
+TEST(SimdShim, ConvolveDirectMatchesNaive) {
+    Rng rng(11);
+    std::vector<double> a(37), b(53);
+    for (auto& x : a) x = rng.uniform();
+    for (auto& x : b) x = rng.uniform();
+    const auto got = convolve_direct(a, b);
+    std::vector<double> want(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            want[i + j] += a[i] * b[j];
+        }
+    }
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i], std::abs(want[i]) * 1e-15 + 1e-300)
+            << i;
+    }
+}
+
+TEST(BehavioralMarginModel, BatchedOracleMatchesScalar) {
+    statmodel::ModelConfig mcfg;
+    mcfg.spec.sj_uipp = 0.30;
+    mcfg.sj_freq_norm = 0.5;
+    auto scalar_params = mc::BehavioralMarginModel::params_from(mcfg);
+    auto batch_params = scalar_params;
+    batch_params.batch_lanes = 4;
+    const mc::BehavioralMarginModel scalar_model(scalar_params);
+    const mc::BehavioralMarginModel batch_model(batch_params);
+
+    Rng rng(3);
+    const auto pmf = mc::run_length_pmf(scalar_params.max_cid);
+    std::vector<mc::RunSample> samples(23);
+    for (auto& s : samples) {
+        s.run_length = mc::run_length_from_uniform(pmf, rng.uniform());
+        s.u_dj = rng.uniform();
+        s.z_edge = rng.gaussian();
+        s.z_trig = rng.gaussian();
+        s.z_osc = rng.gaussian();
+        s.u_phase = rng.uniform();
+        s.z_early = rng.gaussian();
+        s.noise_seed = rng.generator()();
+    }
+    std::vector<double> batched(samples.size());
+    batch_model.margin_ui_batch(samples.data(), samples.size(),
+                                batched.data());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(batched[i], scalar_model.margin_ui(samples[i])) << i;
+    }
+    EXPECT_GT(batch_model.batch_stats().evals, 0u);
+}
+
+}  // namespace
