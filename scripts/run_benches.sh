@@ -53,6 +53,7 @@ benches=(
     xval_ber
     ftol_scan
     baseline_jtol
+    serve
 )
 
 failed=0
@@ -91,7 +92,7 @@ fi
 # The perf-gate baselines live at the repo root as well, so a perf PR
 # diff (scripts/bench_diff.py) can reference them without digging into
 # bench/reports/. Keep the two copies identical.
-for id in kernel_perf trace_overhead; do
+for id in kernel_perf trace_overhead serve; do
     if [[ -f "$reports_dir/BENCH_$id.json" ]]; then
         cp "$reports_dir/BENCH_$id.json" "$repo_root/BENCH_$id.json"
         echo "canonical copy: BENCH_$id.json -> $repo_root"

@@ -65,8 +65,10 @@ void ThreadPool::worker_main(std::size_t lane) {
 void ThreadPool::drain() {
     t_in_parallel_region = true;
     const bool timed = m_item_seconds_ != nullptr;
+    const std::atomic<bool>* stop = job_stop_;
     const auto lane_t0 = timed ? MonoClock::now() : MonoClock::time_point{};
     for (;;) {
+        if (stop && stop->load(std::memory_order_relaxed)) break;
         const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_n_) break;
         const auto item_t0 =
@@ -78,6 +80,7 @@ void ThreadPool::drain() {
             if (!first_error_) first_error_ = std::current_exception();
         }
         if (timed) m_item_seconds_->record(ns_to_s(elapsed_ns(item_t0)));
+        if (stop) executed_.fetch_add(1, std::memory_order_relaxed);
     }
     if (timed) busy_ns_.fetch_add(elapsed_ns(lane_t0),
                                   std::memory_order_relaxed);
@@ -120,6 +123,7 @@ void ThreadPool::parallel_for(std::size_t n,
         active_workers_ = workers_.size();
         ++generation_;
         busy_ns_.store(0, std::memory_order_relaxed);
+        job_stop_ = nullptr;
     }
     cv_start_.notify_all();
     drain();  // the caller is lane 0
@@ -139,6 +143,43 @@ void ThreadPool::parallel_for(std::size_t n,
         }
     }
     if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::size_t ThreadPool::parallel_for_cancellable(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const std::atomic<bool>& stop) {
+    if (n == 0) return 0;
+    if (workers_.empty() || n == 1 || t_in_parallel_region) {
+        // Serial path mirrors parallel_for's: same per-index code, with
+        // the stop poll between items.
+        std::size_t ran = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            fn(i);
+            ++ran;
+        }
+        return ran;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        first_error_ = nullptr;
+        active_workers_ = workers_.size();
+        ++generation_;
+        busy_ns_.store(0, std::memory_order_relaxed);
+        job_stop_ = &stop;
+        executed_.store(0, std::memory_order_relaxed);
+    }
+    cv_start_.notify_all();
+    drain();  // the caller is lane 0
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return active_workers_ == 0; });
+    job_stop_ = nullptr;
+    const std::size_t ran = executed_.load(std::memory_order_relaxed);
+    if (first_error_) std::rethrow_exception(first_error_);
+    return ran;
 }
 
 void ThreadPool::attach_metrics(obs::MetricsRegistry* registry,

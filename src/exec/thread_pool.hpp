@@ -54,6 +54,17 @@ public:
     void parallel_for(std::size_t n,
                       const std::function<void(std::size_t)>& fn);
 
+    /// Cooperatively cancellable parallel_for for the serving layer's
+    /// deadline/cancel paths: once `stop` reads true, no NEW index is
+    /// handed out (items already started run to completion — fn is never
+    /// torn mid-item). Returns the number of items that actually ran.
+    /// Which indices ran under a mid-flight stop is scheduling-dependent
+    /// by nature; determinism is preserved in the only sense that matters
+    /// to the cache — every index either ran fn completely or not at all.
+    std::size_t parallel_for_cancellable(
+        std::size_t n, const std::function<void(std::size_t)>& fn,
+        const std::atomic<bool>& stop);
+
     /// Lane index of the current thread during a parallel_for: 0 for the
     /// calling thread (and any thread outside the pool), 1..size()-1 for
     /// workers. Stable for the lifetime of the pool; use it to index
@@ -93,6 +104,10 @@ private:
     std::size_t job_n_ = 0;
     std::atomic<std::size_t> next_{0};
     std::exception_ptr first_error_;
+    /// Non-null only during a cancellable job: the caller's stop flag,
+    /// polled before each index handout. executed_ tallies items that ran.
+    const std::atomic<bool>* job_stop_ = nullptr;
+    std::atomic<std::size_t> executed_{0};
 
     // Telemetry instruments (null when no registry is attached).
     obs::Counter* m_jobs_ = nullptr;

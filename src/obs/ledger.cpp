@@ -10,22 +10,11 @@
 
 namespace gcdr::obs {
 
-std::uint64_t fnv1a64(std::string_view text) {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
 std::string ledger_record_json(const LedgerKey& key,
                                const MetricsRegistry& registry,
                                const ReportInfo& info) {
     const BuildInfo build = BuildInfo::current();
-    char hash_hex[17];
-    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
-                  static_cast<unsigned long long>(fnv1a64(key.config)));
+    const std::string hash_hex = util::hash_hex(fnv1a64(key.config));
 
     JsonWriter w(JsonWriter::kCompact);
     w.begin_object();

@@ -27,15 +27,18 @@
 #include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "util/hash.hpp"
 
 namespace gcdr::obs {
 
 inline constexpr const char* kLedgerSchema = "gcdr.bench.ledger/v1";
 
-/// FNV-1a 64-bit — stable, dependency-free hash for the canonical config
-/// string, so perf_history can cheaply detect "same bench, different
-/// flags" without string-comparing whole configs.
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+/// FNV-1a 64-bit over the canonical config string. The implementation
+/// lives in util/hash.hpp (it is also the serving cache's key hash);
+/// this forwarder keeps the historical obs:: spelling working.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view text) {
+    return util::fnv1a64(text);
+}
 
 /// The identity of a run in the ledger. `config` is the bench's
 /// canonical flag string (whatever the bench considers

@@ -1,0 +1,206 @@
+#include "serve/cache.hpp"
+
+#include <fstream>
+
+#include "obs/json_parse.hpp"
+#include "obs/log.hpp"
+#include "util/hash.hpp"
+
+namespace gcdr::serve {
+
+std::uint64_t CacheKey::mix() const {
+    std::uint64_t h = util::kFnv1a64OffsetBasis;
+    h = util::fnv1a64_u64(config_hash, h);
+    h = util::fnv1a64_u64(seed, h);
+    h = util::fnv1a64_u64(model_hash, h);
+    return h;
+}
+
+ResultCache::ResultCache(std::string path, std::size_t max_entries)
+    : path_(std::move(path)), max_entries_(max_entries) {}
+
+std::string ResultCache::record_json(const CacheKey& key,
+                                     const std::string& payload) {
+    // Hand-assembled so the already-compact payload splices in verbatim
+    // (JsonWriter has no raw-value injection, and re-parsing the payload
+    // just to re-print it would be wasted work on the store hot path).
+    std::string line = "{\"schema\":\"";
+    line += kCacheSchema;
+    line += "\",\"config_hash\":\"";
+    line += util::hash_hex(key.config_hash);
+    line += "\",\"seed\":";
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(key.seed));
+    line += buf;
+    line += ",\"model_hash\":\"";
+    line += util::hash_hex(key.model_hash);
+    line += "\",\"payload\":";
+    line += payload;
+    line += '}';
+    return line;
+}
+
+bool ResultCache::load() {
+    if (path_.empty()) return true;
+    std::ifstream is(path_);
+    if (!is) return true;  // no segment yet: cold store
+    std::string line;
+    std::lock_guard<std::mutex> lk(mu_);
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.find_first_not_of(" \t") == std::string::npos) continue;
+        obs::JsonValue v;
+        if (!obs::json_parse(line, v, nullptr) || !v.is_object()) {
+            ++stats_.load_skipped;
+            continue;
+        }
+        const obs::JsonValue* schema = v.find("schema");
+        const obs::JsonValue* config_hash = v.find("config_hash");
+        const obs::JsonValue* seed = v.find("seed");
+        const obs::JsonValue* model_hash = v.find("model_hash");
+        const obs::JsonValue* payload = v.find("payload");
+        CacheKey key;
+        if (!schema || schema->string_or("") != kCacheSchema ||
+            !config_hash || !config_hash->is_string() ||
+            !util::parse_hash_hex(config_hash->text, key.config_hash) ||
+            !seed || !seed->is_number() || !model_hash ||
+            !model_hash->is_string() ||
+            !util::parse_hash_hex(model_hash->text, key.model_hash) ||
+            !payload || payload->is_null()) {
+            ++stats_.load_skipped;
+            continue;
+        }
+        key.seed = seed->uint_or(0);
+        // Re-extract the payload's exact source bytes: the stored value
+        // starts right after "payload": and runs to the record's closing
+        // brace. Re-serializing the parsed tree could reformat numbers,
+        // breaking the bit-identity contract, so slice the line instead.
+        const std::size_t pos = line.find("\"payload\":");
+        if (pos == std::string::npos) {
+            ++stats_.load_skipped;
+            continue;
+        }
+        const std::size_t begin = pos + 10;
+        const std::size_t end = line.rfind('}');
+        if (end == std::string::npos || end <= begin) {
+            ++stats_.load_skipped;
+            continue;
+        }
+        insert_locked(key, line.substr(begin, end - begin),
+                      /*persist=*/false);
+        ++stats_.loaded;
+    }
+    return true;
+}
+
+bool ResultCache::lookup(const CacheKey& key, std::string& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    touch_locked(it->second, key);
+    out = it->second.payload;
+    return true;
+}
+
+bool ResultCache::contains(const CacheKey& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.count(key) != 0;
+}
+
+void ResultCache::store(const CacheKey& key, const std::string& payload) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.stores;
+    insert_locked(key, payload, /*persist=*/true);
+}
+
+void ResultCache::touch_locked(Entry& e, const CacheKey& key) {
+    if (e.lru_it != lru_.begin()) {
+        lru_.erase(e.lru_it);
+        lru_.push_front(key);
+        e.lru_it = lru_.begin();
+    }
+}
+
+void ResultCache::insert_locked(const CacheKey& key, std::string payload,
+                                bool persist) {
+    if (persist && !path_.empty() && !append_record_locked(key, payload)) {
+        if (!warned_io_) {
+            warned_io_ = true;
+            obs::log_warn("serve.cache",
+                          "cannot append cache segment; store continues "
+                          "in-memory only",
+                          {{"path", path_}});
+        }
+    }
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second.payload = std::move(payload);
+        touch_locked(it->second, key);
+        return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(payload), lru_.begin()});
+    while (max_entries_ != 0 && map_.size() > max_entries_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+bool ResultCache::append_record_locked(const CacheKey& key,
+                                       const std::string& payload) {
+    std::ofstream os(path_, std::ios::app);
+    if (!os) return false;
+    os << record_json(key, payload) << '\n';
+    os.flush();
+    return os.good();
+}
+
+bool ResultCache::compact() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (path_.empty()) return true;
+    const std::string tmp = path_ + ".compact";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) return false;
+        // Oldest first, so a reload replays inserts in recency order and
+        // the rebuilt LRU matches the live one.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            os << record_json(*it, map_.at(*it).payload) << '\n';
+        }
+        os.flush();
+        if (!os.good()) return false;
+    }
+    return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+CacheStats ResultCache::stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    CacheStats s = stats_;
+    s.entries = map_.size();
+    return s;
+}
+
+void ResultCache::publish(obs::MetricsRegistry& reg) const {
+    const CacheStats s = stats();
+    auto set_counter = [&reg](const char* name, std::uint64_t v) {
+        obs::Counter& c = reg.counter(name);
+        const std::uint64_t cur = c.value();
+        if (v > cur) c.inc(v - cur);
+    };
+    set_counter("serve.cache.hits", s.hits);
+    set_counter("serve.cache.misses", s.misses);
+    set_counter("serve.cache.stores", s.stores);
+    set_counter("serve.cache.evictions", s.evictions);
+    set_counter("serve.cache.loaded", s.loaded);
+    set_counter("serve.cache.load_skipped", s.load_skipped);
+    reg.gauge("serve.cache.entries").set(static_cast<double>(s.entries));
+    reg.gauge("serve.cache.hit_ratio").set(s.hit_ratio());
+}
+
+}  // namespace gcdr::serve

@@ -1,0 +1,140 @@
+#include "serve/canonical.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/hash.hpp"
+
+namespace gcdr::serve {
+
+namespace {
+
+/// Largest double-exact integer magnitude: beyond 2^53 the double value
+/// can no longer distinguish neighboring integers, so integer tokens
+/// keep their exact digits instead of round-tripping through the double.
+constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+
+/// True when `token` is a pure JSON integer (optional minus, digits
+/// only — no fraction, no exponent).
+bool is_integer_token(std::string_view token) {
+    if (token.empty()) return false;
+    std::size_t i = token[0] == '-' ? 1 : 0;
+    if (i >= token.size()) return false;
+    for (; i < token.size(); ++i) {
+        if (token[i] < '0' || token[i] > '9') return false;
+    }
+    return true;
+}
+
+void append_canonical(const obs::JsonValue& v, std::string& out) {
+    using Type = obs::JsonValue::Type;
+    switch (v.type) {
+        case Type::kNull:
+            out += "null";
+            break;
+        case Type::kBool:
+            out += v.boolean ? "true" : "false";
+            break;
+        case Type::kNumber:
+            out += canonical_number(v.number, v.text);
+            break;
+        case Type::kString:
+            out += '"';
+            out += obs::JsonWriter::escape(v.text);
+            out += '"';
+            break;
+        case Type::kArray:
+            out += '[';
+            for (std::size_t i = 0; i < v.items.size(); ++i) {
+                if (i) out += ',';
+                append_canonical(v.items[i], out);
+            }
+            out += ']';
+            break;
+        case Type::kObject: {
+            // Sort member *indices* bytewise by key; on duplicates keep
+            // the first occurrence (the one find() resolves) so a
+            // reordered duplicate cannot change the canonical form.
+            std::vector<std::size_t> order(v.members.size());
+            for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+            std::stable_sort(order.begin(), order.end(),
+                             [&](std::size_t a, std::size_t b) {
+                                 return v.members[a].first <
+                                        v.members[b].first;
+                             });
+            out += '{';
+            bool first = true;
+            const std::string* prev_key = nullptr;
+            for (std::size_t idx : order) {
+                const auto& [key, val] = v.members[idx];
+                if (prev_key && *prev_key == key) continue;  // duplicate
+                prev_key = &key;
+                if (!first) out += ',';
+                first = false;
+                out += '"';
+                out += obs::JsonWriter::escape(key);
+                out += "\":";
+                append_canonical(val, out);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+std::string canonical_number(double value, std::string_view token) {
+    char buf[40];
+    // Integer tokens too large for a double to hold exactly keep their
+    // literal digits ("-0" still normalizes through the double path).
+    if (is_integer_token(token) && std::abs(value) >= kExactIntLimit) {
+        std::string t(token);
+        // Normalize any leading zeros a lenient producer may have left
+        // (RFC 8259 forbids them, but the cache key must not trust that).
+        const bool neg = t[0] == '-';
+        std::size_t i = neg ? 1 : 0;
+        while (i + 1 < t.size() && t[i] == '0') t.erase(i, 1);
+        return t;
+    }
+    if (std::isfinite(value) && std::nearbyint(value) == value &&
+        std::abs(value) < kExactIntLimit) {
+        // Integral double (covers 1.0, 1e0, and both zeros: -0.0 prints
+        // as "0" through the int64 cast).
+        std::snprintf(buf, sizeof buf, "%" PRId64,
+                      static_cast<std::int64_t>(value));
+        return buf;
+    }
+    if (!std::isfinite(value)) return "null";  // writer convention
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    if (std::strtod(buf, nullptr) != value) {
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+    }
+    return buf;
+}
+
+std::string canonical_json(const obs::JsonValue& v) {
+    std::string out;
+    append_canonical(v, out);
+    return out;
+}
+
+std::uint64_t canonical_hash(const obs::JsonValue& v) {
+    return util::fnv1a64(canonical_json(v));
+}
+
+bool canonicalize(std::string_view text, std::string& out,
+                  std::string* error) {
+    obs::JsonValue v;
+    if (!obs::json_parse(text, v, error)) return false;
+    out = canonical_json(v);
+    return true;
+}
+
+}  // namespace gcdr::serve

@@ -1,0 +1,94 @@
+#pragma once
+// Request/job protocol of the serving daemon (gcdr.serve.job/v1).
+//
+// A job is a JSON object:
+//
+//   {"type":"ber"|"eye"|"sweep"|"mc",
+//    "config":{...statmodel knobs, all optional...},
+//    "axes":[{"name":"sj_uipp","values":[0.1,0.2]}, ...],   // sweep only
+//    "ber_target":1e-12,                                     // eye only
+//    "mc":{"max_evals":200000,"target_rel_err":0.1},         // mc only
+//    "seed":1, "priority":0, "deadline_s":0, "stream":false}
+//
+// "config" accepts exactly the statmodel::ModelConfig surface: sj_freq_norm,
+// freq_offset, sampling_advance_ui, max_cid, cid_ref,
+// trigger_mismatch_uirms, grid_dx, pdf_prune_floor, run_model
+// ("weighted"|"worst_case"), and the jitter budget dj_uipp / rj_uirms /
+// sj_uipp / ckj_uirms. Unknown keys are a hard parse error — a typo that
+// silently fell back to a default would poison the cache under a wrong
+// key.
+//
+// Content addressing: the cache key hashes the RESOLVED spec — every
+// field explicitly re-serialized from the parsed struct in sorted key
+// order with canonical number formatting (serve/canonical.hpp) — so
+// requests that differ only in key order, float spelling, or omitted
+// defaults address the same cache entry. seed / priority / deadline_s /
+// stream are execution envelope, not workload, and stay out of the hash
+// (seed is a separate key component).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "obs/json_parse.hpp"
+#include "statmodel/gated_osc_model.hpp"
+
+namespace gcdr::serve {
+
+/// Version stamp of the numerical model backing cached results. Part of
+/// every cache key: bump it whenever statmodel/mc produce different
+/// numbers for the same config, and stale cache segments stop matching
+/// instead of serving wrong answers.
+inline constexpr const char* kModelVersion = "gcdr-statmodel/1";
+
+enum class JobType { kBer, kEye, kSweep, kMc };
+
+[[nodiscard]] const char* job_type_name(JobType t);
+
+struct McParams {
+    std::uint64_t max_evals = 200'000;
+    double target_rel_err = 0.1;
+};
+
+struct JobSpec {
+    JobType type = JobType::kBer;
+    statmodel::ModelConfig cfg;
+    std::vector<exec::SweepAxis> axes;  ///< sweep only
+    double ber_target = 1e-12;          ///< eye only
+    McParams mc;                        ///< mc only
+    // Execution envelope (not part of the config hash).
+    std::uint64_t seed = 1;
+    int priority = 0;
+    double deadline_s = 0.0;  ///< 0 = no deadline
+    bool stream = false;      ///< sweep: chunked per-point streaming
+};
+
+/// Set one ModelConfig field by protocol name (doubles only — the sweep
+/// axes address the same namespace). Returns false for unknown names.
+[[nodiscard]] bool apply_config_field(statmodel::ModelConfig& cfg,
+                                      std::string_view name, double value);
+
+/// Parse a gcdr.serve.job/v1 object. On failure returns false and fills
+/// `error` with a one-line reason (unknown key, bad type, empty axis...).
+[[nodiscard]] bool parse_job(const obs::JsonValue& v, JobSpec& spec,
+                             std::string& error);
+
+/// Canonical resolved serialization of the workload-defining part of a
+/// spec (type + full config + axes/ber_target/mc) — the string whose
+/// fnv1a64 is the cache key's config_hash. Already in canonical form:
+/// canonicalizing its parse is the identity (tested).
+[[nodiscard]] std::string resolved_spec_json(const JobSpec& spec);
+
+/// fnv1a64(resolved_spec_json(spec)).
+[[nodiscard]] std::uint64_t spec_config_hash(const JobSpec& spec);
+
+/// The spec of one sweep grid point: the base spec's config with the
+/// point's axis values applied, as a BER job (axes cleared). Sweep
+/// points therefore share cache entries with standalone BER queries for
+/// the same resolved config.
+[[nodiscard]] JobSpec sweep_point_spec(const JobSpec& sweep,
+                                       const exec::SweepPoint& p);
+
+}  // namespace gcdr::serve

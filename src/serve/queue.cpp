@@ -1,0 +1,161 @@
+#include "serve/queue.hpp"
+
+#include <limits>
+
+namespace gcdr::serve {
+
+const char* job_status_name(JobStatus s) {
+    switch (s) {
+        case JobStatus::kQueued:
+            return "queued";
+        case JobStatus::kRunning:
+            return "running";
+        case JobStatus::kDone:
+            return "done";
+        case JobStatus::kPartial:
+            return "partial";
+        case JobStatus::kCancelled:
+            return "cancelled";
+        case JobStatus::kExpired:
+            return "expired";
+        case JobStatus::kFailed:
+            return "failed";
+    }
+    return "?";
+}
+
+bool job_status_terminal(JobStatus s) {
+    return s != JobStatus::kQueued && s != JobStatus::kRunning;
+}
+
+double JobState::remaining_s() const {
+    if (spec_.deadline_s <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - enqueued_).count();
+    return spec_.deadline_s - elapsed;
+}
+
+double JobState::queue_wait_s() const {
+    std::lock_guard<std::mutex> lk(m_);
+    if (started_ == Clock::time_point{}) return 0.0;
+    return std::chrono::duration<double>(started_ - enqueued_).count();
+}
+
+void JobState::mark_running() {
+    std::lock_guard<std::mutex> lk(m_);
+    status_ = JobStatus::kRunning;
+    started_ = Clock::now();
+}
+
+void JobState::finish(JobStatus status, std::string result) {
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (job_status_terminal(status_)) return;  // first terminal wins
+        status_ = status;
+        result_ = std::move(result);
+    }
+    cv_.notify_all();
+}
+
+JobStatus JobState::wait() const {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return job_status_terminal(status_); });
+    return status_;
+}
+
+JobStatus JobState::status() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return status_;
+}
+
+std::string JobState::result() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return result_;
+}
+
+std::shared_ptr<JobState> JobQueue::submit(JobSpec spec) {
+    return submit_with_sink(std::move(spec), nullptr);
+}
+
+std::shared_ptr<JobState> JobQueue::submit_with_sink(
+    JobSpec spec, std::function<void(const std::string&)> sink) {
+    std::shared_ptr<JobState> job;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopped_) return nullptr;
+        job = std::make_shared<JobState>(next_id_++, std::move(spec));
+        // The sink must be attached before the job becomes visible to a
+        // worker — once heap_.push runs under this lock, pop() may hand
+        // it out the moment the lock drops.
+        job->stream_sink = std::move(sink);
+        heap_.push(QueueItem{job->spec().priority, job->id(), job});
+        by_id_[job->id()] = job;
+    }
+    cv_.notify_one();
+    return job;
+}
+
+std::shared_ptr<JobState> JobQueue::pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [&] { return stopped_ || !heap_.empty(); });
+        if (stopped_) return nullptr;
+        auto job = heap_.top().state;
+        heap_.pop();
+        if (job->cancel_requested()) {
+            retire_locked(job, JobStatus::kCancelled);
+            continue;
+        }
+        if (job->deadline_passed()) {
+            retire_locked(job, JobStatus::kExpired);
+            continue;
+        }
+        job->mark_running();
+        return job;
+    }
+}
+
+void JobQueue::retire_locked(const std::shared_ptr<JobState>& job,
+                             JobStatus status) {
+    job->finish(status,
+                std::string("{\"schema\":\"gcdr.serve.result/v1\","
+                            "\"job_id\":") +
+                    std::to_string(job->id()) + ",\"status\":\"" +
+                    job_status_name(status) + "\"}");
+    retired_.push_back(job->id());
+    while (retired_.size() > retire_capacity_) {
+        by_id_.erase(retired_.front());
+        retired_.pop_front();
+    }
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    it->second->request_cancel();
+    return true;
+}
+
+std::shared_ptr<JobState> JobQueue::find(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::size_t JobQueue::depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return heap_.size();
+}
+
+void JobQueue::stop() {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopped_ = true;
+    }
+    cv_.notify_all();
+}
+
+}  // namespace gcdr::serve

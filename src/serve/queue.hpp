@@ -1,0 +1,165 @@
+#pragma once
+// Priority job queue between the daemon's HTTP front end and its
+// executor workers.
+//
+// Ordering: higher `priority` first; ties in FIFO submission order (the
+// id is the tiebreak, so two equal-priority submissions never reorder).
+// Cancellation is cooperative end to end: a queued job cancelled before
+// pop never reaches a worker (pop retires it as kCancelled); a running
+// job sees its `cancel` flag between sweep points / compute slices and
+// returns what it has (kPartial for sweeps with completed points — which
+// are already in the cache, so a resubmission resumes, not recomputes).
+// Deadlines are measured from submission: a job whose deadline lapses
+// while queued is retired as kExpired at pop time; the executor checks
+// remaining_s() between slices while running.
+//
+// Lifecycle: submit() -> (pop by a worker) -> finish(). Finished states
+// stay queryable (GET /v1/jobs/<id>) in a bounded retire ring; waiters
+// block on the per-job condition variable.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace gcdr::serve {
+
+enum class JobStatus {
+    kQueued,
+    kRunning,
+    kDone,
+    kPartial,    ///< sweep stopped early (cancel/deadline); points cached
+    kCancelled,
+    kExpired,
+    kFailed,
+};
+
+[[nodiscard]] const char* job_status_name(JobStatus s);
+[[nodiscard]] bool job_status_terminal(JobStatus s);
+
+class JobState {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    JobState(std::uint64_t id, JobSpec spec)
+        : id_(id), spec_(std::move(spec)), enqueued_(Clock::now()) {}
+
+    [[nodiscard]] std::uint64_t id() const { return id_; }
+    [[nodiscard]] const JobSpec& spec() const { return spec_; }
+
+    /// Cooperative cancel flag, checked by the executor between slices.
+    void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+    [[nodiscard]] bool cancel_requested() const {
+        return cancel_.load(std::memory_order_relaxed);
+    }
+
+    /// Seconds until the deadline; +inf when the job has none.
+    [[nodiscard]] double remaining_s() const;
+    [[nodiscard]] bool deadline_passed() const { return remaining_s() <= 0; }
+    /// Seconds the job sat in the queue before running (0 until popped).
+    [[nodiscard]] double queue_wait_s() const;
+
+    /// Transition to kRunning (worker, at pop).
+    void mark_running();
+    /// Terminal transition; wakes every waiter. `result` is the full
+    /// response envelope JSON.
+    void finish(JobStatus status, std::string result);
+    /// Block until terminal; returns the terminal status.
+    JobStatus wait() const;
+    [[nodiscard]] JobStatus status() const;
+    /// Terminal result envelope (empty until finished).
+    [[nodiscard]] std::string result() const;
+
+    /// Per-point streaming sink for chunked sweep responses: invoked by
+    /// the executor with one compact JSON line per completed point. Set
+    /// before submit; never changed afterwards.
+    std::function<void(const std::string&)> stream_sink;
+
+private:
+    friend class JobQueue;
+
+    const std::uint64_t id_;
+    const JobSpec spec_;
+    const Clock::time_point enqueued_;
+    Clock::time_point started_{};
+    std::atomic<bool> cancel_{false};
+
+    mutable std::mutex m_;
+    mutable std::condition_variable cv_;
+    JobStatus status_ = JobStatus::kQueued;
+    std::string result_;
+};
+
+class JobQueue {
+public:
+    /// `retire_capacity`: how many finished jobs stay queryable by id.
+    explicit JobQueue(std::size_t retire_capacity = 1024)
+        : retire_capacity_(retire_capacity) {}
+
+    /// Enqueue; returns the shared state (also retrievable via find()).
+    std::shared_ptr<JobState> submit(JobSpec spec);
+
+    /// Enqueue with a per-point streaming sink, attached before the job
+    /// becomes visible to workers (a plain submit-then-assign would race
+    /// a fast pop()).
+    std::shared_ptr<JobState> submit_with_sink(
+        JobSpec spec, std::function<void(const std::string&)> sink);
+
+    /// Block until a runnable job is available (skipping cancelled /
+    /// queue-expired ones, which are retired with the matching terminal
+    /// status) or stop() is called — then returns nullptr. The returned
+    /// job is already marked kRunning.
+    std::shared_ptr<JobState> pop();
+
+    /// Request cancellation. Returns false for unknown ids; finished
+    /// jobs are left untouched (their status is already terminal).
+    bool cancel(std::uint64_t id);
+
+    [[nodiscard]] std::shared_ptr<JobState> find(std::uint64_t id) const;
+    [[nodiscard]] std::size_t depth() const;
+    [[nodiscard]] std::uint64_t submitted() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return next_id_ - 1;
+    }
+
+    /// Wake every blocked pop() with nullptr; subsequent submits are
+    /// rejected (nullptr).
+    void stop();
+
+private:
+    struct QueueItem {
+        int priority;
+        std::uint64_t id;
+        std::shared_ptr<JobState> state;
+        bool operator<(const QueueItem& o) const {
+            // std::priority_queue is a max-heap: higher priority wins,
+            // then LOWER id (earlier submission).
+            if (priority != o.priority) return priority < o.priority;
+            return id > o.id;
+        }
+    };
+
+    void retire_locked(const std::shared_ptr<JobState>& job,
+                       JobStatus status);
+
+    std::size_t retire_capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopped_ = false;
+    std::uint64_t next_id_ = 1;
+    std::priority_queue<QueueItem> heap_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<JobState>> by_id_;
+    std::deque<std::uint64_t> retired_;  ///< finished ids, oldest first
+};
+
+}  // namespace gcdr::serve

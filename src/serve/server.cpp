@@ -1,0 +1,313 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
+
+namespace gcdr::serve {
+
+namespace {
+
+std::string error_body(std::string_view message) {
+    obs::JsonWriter w(obs::JsonWriter::kCompact);
+    w.begin_object();
+    w.key("error").value(message);
+    w.end_object();
+    return w.str();
+}
+
+/// Parse "/v1/jobs/<id>[/cancel]" id segment. Returns false on a
+/// non-numeric id.
+bool parse_job_id(std::string_view seg, std::uint64_t& id) {
+    if (seg.empty()) return false;
+    id = 0;
+    for (const char c : seg) {
+        if (c < '0' || c > '9') return false;
+        id = id * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServerOptions opts)
+    : opts_(std::move(opts)),
+      cache_(std::make_unique<ResultCache>(opts_.cache_path,
+                                           opts_.cache_max_entries)),
+      executor_(*cache_, &metrics_) {}
+
+ServeServer::~ServeServer() { stop(); }
+
+bool ServeServer::start() {
+    cache_->load();
+    started_ = std::chrono::steady_clock::now();
+    if (!http_.start(opts_.port, [this](const HttpRequest& req,
+                                        HttpExchange& ex) {
+            handle(req, ex);
+        })) {
+        return false;
+    }
+    const std::size_t n_workers = std::max<std::size_t>(1, opts_.workers);
+    pools_.reserve(n_workers);
+    workers_.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+        pools_.emplace_back(
+            std::make_unique<exec::ThreadPool>(opts_.job_threads));
+        workers_.emplace_back([this, i] { worker_main(i); });
+    }
+    obs::log_info("serve", "listening on 127.0.0.1:" +
+                               std::to_string(http_.port()));
+    return true;
+}
+
+void ServeServer::stop() {
+    queue_.stop();
+    for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+    workers_.clear();
+    http_.stop();
+    pools_.clear();
+}
+
+void ServeServer::worker_main(std::size_t worker_index) {
+    exec::ThreadPool& pool = *pools_[worker_index];
+    for (;;) {
+        std::shared_ptr<JobState> job = queue_.pop();
+        if (!job) return;  // stop()
+        ExecOutcome out;
+        try {
+            out = executor_.execute(*job, pool);
+        } catch (const std::exception& e) {
+            out.status = JobStatus::kFailed;
+            out.envelope = error_body(e.what());
+        }
+        job->finish(out.status, out.envelope);
+        const char* counter = nullptr;
+        switch (out.status) {
+            case JobStatus::kDone:
+            case JobStatus::kPartial:
+                counter = "serve.jobs_completed";
+                break;
+            case JobStatus::kCancelled:
+                counter = "serve.jobs_cancelled";
+                break;
+            case JobStatus::kExpired:
+                counter = "serve.jobs_expired";
+                break;
+            default:
+                counter = "serve.jobs_failed";
+                break;
+        }
+        metrics_.counter(counter).inc();
+        metrics_.gauge("serve.queue_depth")
+            .set(static_cast<double>(queue_.depth()));
+    }
+}
+
+void ServeServer::handle(const HttpRequest& req, HttpExchange& ex) {
+    obs::ScopedTimer t(&metrics_, "serve.request_seconds");
+    metrics_.counter("serve.requests").inc();
+    const std::string_view target = req.target;
+    if (target == "/v1/run") {
+        if (req.method != "POST") {
+            ex.respond(405, error_body("POST required"));
+            return;
+        }
+        handle_run(req, ex);
+    } else if (target == "/v1/jobs") {
+        if (req.method != "POST") {
+            ex.respond(405, error_body("POST required"));
+            return;
+        }
+        handle_jobs(req, ex);
+    } else if (target.rfind("/v1/jobs/", 0) == 0) {
+        handle_job_by_id(req, ex, target.substr(9));
+    } else if (target == "/v1/healthz") {
+        handle_healthz(ex);
+    } else if (target == "/v1/stats") {
+        handle_stats(ex);
+    } else if (target == "/metrics") {
+        cache_->publish(metrics_);
+        metrics_.gauge("serve.queue_depth")
+            .set(static_cast<double>(queue_.depth()));
+        ex.respond(200, obs::to_prometheus(metrics_),
+                   "text/plain; version=0.0.4");
+    } else if (target == "/v1/shutdown") {
+        if (req.method != "POST") {
+            ex.respond(405, error_body("POST required"));
+            return;
+        }
+        shutdown_.store(true, std::memory_order_release);
+        ex.respond(200, "{\"status\":\"shutting down\"}");
+    } else {
+        ex.respond(404, error_body("unknown route"));
+    }
+}
+
+void ServeServer::handle_run(const HttpRequest& req, HttpExchange& ex) {
+    obs::JsonValue v;
+    std::string err;
+    JobSpec spec;
+    if (!obs::json_parse(req.body, v, &err) || !parse_job(v, spec, err)) {
+        ex.respond(400, error_body(err));
+        return;
+    }
+    const bool stream = spec.stream && spec.type == JobType::kSweep;
+    std::shared_ptr<JobState> job;
+    if (stream) {
+        // Chunked mode: one chunk per completed point as it lands, the
+        // full envelope as the final chunk. The sink runs on the worker
+        // thread but only after begin_chunked here (submit publishes the
+        // job after the sink is attached, and this connection thread
+        // does nothing but wait until the job finishes), so the
+        // exchange is never written concurrently.
+        ex.begin_chunked(200);
+        job = queue_.submit_with_sink(
+            std::move(spec), [&ex](const std::string& line) {
+                ex.send_chunk(line + "\n");
+            });
+    } else {
+        job = queue_.submit(std::move(spec));
+    }
+    if (!job) {
+        const std::string body = error_body("server is shutting down");
+        if (stream) {
+            ex.send_chunk(body);
+            ex.end_chunked();
+        } else {
+            ex.respond(503, body);
+        }
+        return;
+    }
+    metrics_.counter("serve.jobs_submitted").inc();
+    job->wait();
+    if (stream) {
+        ex.send_chunk(job->result() + "\n");
+        ex.end_chunked();
+    } else {
+        ex.respond(200, job->result());
+    }
+}
+
+void ServeServer::handle_jobs(const HttpRequest& req, HttpExchange& ex) {
+    obs::JsonValue v;
+    std::string err;
+    JobSpec spec;
+    if (!obs::json_parse(req.body, v, &err) || !parse_job(v, spec, err)) {
+        ex.respond(400, error_body(err));
+        return;
+    }
+    std::shared_ptr<JobState> job = queue_.submit(std::move(spec));
+    if (!job) {
+        ex.respond(503, error_body("server is shutting down"));
+        return;
+    }
+    metrics_.counter("serve.jobs_submitted").inc();
+    obs::JsonWriter w(obs::JsonWriter::kCompact);
+    w.begin_object();
+    w.key("job_id").value(job->id());
+    w.key("status").value(job_status_name(job->status()));
+    w.end_object();
+    ex.respond(202, w.str());
+}
+
+void ServeServer::handle_job_by_id(const HttpRequest& req, HttpExchange& ex,
+                                   std::string_view rest) {
+    bool is_cancel = false;
+    if (const std::size_t slash = rest.find('/');
+        slash != std::string_view::npos) {
+        if (rest.substr(slash + 1) != "cancel") {
+            ex.respond(404, error_body("unknown route"));
+            return;
+        }
+        is_cancel = true;
+        rest = rest.substr(0, slash);
+    }
+    std::uint64_t id = 0;
+    if (!parse_job_id(rest, id)) {
+        ex.respond(400, error_body("bad job id"));
+        return;
+    }
+    if (req.method == "DELETE") is_cancel = true;
+    if (is_cancel) {
+        if (req.method != "POST" && req.method != "DELETE") {
+            ex.respond(405, error_body("POST or DELETE required"));
+            return;
+        }
+        if (!queue_.cancel(id)) {
+            ex.respond(404, error_body("unknown job id"));
+            return;
+        }
+        obs::JsonWriter w(obs::JsonWriter::kCompact);
+        w.begin_object();
+        w.key("job_id").value(id);
+        w.key("cancel_requested").value(true);
+        w.end_object();
+        ex.respond(200, w.str());
+        return;
+    }
+    if (req.method != "GET") {
+        ex.respond(405, error_body("GET required"));
+        return;
+    }
+    std::shared_ptr<JobState> job = queue_.find(id);
+    if (!job) {
+        ex.respond(404, error_body("unknown job id"));
+        return;
+    }
+    const JobStatus st = job->status();
+    obs::JsonWriter w(obs::JsonWriter::kCompact);
+    w.begin_object();
+    w.key("job_id").value(id);
+    w.key("status").value(job_status_name(st));
+    w.end_object();
+    std::string body = w.str();
+    if (job_status_terminal(st)) {
+        const std::string result = job->result();
+        if (!result.empty()) {
+            body.insert(body.size() - 1, ",\"result\":" + result);
+        }
+    }
+    ex.respond(200, body);
+}
+
+void ServeServer::handle_healthz(HttpExchange& ex) {
+    obs::JsonWriter w(obs::JsonWriter::kCompact);
+    w.begin_object();
+    w.key("model_version").value(kModelVersion);
+    w.key("queue_depth").value(static_cast<std::uint64_t>(queue_.depth()));
+    w.key("status").value("ok");
+    w.end_object();
+    ex.respond(200, w.str());
+}
+
+void ServeServer::handle_stats(HttpExchange& ex) {
+    const CacheStats cs = cache_->stats();
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    obs::JsonWriter w(obs::JsonWriter::kCompact);
+    w.begin_object();
+    w.key("cache").begin_object();
+    w.key("entries").value(static_cast<std::uint64_t>(cs.entries));
+    w.key("evictions").value(cs.evictions);
+    w.key("hit_ratio").value(cs.hit_ratio());
+    w.key("hits").value(cs.hits);
+    w.key("loaded").value(cs.loaded);
+    w.key("misses").value(cs.misses);
+    w.key("stores").value(cs.stores);
+    w.end_object();
+    w.key("jobs_submitted").value(queue_.submitted());
+    w.key("queue_depth").value(static_cast<std::uint64_t>(queue_.depth()));
+    w.key("uptime_s").value(uptime);
+    w.key("workers").value(static_cast<std::uint64_t>(workers_.size()));
+    w.end_object();
+    ex.respond(200, w.str());
+}
+
+}  // namespace gcdr::serve

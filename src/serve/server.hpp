@@ -1,0 +1,91 @@
+#pragma once
+// The simulation daemon: HTTP front end + priority job queue + N worker
+// threads, each owning its own exec::ThreadPool, all sharing one
+// content-addressed ResultCache.
+//
+// Routes (JSON in/out, gcdr.serve.result/v1 envelopes):
+//   POST /v1/run              submit and wait; chunked stream when the
+//                             spec sets "stream":true (sweeps emit one
+//                             chunk per completed point, then the full
+//                             envelope as the final chunk)
+//   POST /v1/jobs             submit, return {"job_id":n} immediately
+//   GET  /v1/jobs/<id>        status; includes the envelope once terminal
+//   POST /v1/jobs/<id>/cancel cooperative cancel (DELETE /v1/jobs/<id>
+//                             is an alias)
+//   GET  /v1/healthz          {"status":"ok",...}
+//   GET  /v1/stats            queue depth, cache stats, uptime
+//   GET  /metrics             Prometheus text exposition
+//   POST /v1/shutdown         graceful stop (the serve_main loop exits)
+//
+// Worker model: `workers` threads block on JobQueue::pop(); each runs
+// jobs on a private ThreadPool of `job_threads` lanes so one long sweep
+// cannot starve the queue, and results stay bit-identical regardless of
+// lane count (see exec::SweepRunner's determinism contract).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/executor.hpp"
+#include "serve/http.hpp"
+#include "serve/queue.hpp"
+
+namespace gcdr::serve {
+
+struct ServerOptions {
+    std::uint16_t port = 0;        ///< 0 = ephemeral
+    std::string cache_path;        ///< empty = in-memory only
+    std::size_t cache_max_entries = 0;  ///< 0 = unbounded
+    std::size_t workers = 2;       ///< queue consumer threads
+    std::size_t job_threads = 0;   ///< pool lanes per worker (0 = auto)
+};
+
+class ServeServer {
+public:
+    explicit ServeServer(ServerOptions opts);
+    ~ServeServer();
+    ServeServer(const ServeServer&) = delete;
+    ServeServer& operator=(const ServeServer&) = delete;
+
+    /// Bind + start workers. False when the port can't be bound.
+    bool start();
+    void stop();
+
+    [[nodiscard]] std::uint16_t port() const { return http_.port(); }
+    [[nodiscard]] bool running() const { return http_.running(); }
+    /// Set by POST /v1/shutdown; the main loop polls it.
+    [[nodiscard]] bool shutdown_requested() const {
+        return shutdown_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] ResultCache& cache() { return *cache_; }
+    [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+private:
+    void handle(const HttpRequest& req, HttpExchange& ex);
+    void handle_run(const HttpRequest& req, HttpExchange& ex);
+    void handle_jobs(const HttpRequest& req, HttpExchange& ex);
+    void handle_job_by_id(const HttpRequest& req, HttpExchange& ex,
+                          std::string_view rest);
+    void handle_healthz(HttpExchange& ex);
+    void handle_stats(HttpExchange& ex);
+    void worker_main(std::size_t worker_index);
+
+    ServerOptions opts_;
+    obs::MetricsRegistry metrics_;
+    std::unique_ptr<ResultCache> cache_;
+    JobQueue queue_;
+    JobExecutor executor_;
+    HttpServer http_;
+    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<exec::ThreadPool>> pools_;
+    std::atomic<bool> shutdown_{false};
+    std::chrono::steady_clock::time_point started_{};
+};
+
+}  // namespace gcdr::serve

@@ -298,5 +298,77 @@ TEST(MultiChannelCdr, ParallelRunBitIdenticalToSerial) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// ThreadPool::parallel_for_cancellable
+
+TEST(ThreadPoolCancellable, RunsEverythingWhenNeverStopped) {
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool pool(lanes);
+        std::atomic<bool> stop{false};
+        std::vector<std::atomic<int>> hit(100);
+        const std::size_t ran = pool.parallel_for_cancellable(
+            hit.size(), [&](std::size_t i) { hit[i].fetch_add(1); }, stop);
+        EXPECT_EQ(ran, hit.size()) << lanes << " lanes";
+        for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPoolCancellable, StopFlagHaltsHandoutMidRun) {
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool pool(lanes);
+        std::atomic<bool> stop{false};
+        std::atomic<std::size_t> executed{0};
+        const std::size_t n = 1000;
+        const std::size_t ran = pool.parallel_for_cancellable(
+            n,
+            [&](std::size_t) {
+                if (executed.fetch_add(1) + 1 >= 10) stop.store(true);
+            },
+            stop);
+        // At most one extra item per lane can be in flight when the flag
+        // latches; the rest of the index space is never handed out.
+        EXPECT_GE(ran, std::size_t{10}) << lanes << " lanes";
+        EXPECT_LE(ran, 10 + lanes) << lanes << " lanes";
+        EXPECT_EQ(ran, executed.load()) << lanes << " lanes";
+    }
+}
+
+TEST(ThreadPoolCancellable, PreSetStopRunsNothing) {
+    ThreadPool pool(4);
+    std::atomic<bool> stop{true};
+    std::atomic<int> calls{0};
+    const std::size_t ran = pool.parallel_for_cancellable(
+        50, [&](std::size_t) { calls.fetch_add(1); }, stop);
+    EXPECT_EQ(ran, 0u);
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolCancellable, ExceptionsPropagateLikeParallelFor) {
+    ThreadPool pool(4);
+    std::atomic<bool> stop{false};
+    EXPECT_THROW(pool.parallel_for_cancellable(
+                     8,
+                     [&](std::size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                     },
+                     stop),
+                 std::runtime_error);
+    // The pool stays usable afterwards.
+    std::atomic<int> ok{0};
+    pool.parallel_for(4, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPoolCancellable, PlainParallelForUnaffectedAfterCancelledJob) {
+    // A cancelled job must not leave a stale stop pointer behind for the
+    // next plain parallel_for.
+    ThreadPool pool(4);
+    std::atomic<bool> stop{true};
+    (void)pool.parallel_for_cancellable(16, [](std::size_t) {}, stop);
+    std::atomic<int> calls{0};
+    pool.parallel_for(16, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 16);
+}
+
 }  // namespace
 }  // namespace gcdr::exec

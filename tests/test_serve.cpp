@@ -1,0 +1,690 @@
+// Tests for the serving stack: shared FNV hashing (util/hash.hpp),
+// canonical JSON + config hashing (serve/canonical.hpp, protocol.hpp),
+// the content-addressed result cache (serve/cache.hpp), the priority job
+// queue (serve/queue.hpp), cache-aware execution (serve/executor.hpp),
+// and the HTTP daemon end to end (serve/server.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/ledger.hpp"
+#include "serve/cache.hpp"
+#include "serve/canonical.hpp"
+#include "serve/executor.hpp"
+#include "serve/http.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "util/hash.hpp"
+
+namespace gcdr::serve {
+namespace {
+
+// --- util/hash -----------------------------------------------------------
+
+TEST(UtilHash, Fnv1a64KnownVectors) {
+    // Official FNV-1a test vectors; these constants are part of the
+    // on-disk format of both the run ledger and the cache segments.
+    EXPECT_EQ(util::fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(util::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(util::fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(UtilHash, StreamingMatchesOneShot) {
+    const std::uint64_t whole = util::fnv1a64("hello world");
+    const std::uint64_t split =
+        util::fnv1a64(" world", util::fnv1a64("hello"));
+    EXPECT_EQ(whole, split);
+}
+
+TEST(UtilHash, U64ContinuationIsOrderSensitive) {
+    std::uint64_t a = util::kFnv1a64OffsetBasis;
+    a = util::fnv1a64_u64(1, a);
+    a = util::fnv1a64_u64(2, a);
+    std::uint64_t b = util::kFnv1a64OffsetBasis;
+    b = util::fnv1a64_u64(2, b);
+    b = util::fnv1a64_u64(1, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(UtilHash, HexRoundTrip) {
+    const std::uint64_t h = util::fnv1a64("roundtrip");
+    const std::string hex = util::hash_hex(h);
+    EXPECT_EQ(hex.size(), 16u);
+    std::uint64_t back = 0;
+    ASSERT_TRUE(util::parse_hash_hex(hex, back));
+    EXPECT_EQ(back, h);
+    EXPECT_FALSE(util::parse_hash_hex("123", back));
+    EXPECT_FALSE(util::parse_hash_hex("zzzzzzzzzzzzzzzz", back));
+    EXPECT_FALSE(util::parse_hash_hex("0123456789ABCDEF", back));  // upper
+}
+
+TEST(UtilHash, NoCollisionAcrossConfigCorpus) {
+    // A small corpus of realistic near-identical config strings must not
+    // collide (a collision here would silently cross-serve results).
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 200; ++i) {
+        corpus.push_back("{\"sj_uipp\":0." + std::to_string(1000 + i) +
+                         "}");
+        corpus.push_back("{\"rj_uirms\":0." + std::to_string(1000 + i) +
+                         "}");
+    }
+    std::vector<std::uint64_t> hashes;
+    for (const auto& s : corpus) hashes.push_back(util::fnv1a64(s));
+    std::sort(hashes.begin(), hashes.end());
+    EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()),
+              hashes.end());
+}
+
+TEST(ObsLedgerForwarder, MatchesUtilHash) {
+    EXPECT_EQ(obs::fnv1a64("--deep --channels 4"),
+              util::fnv1a64("--deep --channels 4"));
+}
+
+// --- canonical JSON ------------------------------------------------------
+
+std::string canon(std::string_view text) {
+    std::string out;
+    std::string err;
+    EXPECT_TRUE(canonicalize(text, out, &err)) << err;
+    return out;
+}
+
+TEST(Canonical, SortsKeysAndStripsWhitespace) {
+    EXPECT_EQ(canon(R"({ "b" : 1 , "a" : 2 })"), R"({"a":2,"b":1})");
+    EXPECT_EQ(canon(R"({"b":1,"a":2})"), canon(R"({"a":2,"b":1})"));
+}
+
+TEST(Canonical, KeyReorderHashesIdentically) {
+    obs::JsonValue a, b;
+    ASSERT_TRUE(obs::json_parse(R"({"x":{"q":1,"p":2},"y":[3]})", a));
+    ASSERT_TRUE(obs::json_parse(R"({"y":[3],"x":{"p":2,"q":1}})", b));
+    EXPECT_EQ(canonical_hash(a), canonical_hash(b));
+}
+
+TEST(Canonical, NumberSpellingsCollapse) {
+    EXPECT_EQ(canon("1"), "1");
+    EXPECT_EQ(canon("1.0"), "1");
+    EXPECT_EQ(canon("1e0"), "1");
+    EXPECT_EQ(canon("10e-1"), "1");
+    EXPECT_EQ(canon("-0.0"), "0");
+    EXPECT_EQ(canon("-0"), "0");
+    EXPECT_EQ(canon("0.5"), canon("5e-1"));
+}
+
+TEST(Canonical, ExactUint64SurvivesBeyondDoubleRange) {
+    // 2^63 + 1 is not representable as a double; the integer token's
+    // digits must pass through untouched.
+    EXPECT_EQ(canon("9223372036854775809"), "9223372036854775809");
+    EXPECT_EQ(canon("18446744073709551615"), "18446744073709551615");
+}
+
+TEST(Canonical, DuplicateKeysKeepFirst) {
+    // Matches obs::JsonValue::find (first match wins).
+    EXPECT_EQ(canon(R"({"a":1,"a":2})"), R"({"a":1})");
+}
+
+TEST(Canonical, IdempotentThroughReparse) {
+    const char* docs[] = {
+        R"({"b":[1,2.5,{"c":-0.0}],"a":"s\n"})",
+        R"({"mc":{"max_evals":200000},"seed":9223372036854775809})",
+        "[1e308,2e-308,0.1]",
+    };
+    for (const char* doc : docs) {
+        const std::string once = canon(doc);
+        EXPECT_EQ(canon(once), once) << doc;
+    }
+}
+
+// --- protocol: resolved spec + cache key ---------------------------------
+
+JobSpec parse_ok(const std::string& body) {
+    obs::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(obs::json_parse(body, v, &err)) << err;
+    JobSpec spec;
+    EXPECT_TRUE(parse_job(v, spec, err)) << err;
+    return spec;
+}
+
+TEST(Protocol, OmittedDefaultsHashLikeExplicitDefaults) {
+    const JobSpec a = parse_ok(R"({"type":"ber"})");
+    const JobSpec b = parse_ok(
+        R"({"type":"ber","config":{"dj_uipp":0.4,"rj_uirms":0.021}})");
+    EXPECT_EQ(spec_config_hash(a), spec_config_hash(b));
+}
+
+TEST(Protocol, KeyOrderAndFloatSpellingInvariant) {
+    const JobSpec a = parse_ok(
+        R"({"type":"ber","config":{"sj_uipp":0.1,"rj_uirms":0.02}})");
+    const JobSpec b = parse_ok(
+        R"({"config":{"rj_uirms":2e-2,"sj_uipp":1e-1},"type":"ber"})");
+    EXPECT_EQ(spec_config_hash(a), spec_config_hash(b));
+}
+
+TEST(Protocol, SeedIsKeyComponentNotConfig) {
+    const JobSpec a = parse_ok(R"({"type":"ber","seed":1})");
+    const JobSpec b = parse_ok(R"({"type":"ber","seed":2})");
+    EXPECT_EQ(spec_config_hash(a), spec_config_hash(b));
+    EXPECT_NE(JobExecutor::key_of(a), JobExecutor::key_of(b));
+}
+
+TEST(Protocol, DifferentWorkloadsHashDifferently) {
+    const JobSpec ber = parse_ok(R"({"type":"ber"})");
+    const JobSpec eye = parse_ok(R"({"type":"eye"})");
+    const JobSpec tweaked =
+        parse_ok(R"({"type":"ber","config":{"sj_uipp":0.1}})");
+    EXPECT_NE(spec_config_hash(ber), spec_config_hash(eye));
+    EXPECT_NE(spec_config_hash(ber), spec_config_hash(tweaked));
+}
+
+TEST(Protocol, ResolvedSpecIsAlreadyCanonical) {
+    const JobSpec spec = parse_ok(
+        R"({"type":"sweep","axes":[{"name":"sj_uipp","values":[0.1,0.2]}]})");
+    const std::string resolved = resolved_spec_json(spec);
+    std::string recanon;
+    ASSERT_TRUE(canonicalize(resolved, recanon, nullptr));
+    EXPECT_EQ(recanon, resolved);
+}
+
+TEST(Protocol, UnknownKeysAreHardErrors) {
+    obs::JsonValue v;
+    JobSpec spec;
+    std::string err;
+    ASSERT_TRUE(obs::json_parse(R"({"type":"ber","sj_uipp":0.1})", v));
+    EXPECT_FALSE(parse_job(v, spec, err));  // config knob at top level
+    ASSERT_TRUE(
+        obs::json_parse(R"({"type":"ber","config":{"sj_uip":0.1}})", v));
+    EXPECT_FALSE(parse_job(v, spec, err));  // typo'd knob
+    ASSERT_TRUE(obs::json_parse(R"({"type":"warp"})", v));
+    EXPECT_FALSE(parse_job(v, spec, err));  // unknown type
+    ASSERT_TRUE(obs::json_parse(
+        R"({"type":"ber","axes":[{"name":"sj_uipp","values":[1]}]})", v));
+    EXPECT_FALSE(parse_job(v, spec, err));  // axes on a non-sweep
+}
+
+TEST(Protocol, SweepPointsShareKeyspaceWithStandaloneBer) {
+    const JobSpec sweep = parse_ok(
+        R"({"type":"sweep","seed":7,
+            "axes":[{"name":"sj_uipp","values":[0.1,0.2]}]})");
+    exec::SweepGrid grid;
+    for (const auto& axis : sweep.axes) grid.axis(axis.name, axis.values);
+    const exec::SweepPoint p1 = grid.point(1, sweep.seed);
+    const JobSpec point = sweep_point_spec(sweep, p1);
+    EXPECT_EQ(point.type, JobType::kBer);
+    EXPECT_TRUE(point.axes.empty());
+    EXPECT_EQ(point.seed, p1.seed);
+    // A standalone BER request for the same config hits the same entry.
+    const JobSpec standalone =
+        parse_ok(R"({"type":"ber","config":{"sj_uipp":0.2}})");
+    EXPECT_EQ(spec_config_hash(point), spec_config_hash(standalone));
+}
+
+// --- result cache --------------------------------------------------------
+
+CacheKey key_for(std::uint64_t n) {
+    CacheKey k;
+    k.config_hash = util::fnv1a64("cfg" + std::to_string(n));
+    k.seed = n;
+    k.model_hash = util::fnv1a64(kModelVersion);
+    return k;
+}
+
+TEST(ResultCacheTest, LookupStoreAndStats) {
+    ResultCache cache;
+    std::string out;
+    EXPECT_FALSE(cache.lookup(key_for(1), out));
+    cache.store(key_for(1), R"({"ber":1.25e-13})");
+    ASSERT_TRUE(cache.lookup(key_for(1), out));
+    EXPECT_EQ(out, R"({"ber":1.25e-13})");
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_DOUBLE_EQ(s.hit_ratio(), 0.5);
+}
+
+TEST(ResultCacheTest, LruEvictionDropsColdEntries) {
+    ResultCache cache({}, /*max_entries=*/2);
+    cache.store(key_for(1), "1");
+    cache.store(key_for(2), "2");
+    std::string out;
+    ASSERT_TRUE(cache.lookup(key_for(1), out));  // 1 now most recent
+    cache.store(key_for(3), "3");                // evicts 2
+    EXPECT_TRUE(cache.contains(key_for(1)));
+    EXPECT_FALSE(cache.contains(key_for(2)));
+    EXPECT_TRUE(cache.contains(key_for(3)));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, PersistReloadIsBitIdentical) {
+    const std::string path =
+        ::testing::TempDir() + "gcdr_serve_cache_test.jsonl";
+    std::remove(path.c_str());
+    // Payload with formatting that naive re-serialization would mangle.
+    const std::string payload =
+        R"({"ber":1.2500000000000001e-13,"eye_margin_ui":0.25})";
+    {
+        ResultCache cache(path);
+        ASSERT_TRUE(cache.load());
+        cache.store(key_for(1), payload);
+        cache.store(key_for(2), R"({"points":[{"ber":1e-9},null]})");
+    }
+    ResultCache reloaded(path);
+    ASSERT_TRUE(reloaded.load());
+    EXPECT_EQ(reloaded.stats().loaded, 2u);
+    std::string out;
+    ASSERT_TRUE(reloaded.lookup(key_for(1), out));
+    EXPECT_EQ(out, payload);  // byte-for-byte
+    ASSERT_TRUE(reloaded.lookup(key_for(2), out));
+    EXPECT_EQ(out, R"({"points":[{"ber":1e-9},null]})");
+    std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, ReloadSkipsCorruptTruncatedAndForeignLines) {
+    const std::string path =
+        ::testing::TempDir() + "gcdr_serve_cache_corrupt.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        cache.store(key_for(1), R"({"ber":1e-9})");
+    }
+    {
+        std::ofstream os(path, std::ios::app);
+        os << "{\"schema\":\"gcdr.serve.cache/v1\",\"trunc\n";  // crash
+        os << "{\"schema\":\"gcdr.bench.ledger/v1\"}\n";        // foreign
+        os << "not json at all\n";
+        os << "\n";  // blank: free to skip
+    }
+    {
+        ResultCache cache(path);
+        cache.store(key_for(2), R"({"ber":2e-9})");
+    }
+    ResultCache reloaded(path);
+    ASSERT_TRUE(reloaded.load());
+    const CacheStats s = reloaded.stats();
+    EXPECT_EQ(s.loaded, 2u);        // both real records survive
+    EXPECT_EQ(s.load_skipped, 3u);  // truncated + foreign + garbage
+    EXPECT_TRUE(reloaded.contains(key_for(1)));
+    EXPECT_TRUE(reloaded.contains(key_for(2)));
+    std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, DuplicateKeyOnReloadLastWriterWins) {
+    const std::string path =
+        ::testing::TempDir() + "gcdr_serve_cache_dup.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        cache.store(key_for(1), R"({"v":1})");
+        cache.store(key_for(1), R"({"v":2})");  // appends a second record
+    }
+    ResultCache reloaded(path);
+    ASSERT_TRUE(reloaded.load());
+    std::string out;
+    ASSERT_TRUE(reloaded.lookup(key_for(1), out));
+    EXPECT_EQ(out, R"({"v":2})");
+    EXPECT_EQ(reloaded.stats().entries, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultCacheTest, CompactRewritesToLiveSet) {
+    const std::string path =
+        ::testing::TempDir() + "gcdr_serve_cache_compact.jsonl";
+    std::remove(path.c_str());
+    ResultCache cache(path, /*max_entries=*/2);
+    cache.store(key_for(1), "1");
+    cache.store(key_for(2), "2");
+    cache.store(key_for(3), "3");  // evicts 1; segment has 3 records
+    ASSERT_TRUE(cache.compact());
+    ResultCache reloaded(path);
+    ASSERT_TRUE(reloaded.load());
+    EXPECT_EQ(reloaded.stats().loaded, 2u);
+    EXPECT_FALSE(reloaded.contains(key_for(1)));
+    EXPECT_TRUE(reloaded.contains(key_for(2)));
+    EXPECT_TRUE(reloaded.contains(key_for(3)));
+    std::remove(path.c_str());
+}
+
+// --- job queue -----------------------------------------------------------
+
+JobSpec quick_spec(int priority = 0, double deadline_s = 0.0) {
+    JobSpec spec;
+    spec.type = JobType::kBer;
+    spec.priority = priority;
+    spec.deadline_s = deadline_s;
+    return spec;
+}
+
+TEST(JobQueueTest, PriorityThenFifoOrder) {
+    JobQueue q;
+    const auto low = q.submit(quick_spec(0));
+    const auto high = q.submit(quick_spec(5));
+    const auto low2 = q.submit(quick_spec(0));
+    ASSERT_TRUE(low && high && low2);
+    EXPECT_EQ(q.pop()->id(), high->id());
+    EXPECT_EQ(q.pop()->id(), low->id());  // FIFO among equal priority
+    EXPECT_EQ(q.pop()->id(), low2->id());
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(JobQueueTest, CancelBeforePopRetiresWithoutRunning) {
+    JobQueue q;
+    const auto a = q.submit(quick_spec());
+    const auto b = q.submit(quick_spec());
+    ASSERT_TRUE(q.cancel(a->id()));
+    const auto popped = q.pop();
+    ASSERT_TRUE(popped);
+    EXPECT_EQ(popped->id(), b->id());
+    EXPECT_EQ(a->status(), JobStatus::kCancelled);
+    EXPECT_NE(a->result().find("\"cancelled\""), std::string::npos);
+    EXPECT_FALSE(q.cancel(999));  // unknown id
+}
+
+TEST(JobQueueTest, LapsedDeadlineRetiresAsExpired) {
+    JobQueue q;
+    const auto doomed = q.submit(quick_spec(0, /*deadline_s=*/1e-9));
+    const auto live = q.submit(quick_spec());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const auto popped = q.pop();
+    ASSERT_TRUE(popped);
+    EXPECT_EQ(popped->id(), live->id());
+    EXPECT_EQ(doomed->status(), JobStatus::kExpired);
+}
+
+TEST(JobQueueTest, StopWakesBlockedPopAndRejectsSubmits) {
+    JobQueue q;
+    std::thread waiter([&] { EXPECT_EQ(q.pop(), nullptr); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.stop();
+    waiter.join();
+    EXPECT_EQ(q.submit(quick_spec()), nullptr);
+}
+
+TEST(JobQueueTest, WaitBlocksUntilFinish) {
+    JobQueue q;
+    const auto job = q.submit(quick_spec());
+    std::thread worker([&] {
+        const auto j = q.pop();
+        ASSERT_TRUE(j);
+        EXPECT_EQ(j->status(), JobStatus::kRunning);
+        j->finish(JobStatus::kDone, "{\"x\":1}");
+    });
+    EXPECT_EQ(job->wait(), JobStatus::kDone);
+    EXPECT_EQ(job->result(), "{\"x\":1}");
+    worker.join();
+    // First terminal status wins; later finishes are ignored.
+    job->finish(JobStatus::kFailed, "{}");
+    EXPECT_EQ(job->status(), JobStatus::kDone);
+}
+
+// --- executor ------------------------------------------------------------
+
+/// Fast config for tests: a coarse PDF grid keeps ber_of cheap.
+std::string fast_cfg(const char* extra = "") {
+    return std::string(R"({"grid_dx":0.01)") + extra + "}";
+}
+
+TEST(JobExecutorTest, CacheHitIsBitIdenticalToRecompute) {
+    ResultCache cache;
+    JobExecutor executor(cache);
+    exec::ThreadPool pool(1);
+    const JobSpec spec =
+        parse_ok(R"({"type":"ber","config":)" + fast_cfg() + "}");
+    JobState cold(1, spec), warm(2, spec);
+    const ExecOutcome first = executor.execute(cold, pool);
+    const ExecOutcome second = executor.execute(warm, pool);
+    EXPECT_EQ(first.status, JobStatus::kDone);
+    EXPECT_EQ(first.cache_misses, 1u);
+    EXPECT_EQ(second.cache_hits, 1u);
+    // Envelopes differ (job ids, hit tallies); payloads must not.
+    auto payload_of = [](const std::string& env) {
+        obs::JsonValue v;
+        EXPECT_TRUE(obs::json_parse(env, v));
+        const obs::JsonValue* p = v.find("payload");
+        EXPECT_NE(p, nullptr);
+        return canonical_json(*p);
+    };
+    EXPECT_EQ(payload_of(first.envelope), payload_of(second.envelope));
+    // And the raw stored payload is untouched by a reload round-trip:
+    // executor payloads re-canonicalize to themselves.
+    std::string stored;
+    ASSERT_TRUE(cache.lookup(JobExecutor::key_of(spec), stored));
+    std::string recanon;
+    ASSERT_TRUE(canonicalize(stored, recanon, nullptr));
+    EXPECT_EQ(recanon, stored);
+}
+
+TEST(JobExecutorTest, SweepCachesPointsAndResumes) {
+    ResultCache cache;
+    JobExecutor executor(cache);
+    exec::ThreadPool pool(2);
+    const JobSpec sweep = parse_ok(
+        R"({"type":"sweep","config":{"grid_dx":0.01},
+            "axes":[{"name":"sj_uipp","values":[0.05,0.1,0.15]}]})");
+    JobState job(1, sweep);
+    const ExecOutcome out = executor.execute(job, pool);
+    EXPECT_EQ(out.status, JobStatus::kDone);
+    EXPECT_EQ(out.cache_misses, 3u);
+    EXPECT_EQ(cache.stats().entries, 3u);
+    // Resubmission: all points hit.
+    JobState again(2, sweep);
+    const ExecOutcome rerun = executor.execute(again, pool);
+    EXPECT_EQ(rerun.cache_hits, 3u);
+    EXPECT_EQ(rerun.cache_misses, 0u);
+    // The sweep payload lists points in grid order.
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(rerun.envelope, v));
+    const obs::JsonValue* points = v.find("payload")->find("points");
+    ASSERT_TRUE(points && points->is_array());
+    EXPECT_EQ(points->items.size(), 3u);
+}
+
+TEST(JobExecutorTest, CancelledSweepReturnsPartialProgress) {
+    ResultCache cache;
+    JobExecutor executor(cache);
+    exec::ThreadPool pool(1);  // serial: cancel after point 0 is exact
+    const JobSpec sweep = parse_ok(
+        R"({"type":"sweep","config":{"grid_dx":0.01},
+            "axes":[{"name":"sj_uipp","values":[0.05,0.1,0.15,0.2]}]})");
+    JobState job(1, sweep);
+    std::atomic<int> emitted{0};
+    job.stream_sink = [&](const std::string&) {
+        if (++emitted == 1) job.request_cancel();
+    };
+    const ExecOutcome out = executor.execute(job, pool);
+    EXPECT_EQ(out.status, JobStatus::kCancelled);
+    const std::size_t done = cache.stats().entries;
+    EXPECT_GE(done, 1u);
+    EXPECT_LT(done, 4u);
+    // Resume: only the missing points compute.
+    JobState resume(2, sweep);
+    const ExecOutcome out2 = executor.execute(resume, pool);
+    EXPECT_EQ(out2.status, JobStatus::kDone);
+    EXPECT_EQ(out2.cache_hits, done);
+    EXPECT_EQ(out2.cache_misses, 4u - done);
+}
+
+TEST(JobExecutorTest, PreExpiredSingleJobSkipsCompute) {
+    ResultCache cache;
+    JobExecutor executor(cache);
+    exec::ThreadPool pool(1);
+    JobSpec spec = parse_ok(R"({"type":"ber"})");
+    spec.deadline_s = 1e-9;
+    JobState job(1, spec);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const ExecOutcome out = executor.execute(job, pool);
+    EXPECT_EQ(out.status, JobStatus::kExpired);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --- HTTP daemon end to end ----------------------------------------------
+
+class ServeHttpTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        ServerOptions opts;
+        opts.workers = 2;
+        opts.job_threads = 1;
+        server_ = std::make_unique<ServeServer>(opts);
+        ASSERT_TRUE(server_->start());
+        client_ = std::make_unique<HttpClient>("127.0.0.1",
+                                               server_->port());
+    }
+    void TearDown() override { server_->stop(); }
+
+    std::unique_ptr<ServeServer> server_;
+    std::unique_ptr<HttpClient> client_;
+};
+
+TEST_F(ServeHttpTest, RunBerWarmHitIsBitIdentical) {
+    const std::string body =
+        R"({"type":"ber","config":{"grid_dx":0.01}})";
+    HttpClient::Response cold, warm;
+    ASSERT_TRUE(client_->post("/v1/run", body, cold));
+    ASSERT_EQ(cold.status, 200);
+    ASSERT_TRUE(client_->post("/v1/run", body, warm));
+    ASSERT_EQ(warm.status, 200);
+    obs::JsonValue vc, vw;
+    ASSERT_TRUE(obs::json_parse(cold.body, vc));
+    ASSERT_TRUE(obs::json_parse(warm.body, vw));
+    EXPECT_EQ(vc.find("schema")->string_or(""), "gcdr.serve.result/v1");
+    EXPECT_EQ(vc.find("status")->string_or(""), "done");
+    EXPECT_EQ(vc.find("cache")->find("misses")->uint_or(0), 1u);
+    EXPECT_EQ(vw.find("cache")->find("hits")->uint_or(0), 1u);
+    EXPECT_EQ(canonical_json(*vc.find("payload")),
+              canonical_json(*vw.find("payload")));
+    EXPECT_GE(vc.find("payload")->find("ber")->number_or(-1), 0.0);
+}
+
+TEST_F(ServeHttpTest, AsyncJobLifecycle) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post(
+        "/v1/jobs", R"({"type":"eye","config":{"grid_dx":0.01}})", resp));
+    ASSERT_EQ(resp.status, 202);
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    const std::uint64_t id = v.find("job_id")->uint_or(0);
+    ASSERT_GT(id, 0u);
+    // Poll until terminal (bounded).
+    std::string status;
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(
+            client_->get("/v1/jobs/" + std::to_string(id), resp));
+        ASSERT_EQ(resp.status, 200);
+        ASSERT_TRUE(obs::json_parse(resp.body, v));
+        status = v.find("status")->string_or("");
+        if (status == "done") break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(status, "done");
+    const obs::JsonValue* result = v.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_GT(
+        result->find("payload")->find("eye_margin_ui")->number_or(-1),
+        0.0);
+}
+
+TEST_F(ServeHttpTest, CancelEndpointAndUnknownIds) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post("/v1/jobs",
+                              R"({"type":"ber","config":{"grid_dx":0.01},
+                                  "priority":-1})",
+                              resp));
+    ASSERT_EQ(resp.status, 202);
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    const std::uint64_t id = v.find("job_id")->uint_or(0);
+    ASSERT_TRUE(client_->post(
+        "/v1/jobs/" + std::to_string(id) + "/cancel", "", resp));
+    EXPECT_EQ(resp.status, 200);
+    ASSERT_TRUE(client_->post("/v1/jobs/424242/cancel", "", resp));
+    EXPECT_EQ(resp.status, 404);
+    ASSERT_TRUE(client_->get("/v1/jobs/not-a-number", resp));
+    EXPECT_EQ(resp.status, 400);
+}
+
+TEST_F(ServeHttpTest, StreamingSweepChunksArriveInIndexOrder) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post(
+        "/v1/run",
+        R"({"type":"sweep","config":{"grid_dx":0.01},"stream":true,
+            "axes":[{"name":"sj_uipp","values":[0.05,0.1]}]})",
+        resp));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_TRUE(resp.chunked);
+    // Two per-point chunks plus the final envelope chunk.
+    ASSERT_EQ(resp.chunks.size(), 3u);
+    obs::JsonValue p0, p1, env;
+    ASSERT_TRUE(obs::json_parse(resp.chunks[0], p0));
+    ASSERT_TRUE(obs::json_parse(resp.chunks[1], p1));
+    ASSERT_TRUE(obs::json_parse(resp.chunks[2], env));
+    EXPECT_EQ(p0.find("index")->uint_or(99), 0u);
+    EXPECT_EQ(p1.find("index")->uint_or(99), 1u);
+    EXPECT_EQ(env.find("status")->string_or(""), "done");
+    EXPECT_EQ(env.find("points_done")->uint_or(0), 2u);
+}
+
+TEST_F(ServeHttpTest, BadRequestsGet400AndUnknownRoutes404) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post("/v1/run", "not json", resp));
+    EXPECT_EQ(resp.status, 400);
+    ASSERT_TRUE(client_->post("/v1/run", R"({"type":"warp"})", resp));
+    EXPECT_EQ(resp.status, 400);
+    ASSERT_TRUE(
+        client_->post("/v1/run", R"({"type":"ber","bogus":1})", resp));
+    EXPECT_EQ(resp.status, 400);
+    ASSERT_TRUE(client_->get("/v1/nope", resp));
+    EXPECT_EQ(resp.status, 404);
+    ASSERT_TRUE(client_->get("/v1/run", resp));  // wrong method
+    EXPECT_EQ(resp.status, 405);
+}
+
+TEST_F(ServeHttpTest, HealthStatsAndMetricsEndpoints) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->get("/v1/healthz", resp));
+    ASSERT_EQ(resp.status, 200);
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    EXPECT_EQ(v.find("status")->string_or(""), "ok");
+
+    // One computed + one cached request make the stats non-trivial.
+    HttpClient::Response run;
+    const std::string body =
+        R"({"type":"ber","config":{"grid_dx":0.01,"sj_uipp":0.11}})";
+    ASSERT_TRUE(client_->post("/v1/run", body, run));
+    ASSERT_TRUE(client_->post("/v1/run", body, run));
+
+    ASSERT_TRUE(client_->get("/v1/stats", resp));
+    ASSERT_EQ(resp.status, 200);
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    EXPECT_EQ(v.find("cache")->find("hits")->uint_or(0), 1u);
+    EXPECT_EQ(v.find("cache")->find("stores")->uint_or(0), 1u);
+    EXPECT_GE(v.find("jobs_submitted")->uint_or(0), 2u);
+
+    ASSERT_TRUE(client_->get("/metrics", resp));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("gcdr_serve_cache_hits"), std::string::npos);
+    EXPECT_NE(resp.body.find("gcdr_serve_requests_total"),
+              std::string::npos);
+}
+
+TEST_F(ServeHttpTest, ShutdownEndpointFlagsTheMainLoop) {
+    EXPECT_FALSE(server_->shutdown_requested());
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post("/v1/shutdown", "", resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(server_->shutdown_requested());
+}
+
+}  // namespace
+}  // namespace gcdr::serve
