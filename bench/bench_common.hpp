@@ -31,6 +31,10 @@
 //   --ledger FILE   append one gcdr.bench.ledger/v1 record (full metrics
 //                   + build provenance) to FILE — the persistent run
 //                   history scripts/perf_history.py trends and gates on
+//   --scenario FILE declarative gcdr.scenario/v1 config; bench_scenario
+//                   compiles and runs it, and the file + canonical config
+//                   hash are recorded in the report's "run" object and
+//                   the ledger record
 // Unrecognized arguments are left in argv for the bench (so
 // bench_kernel_perf can forward --benchmark_* flags to google-benchmark).
 // Both --threads and --seed are recorded in the report's "run" object.
@@ -79,6 +83,10 @@ struct Options {
     std::string log_json_path;
     /// Live progress reporting (obs::ProgressReporter); default off.
     bool progress = false;
+    /// Declarative scenario config (gcdr.scenario/v1 JSON). Parsed here
+    /// so every bench built on this layer accepts it; bench_scenario is
+    /// the generic runner, and scenario-aware benches may consult it.
+    std::string scenario_path;
 
     /// Strip the flags this layer owns out of (argc, argv). Also applies
     /// the global observability toggles (log level/sink, progress) so
@@ -127,6 +135,9 @@ struct Options {
                 }
             } else if (std::strcmp(argv[i], "--progress") == 0) {
                 opts.progress = true;
+            } else if (std::strcmp(argv[i], "--scenario") == 0 &&
+                       i + 1 < argc) {
+                opts.scenario_path = argv[++i];
             } else {
                 argv[out++] = argv[i];
             }
@@ -204,6 +215,15 @@ public:
     /// this; the key then distinguishes runs by seed/threads/build only.
     void set_config(std::string config) { config_ = std::move(config); }
 
+    /// Record scenario provenance (--scenario runs): the config file and
+    /// the hex fnv1a64 of its canonical resolved JSON. Lands in the
+    /// report's "run" object and the ledger record, so a scenario run is
+    /// traceable to the exact document content, not just a path.
+    void set_scenario(std::string file, std::string hash_hex) {
+        scenario_file_ = std::move(file);
+        scenario_hash_ = std::move(hash_hex);
+    }
+
     /// Write the report (and the Chrome trace, when --trace was given).
     /// Returns false only on I/O failure.
     bool write() {
@@ -235,6 +255,8 @@ public:
                 .count();
         info.threads = pool_ ? pool_->size() : opts_.resolved_threads();
         info.seed = opts_.seed;
+        info.scenario_file = scenario_file_;
+        info.scenario_hash = scenario_hash_;
         if (!opts_.trace_path.empty()) {
             info.spans = &obs::SpanCollector::global();
         }
@@ -276,6 +298,8 @@ private:
     std::string id_;
     std::string title_;
     std::string config_;
+    std::string scenario_file_;
+    std::string scenario_hash_;
     obs::MetricsRegistry registry_;
     std::unique_ptr<exec::ThreadPool> pool_;
     std::unique_ptr<obs::FlightRecorder> flight_;

@@ -1,0 +1,121 @@
+// Generic declarative-scenario runner: load a gcdr.scenario/v1 config
+// (--scenario FILE), validate it, compile it onto the existing object
+// graph and execute its tasks with the exact metric structure of the
+// hard-coded benches each task kind mirrors. A golden config replicating
+// bench_fig9_ber_sj or bench_baseline_jtol therefore produces a --json
+// report that diffs bit-identical (scripts/bench_diff.py
+// --require-identical-counters) against the hard-coded bench — CI runs
+// exactly that comparison on scenarios/*.json.
+//
+//   bench_scenario --scenario scenarios/fig9_ber_sj.json --json out.json
+//   bench_scenario --fuzz-seed 42        # scenario::random_valid(42)
+//   bench_scenario --scenario f.json --print-resolved   # canonical form
+//
+// --check exits nonzero when any task gate fails (differential
+// disagreement, JTOL mask violation, unlocked netlist channel).
+// Validation failures print every diagnostic (file:line:col) and exit 2.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "scenario/compile.hpp"
+#include "scenario/fuzz.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario_doc.hpp"
+#include "util/hash.hpp"
+
+using namespace gcdr;
+
+int main(int argc, char** argv) {
+    auto opts = bench::Options::parse(argc, argv);
+    bool check = false;
+    bool print_resolved = false;
+    bool have_fuzz_seed = false;
+    std::uint64_t fuzz_seed = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) check = true;
+        if (std::strcmp(argv[i], "--print-resolved") == 0) {
+            print_resolved = true;
+        }
+        if (std::strcmp(argv[i], "--fuzz-seed") == 0 && i + 1 < argc) {
+            have_fuzz_seed = true;
+            fuzz_seed = std::strtoull(argv[++i], nullptr, 10);
+        }
+    }
+    if (opts.scenario_path.empty() && !have_fuzz_seed) {
+        std::fprintf(stderr,
+                     "usage: bench_scenario --scenario FILE [--check] "
+                     "[--print-resolved] | --fuzz-seed N\n");
+        return 2;
+    }
+
+    scenario::ScenarioDoc doc;
+    std::string source_name;
+    if (have_fuzz_seed) {
+        doc = scenario::random_valid(fuzz_seed);
+        source_name = "<fuzz:" + std::to_string(fuzz_seed) + ">";
+    } else {
+        std::vector<scenario::Diagnostic> diags;
+        if (!scenario::scenario_from_file(opts.scenario_path, doc,
+                                          diags)) {
+            for (const auto& d : diags) {
+                std::fprintf(stderr, "%s\n", d.render().c_str());
+            }
+            std::fprintf(stderr, "%zu diagnostic(s); scenario rejected\n",
+                         diags.size());
+            return 2;
+        }
+        source_name = opts.scenario_path;
+    }
+    const std::uint64_t hash = scenario::scenario_hash(doc);
+    const std::string hash_hex = util::hash_hex(hash);
+    if (print_resolved) {
+        std::printf("%s\n", scenario::resolved_json(doc).c_str());
+        return 0;
+    }
+
+    bench::RunReport report(opts, "scenario_" + doc.name,
+                            doc.title.empty() ? "declarative scenario run"
+                                              : doc.title);
+    report.set_scenario(source_name, hash_hex);
+    // Workload identity for ledger trend keys: the scenario name + config
+    // hash, so two runs of a changed file never share a key.
+    report.set_config("--scenario " + doc.name + "#" + hash_hex);
+    auto& reg = report.metrics();
+    auto& pool = report.pool();
+    if (!opts.quiet) {
+        bench::header("Scenario",
+                      doc.name + " (config " + hash_hex + ")");
+        std::printf("[%zu task(s), pool: %zu lane(s), seed %llu]\n",
+                    doc.tasks.size(), pool.size(),
+                    static_cast<unsigned long long>(report.seed()));
+    }
+
+    scenario::ScenarioContext ctx;
+    ctx.metrics = &reg;
+    ctx.pool = &pool;
+    ctx.seed = report.seed();
+    ctx.verbose = !opts.quiet;
+    const scenario::ScenarioResult result =
+        scenario::run_scenario(doc, ctx);
+
+    // No scenario.* summary gauges: a golden-config run must carry
+    // exactly the hard-coded bench's metric keys (bench_diff gates on
+    // gauge presence). The outcome lives in --check's exit code and the
+    // report's "run" provenance.
+    if (!opts.quiet) {
+        bench::section("result");
+        for (const auto& t : result.tasks) {
+            std::printf("%-12s %-14s %s\n", t.prefix.c_str(),
+                        t.kind.c_str(), t.ok ? "ok" : "FAILED");
+        }
+        std::printf("\nscenario %s: %s\n", doc.name.c_str(),
+                    result.ok ? "all task gates passed"
+                              : "TASK GATE FAILED");
+    }
+    const bool report_ok = report.write();
+    if (check && !result.ok) return 1;
+    return report_ok ? 0 : 1;
+}

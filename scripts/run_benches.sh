@@ -89,6 +89,28 @@ if [[ -x "$bin" ]]; then
     fi
 fi
 
+# Declarative scenarios: every committed config under scenarios/ runs
+# through bench_scenario with the same telemetry plumbing. Reports land
+# as BENCH_scenario_<name>.json and the ledger records carry the
+# scenario file + canonical config hash, so perf_history.py trends each
+# scenario under its own "--scenario <name>#<hash>" config key and a
+# changed file never pollutes its predecessor's series.
+scenarios_dir="$repo_root/scenarios"
+bin="$build_dir/bench/bench_scenario"
+if [[ -x "$bin" && -d "$scenarios_dir" ]]; then
+    for scn in "$scenarios_dir"/*.json; do
+        [[ -e "$scn" ]] || continue
+        name="$(basename "$scn" .json)"
+        out="$reports_dir/BENCH_scenario_$name.json"
+        echo "== bench_scenario $name -> $out (threads=$threads)"
+        if ! "$bin" --scenario "$scn" --check --quiet --json "$out" \
+                --threads "$threads" --ledger "$ledger"; then
+            echo "FAILED: bench_scenario $name" >&2
+            failed=1
+        fi
+    done
+fi
+
 # The perf-gate baselines live at the repo root as well, so a perf PR
 # diff (scripts/bench_diff.py) can reference them without digging into
 # bench/reports/. Keep the two copies identical.

@@ -1,4 +1,4 @@
-#include "serve/canonical.hpp"
+#include "obs/canonical.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -11,7 +11,7 @@
 #include "obs/json.hpp"
 #include "util/hash.hpp"
 
-namespace gcdr::serve {
+namespace gcdr::obs {
 
 namespace {
 
@@ -32,8 +32,8 @@ bool is_integer_token(std::string_view token) {
     return true;
 }
 
-void append_canonical(const obs::JsonValue& v, std::string& out) {
-    using Type = obs::JsonValue::Type;
+void append_canonical(const JsonValue& v, std::string& out) {
+    using Type = JsonValue::Type;
     switch (v.type) {
         case Type::kNull:
             out += "null";
@@ -46,7 +46,7 @@ void append_canonical(const obs::JsonValue& v, std::string& out) {
             break;
         case Type::kString:
             out += '"';
-            out += obs::JsonWriter::escape(v.text);
+            out += JsonWriter::escape(v.text);
             out += '"';
             break;
         case Type::kArray:
@@ -78,7 +78,7 @@ void append_canonical(const obs::JsonValue& v, std::string& out) {
                 if (!first) out += ',';
                 first = false;
                 out += '"';
-                out += obs::JsonWriter::escape(key);
+                out += JsonWriter::escape(key);
                 out += "\":";
                 append_canonical(val, out);
             }
@@ -119,22 +119,22 @@ std::string canonical_number(double value, std::string_view token) {
     return buf;
 }
 
-std::string canonical_json(const obs::JsonValue& v) {
+std::string canonical_json(const JsonValue& v) {
     std::string out;
     append_canonical(v, out);
     return out;
 }
 
-std::uint64_t canonical_hash(const obs::JsonValue& v) {
+std::uint64_t canonical_hash(const JsonValue& v) {
     return util::fnv1a64(canonical_json(v));
 }
 
 bool canonicalize(std::string_view text, std::string& out,
                   std::string* error) {
-    obs::JsonValue v;
+    JsonValue v;
     if (!obs::json_parse(text, v, error)) return false;
     out = canonical_json(v);
     return true;
 }
 
-}  // namespace gcdr::serve
+}  // namespace gcdr::obs

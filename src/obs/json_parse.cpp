@@ -42,7 +42,13 @@ public:
 private:
     bool fail(const char* what) {
         if (error_ && error_->empty()) {
-            *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+            // The "<what> at byte N" prefix is load-bearing (tests and
+            // scenario diagnostics match on it); line/column ride behind
+            // in parentheses for humans staring at a config file.
+            const LineColumn lc = line_column(in_, pos_);
+            *error_ = std::string(what) + " at byte " + std::to_string(pos_) +
+                      " (line " + std::to_string(lc.line) + ", column " +
+                      std::to_string(lc.column) + ")";
         }
         return false;
     }
@@ -189,6 +195,7 @@ private:
     bool parse_value_inner(JsonValue& out) {
         skip_ws();
         if (at_end()) return fail("unexpected end of input");
+        out.offset = pos_;
         const char c = peek();
         switch (c) {
             case '{': {
@@ -265,6 +272,20 @@ bool json_parse(std::string_view input, JsonValue& out, std::string* error) {
     out = JsonValue{};
     Parser p(input, error);
     return p.parse_document(out);
+}
+
+LineColumn line_column(std::string_view text, std::size_t offset) {
+    if (offset > text.size()) offset = text.size();
+    LineColumn lc;
+    for (std::size_t i = 0; i < offset; ++i) {
+        if (text[i] == '\n') {
+            ++lc.line;
+            lc.column = 1;
+        } else {
+            ++lc.column;
+        }
+    }
+    return lc;
 }
 
 }  // namespace gcdr::obs

@@ -30,6 +30,11 @@ public:
     std::string text;  ///< kString: the decoded string; kNumber: the token
     std::vector<JsonValue> items;   ///< kArray
     std::vector<Member> members;    ///< kObject, in document order
+    /// Byte offset of this value's first token character in the source
+    /// text. Consumers that keep the source around (the scenario loader)
+    /// can map it to a line/column via line_column() for diagnostics
+    /// about *semantically* bad values long after the parse succeeded.
+    std::size_t offset = 0;
 
     [[nodiscard]] bool is_null() const { return type == Type::kNull; }
     [[nodiscard]] bool is_object() const { return type == Type::kObject; }
@@ -55,8 +60,20 @@ public:
 
 /// Parse one complete JSON document. Returns false on any syntax error
 /// (trailing garbage included) and, when `error` is non-null, stores a
-/// one-line description with the byte offset.
+/// one-line description with the byte offset followed by the 1-based
+/// line/column, e.g. "bad number at byte 17 (line 2, column 5)". The
+/// "<what> at byte N" prefix is stable; match on it, not the suffix.
 [[nodiscard]] bool json_parse(std::string_view input, JsonValue& out,
                               std::string* error = nullptr);
+
+/// 1-based line/column of a byte offset in `text` (newline = '\n';
+/// offsets past the end clamp to the final position). The reverse map
+/// for JsonValue::offset.
+struct LineColumn {
+    std::size_t line = 1;
+    std::size_t column = 1;
+};
+[[nodiscard]] LineColumn line_column(std::string_view text,
+                                     std::size_t offset);
 
 }  // namespace gcdr::obs

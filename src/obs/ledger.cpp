@@ -24,6 +24,10 @@ std::string ledger_record_json(const LedgerKey& key,
     w.key("bench").value(key.bench);
     w.key("config").value(key.config);
     w.key("config_hash").value(hash_hex);
+    if (!info.scenario_hash.empty()) {
+        w.key("scenario_file").value(info.scenario_file);
+        w.key("scenario_hash").value(info.scenario_hash);
+    }
     w.key("git_sha").value(build.git_sha);
     w.key("seed").value(key.seed);
     w.key("threads").value(static_cast<std::uint64_t>(key.threads));

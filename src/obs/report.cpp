@@ -65,6 +65,10 @@ std::string run_report_json(const MetricsRegistry& registry,
     w.key("run").begin_object();
     w.key("threads").value(static_cast<std::uint64_t>(info.threads));
     w.key("seed").value(info.seed);
+    if (!info.scenario_hash.empty()) {
+        w.key("scenario_file").value(info.scenario_file);
+        w.key("scenario_hash").value(info.scenario_hash);
+    }
     w.end_object();
     w.key("build").begin_object();
     w.key("compiler").value(build.compiler);

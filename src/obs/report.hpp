@@ -42,6 +42,13 @@ struct ReportInfo {
     /// "run" object so perf diffs can bucket reports by concurrency.
     std::size_t threads = 0;
     std::uint64_t seed = 0;
+    /// Scenario provenance (bench --scenario): the config file the run
+    /// was compiled from and the fnv1a64 of its canonical resolved JSON.
+    /// Both ride in the "run" object (and the ledger record) when set, so
+    /// a report traces back to the exact declarative config — not just
+    /// the file path, whose contents may have changed since.
+    std::string scenario_file;
+    std::string scenario_hash;  ///< hex; empty = not a scenario run
     /// Optional span profile (bench --trace): emitted as a top-level
     /// "spans" object — per-name count/total_seconds/max_seconds — kept
     /// OUT of "metrics" so bench_diff's missing-metric check doesn't fire

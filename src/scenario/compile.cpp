@@ -1,0 +1,58 @@
+#include "scenario/compile.hpp"
+
+namespace gcdr::scenario {
+
+CompiledNetlist compile_netlist(const NetlistSpec& net) {
+    CompiledNetlist out;
+    out.config.n_channels = static_cast<int>(net.channels.size());
+    if (!net.channels.empty()) {
+        const ChannelSpec& t = net.channels.front();
+        out.config.channel =
+            cdr::ChannelConfig::nominal(t.f_osc_hz, t.ckj_uirms);
+        out.config.channel.improved_sampling = t.improved_sampling;
+    }
+
+    for (const ChannelSpec& c : net.channels) {
+        CompiledLane lane;
+        lane.channel = c.name;
+        // The loader guarantees exactly one wire into <c>.din and at most
+        // one monitor on <c>.dout.
+        for (const WireSpec& w : net.wires) {
+            if (w.to_inst == c.name && w.to_port == "din") {
+                lane.source = w.from_inst;
+                lane.skew_ps = w.skew_ps;
+            }
+            if (w.from_inst == c.name && w.from_port == "dout") {
+                lane.monitor = w.to_inst;
+            }
+        }
+        for (const SourceSpec& s : net.sources) {
+            if (s.name == lane.source) {
+                lane.bits = s.bits;
+                lane.prbs = s.prbs;
+                lane.start_ns = s.start_ns;
+            }
+        }
+        out.lanes.push_back(std::move(lane));
+    }
+    return out;
+}
+
+exec::SweepGrid compile_grid(const TaskSpec& task) {
+    exec::SweepGrid grid;
+    for (const AxisSpec& axis : task.axes) {
+        grid.axis(axis.name, axis.values);
+    }
+    return grid;
+}
+
+mc::McBudget compile_budget(const McSpec& mc, std::uint64_t base_seed) {
+    mc::McBudget budget;
+    budget.target_rel_err = mc.target_rel_err;
+    budget.max_evals = mc.max_evals;
+    budget.confidence = mc.confidence;
+    budget.base_seed = base_seed;
+    return budget;
+}
+
+}  // namespace gcdr::scenario

@@ -1,0 +1,59 @@
+#include "scenario/fuzz.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gcdr::scenario {
+
+namespace {
+
+/// Round to a short decimal so resolved_json stays compact and the doc
+/// survives text round-trips exactly (4 significant-ish digits).
+double quantize(double v) { return std::round(v * 1e4) / 1e4; }
+
+}  // namespace
+
+ScenarioDoc random_valid(std::uint64_t seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5ce0a11d);
+    ScenarioDoc doc;
+    doc.name = "fuzz_" + std::to_string(seed);
+    doc.title = "differential fuzz seed " + std::to_string(seed);
+
+    // Jitter stack around the paper's Table 1 operating region. SJ
+    // amplitude up to ~1 UIpp and frequencies log-uniform across the Fig 9
+    // axis keep the resulting BER inside the statmodel's resolvable range
+    // often enough that the differential gates get real work.
+    statmodel::ModelConfig& m = doc.model;
+    m.grid_dx = 1e-3;
+    m.spec.dj_uipp = quantize(rng.uniform(0.1, 0.5));
+    m.spec.rj_uirms = quantize(rng.uniform(0.005, 0.035));
+    m.spec.ckj_uirms = quantize(rng.uniform(0.002, 0.02));
+    m.spec.sj_uipp = quantize(rng.uniform(0.0, 1.0));
+    m.sj_freq_norm =
+        quantize(std::pow(10.0, rng.uniform(-3.0, std::log10(0.5))));
+    if (rng.coin()) {
+        m.freq_offset = quantize(rng.uniform(0.0, 0.03));
+    }
+    if (rng.index(4) == 0) {
+        // Fig 15/17 improved sampling: advanced T/8 strobe.
+        m.sampling_advance_ui = 0.125;
+    }
+    m.max_cid = static_cast<int>(3 + rng.index(4));  // [3, 6]
+    m.cid_ref = 5;
+
+    doc.mc.max_evals = 500'000;
+    doc.mc.target_rel_err = 0.1;
+    doc.mc.confidence = 0.95;
+
+    TaskSpec task;
+    task.kind = TaskSpec::Kind::kDifferential;
+    task.prefix = "diff";
+    task.behavioral_runs = 4096;
+    task.behavioral_min_ber = 3e-4;
+    task.behavioral_tau = 5.0;
+    doc.tasks.push_back(std::move(task));
+    return doc;
+}
+
+}  // namespace gcdr::scenario

@@ -1,0 +1,23 @@
+#pragma once
+// Seeded generator of random *valid* scenarios — the input half of the
+// differential fuzzer. random_valid(seed) samples the statmodel's knob
+// space (jitter stack, SJ frequency, frequency offset, sampling advance)
+// inside the regime where both the statistical model and the Monte Carlo
+// engines are meaningful, and wraps it in a single differential task. The
+// CI fuzz leg runs N seeds through run_scenario() and fails on any
+// stat-vs-MC disagreement; every document round-trips bit-identically
+// through resolved_json -> load -> resolved_json, so a failing seed is
+// reproducible from its config hash alone.
+
+#include <cstdint>
+
+#include "scenario/scenario_doc.hpp"
+
+namespace gcdr::scenario {
+
+/// Deterministic map seed -> valid ScenarioDoc (same doc on every
+/// platform/thread-count; validated by construction). The document's
+/// name embeds the seed: "fuzz_<seed>".
+[[nodiscard]] ScenarioDoc random_valid(std::uint64_t seed);
+
+}  // namespace gcdr::scenario

@@ -1,0 +1,63 @@
+#pragma once
+// Executing a validated scenario. run_scenario() walks the document's
+// tasks and reproduces, metric for metric, the structure of the
+// hard-coded benches each task kind replaces: the same SweepRunner /
+// parallel_for call pattern (so exec.jobs / exec.items counters match),
+// the same ShardedCounter and ErrorCounter usage, the same gauge and
+// histogram names under the task's prefix. A golden scenario mirroring
+// bench_fig9_ber_sj therefore produces a report that diffs bit-identical
+// under scripts/bench_diff.py --require-identical-counters — CI enforces
+// exactly that.
+//
+// Besides metrics, every task returns a deterministic TaskResult
+// (scalars + series) that depends only on (document, seed, thread-count-
+// invariant math). The serving daemon builds its cached payloads from
+// TaskResults, never from the registry, because timers are wall-clock.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario_doc.hpp"
+
+namespace gcdr::scenario {
+
+struct ScenarioContext {
+    obs::MetricsRegistry* metrics = nullptr;  ///< required
+    exec::ThreadPool* pool = nullptr;         ///< required
+    std::uint64_t seed = 1;
+    bool verbose = false;  ///< print bench-style tables to stdout
+};
+
+/// Deterministic output of one task: named scalars plus named series,
+/// both in sorted key order. Identical for any thread count.
+struct TaskResult {
+    std::string prefix;
+    std::string kind;
+    bool ok = true;  ///< differential gates / mask checks passed
+    std::vector<std::pair<std::string, double>> scalars;
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+};
+
+struct ScenarioResult {
+    std::vector<TaskResult> tasks;  ///< document order
+    bool ok = true;                 ///< all tasks ok
+};
+
+/// Run every task of the document. The context's registry/pool are
+/// typically a bench::RunReport's (bench_scenario) or scratch instances
+/// (the daemon's scenario executor).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioDoc& doc,
+                                          const ScenarioContext& ctx);
+
+/// Canonical JSON payload of a result: {"name":...,"ok":...,"tasks":{
+/// <prefix>:{"kind":...,"ok":...,"scalars":{..},"series":{..}}}}, keys
+/// sorted, obs/canonical number rendering — byte-stable across runs and
+/// thread counts, the daemon's cacheable scenario payload.
+[[nodiscard]] std::string result_payload_json(const ScenarioDoc& doc,
+                                              const ScenarioResult& result);
+
+}  // namespace gcdr::scenario

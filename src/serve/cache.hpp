@@ -8,8 +8,9 @@
 //     (serve/protocol.hpp) — stable across key order, float formatting,
 //     omitted defaults, and platforms,
 //   - seed: the job's base seed (sweep points use their derived seed),
-//   - model_hash: fnv1a64(kModelVersion) — bumping the model version
-//     orphans every stale entry instead of serving wrong numbers.
+//   - model_hash: fnv1a64(model_version_of(type)) — statmodel jobs stamp
+//     kModelVersion, scenario jobs kScenarioModelVersion; bumping a
+//     version orphans every stale entry instead of serving wrong numbers.
 //
 // Value = the compact result-payload JSON exactly as the executor
 // produced it. Hits return the stored bytes verbatim, so a cache hit is

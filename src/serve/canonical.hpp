@@ -1,51 +1,17 @@
 #pragma once
-// Canonical JSON serialization — the content-addressing layer under the
-// serving daemon's result cache (serve/cache.hpp). Two requests that mean
-// the same workload must hash to the same cache key no matter how the
-// client formatted them, so canonical_json() collapses every
-// representation choice JSON leaves open:
-//
-//   - object keys are sorted bytewise; duplicate keys keep the FIRST
-//     occurrence (matching obs::JsonValue::find), later ones are dropped,
-//   - numbers are re-rendered from their parsed value, never echoed:
-//     integral doubles within +-2^53 print as plain integers (so 1, 1.0,
-//     1e0, 10e-1 and -0.0 all canonicalize to the same text), pure
-//     integer tokens outside the double-exact range keep their exact
-//     digits (uint64 counters survive untouched), and everything else
-//     prints as shortest-round-trip %.17g,
-//   - strings are re-escaped through the one JsonWriter escaper,
-//   - no whitespace anywhere.
-//
-// The output is itself valid JSON that re-parses (obs::json_parse) to an
-// equivalent document, and canonicalization is idempotent:
-// canonical(parse(canonical(x))) == canonical(x). Stability across
-// platforms follows from doing only integer arithmetic plus IEEE-754
-// printf of doubles (correctly rounded on every libc this repo targets).
+// Canonical JSON for the serving daemon — the implementation moved to
+// obs/canonical.hpp when the scenario subsystem started hashing its
+// config documents the same way (scenario/ sits below serve/ in the
+// dependency order). These aliases keep every serve/ call site and the
+// historical include path working unchanged.
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-
-#include "obs/json_parse.hpp"
+#include "obs/canonical.hpp"
 
 namespace gcdr::serve {
 
-/// Canonical compact rendering of a parsed JSON document (rules above).
-[[nodiscard]] std::string canonical_json(const obs::JsonValue& v);
-
-/// fnv1a64 of canonical_json(v) — the config-hash half of a cache key.
-[[nodiscard]] std::uint64_t canonical_hash(const obs::JsonValue& v);
-
-/// Parse + canonicalize in one step. Returns false (and fills *error
-/// when non-null) on malformed input.
-[[nodiscard]] bool canonicalize(std::string_view text, std::string& out,
-                                std::string* error = nullptr);
-
-/// The canonical rendering of one number value/token pair — exposed so
-/// result payload writers can emit numbers that re-canonicalize to
-/// themselves (the cache bit-identity contract). `token` may be empty
-/// when the value never had a source token.
-[[nodiscard]] std::string canonical_number(double value,
-                                           std::string_view token);
+using obs::canonical_hash;
+using obs::canonical_json;
+using obs::canonical_number;
+using obs::canonicalize;
 
 }  // namespace gcdr::serve

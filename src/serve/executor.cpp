@@ -7,6 +7,8 @@
 #include "mc/importance.hpp"
 #include "mc/margin_model.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/run.hpp"
 #include "serve/canonical.hpp"
 #include "statmodel/bathtub.hpp"
 #include "statmodel/gated_osc_model.hpp"
@@ -26,7 +28,7 @@ void envelope_header(obs::JsonWriter& w, const JobState& job,
     w.key("status").value(job_status_name(status));
     w.key("type").value(job_type_name(job.spec().type));
     w.key("config_hash").value(util::hash_hex(key.config_hash));
-    w.key("model_version").value(kModelVersion);
+    w.key("model_version").value(model_version_of(job.spec().type));
     w.key("seed").value(job.spec().seed);
     w.key("cache").begin_object();
     w.key("hits").value(hits);
@@ -43,12 +45,31 @@ CacheKey JobExecutor::key_of(const JobSpec& spec) {
     CacheKey key;
     key.config_hash = spec_config_hash(spec);
     key.seed = spec.seed;
-    key.model_hash = util::fnv1a64(kModelVersion);
+    key.model_hash = util::fnv1a64(model_version_of(spec.type));
     return key;
 }
 
 std::string JobExecutor::compute_payload(const JobSpec& spec,
                                          exec::ThreadPool& pool) const {
+    if (spec.type == JobType::kScenario) {
+        // Scenario payloads come from the runner's deterministic
+        // TaskResults, never from a metrics registry (timers are
+        // wall-clock, which would poison the cache). The scratch registry
+        // absorbs the runner's bench-parity metrics and is dropped.
+        obs::MetricsRegistry scratch;
+        scenario::ScenarioContext ctx;
+        ctx.metrics = &scratch;
+        ctx.pool = &pool;
+        ctx.seed = spec.seed;
+        ctx.verbose = false;
+        const scenario::ScenarioResult result =
+            scenario::run_scenario(spec.scenario, ctx);
+        std::string payload =
+            scenario::result_payload_json(spec.scenario, result);
+        std::string canon;
+        if (!canonicalize(payload, canon, nullptr)) return payload;
+        return canon;
+    }
     obs::JsonWriter w(obs::JsonWriter::kCompact);
     w.begin_object();
     switch (spec.type) {
@@ -81,7 +102,8 @@ std::string JobExecutor::compute_payload(const JobSpec& spec,
             break;
         }
         case JobType::kSweep:
-            break;  // handled by run_sweep
+        case JobType::kScenario:
+            break;  // sweep: run_sweep; scenario: early return above
     }
     w.end_object();
     // The cached unit must be canonical so a segment reload, a hit, and

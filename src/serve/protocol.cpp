@@ -51,8 +51,14 @@ const char* job_type_name(JobType t) {
             return "sweep";
         case JobType::kMc:
             return "mc";
+        case JobType::kScenario:
+            return "scenario";
     }
     return "?";
+}
+
+const char* model_version_of(JobType t) {
+    return t == JobType::kScenario ? kScenarioModelVersion : kModelVersion;
 }
 
 bool apply_config_field(statmodel::ModelConfig& cfg, std::string_view name,
@@ -90,6 +96,7 @@ bool parse_job(const obs::JsonValue& v, JobSpec& spec, std::string& error) {
         return false;
     }
     bool saw_type = false;
+    bool saw_workload = false;  // config / axes / ber_target / mc
     for (const auto& [key, val] : v.members) {
         if (key == "type") {
             saw_type = true;
@@ -102,11 +109,14 @@ bool parse_job(const obs::JsonValue& v, JobSpec& spec, std::string& error) {
                 spec.type = JobType::kSweep;
             } else if (t == "mc") {
                 spec.type = JobType::kMc;
+            } else if (t == "scenario") {
+                spec.type = JobType::kScenario;
             } else {
                 error = "unknown job type \"" + t + "\"";
                 return false;
             }
         } else if (key == "config") {
+            saw_workload = true;
             if (!val.is_object()) {
                 error = "\"config\" must be an object";
                 return false;
@@ -148,6 +158,7 @@ bool parse_job(const obs::JsonValue& v, JobSpec& spec, std::string& error) {
                 return false;
             }
         } else if (key == "axes") {
+            saw_workload = true;
             if (!val.is_array() || val.items.empty()) {
                 error = "\"axes\" must be a non-empty array";
                 return false;
@@ -179,12 +190,14 @@ bool parse_job(const obs::JsonValue& v, JobSpec& spec, std::string& error) {
                 spec.axes.push_back(std::move(out));
             }
         } else if (key == "ber_target") {
+            saw_workload = true;
             if (!read_double(val, spec.ber_target) || spec.ber_target <= 0 ||
                 spec.ber_target >= 1) {
                 error = "ber_target: want number in (0,1)";
                 return false;
             }
         } else if (key == "mc") {
+            saw_workload = true;
             if (!val.is_object()) {
                 error = "\"mc\" must be an object";
                 return false;
@@ -207,6 +220,24 @@ bool parse_job(const obs::JsonValue& v, JobSpec& spec, std::string& error) {
                     return false;
                 }
             }
+        } else if (key == "scenario") {
+            if (!val.is_object()) {
+                error = "\"scenario\" must be an object";
+                return false;
+            }
+            std::vector<scenario::Diagnostic> diags;
+            if (!scenario::scenario_from_json(val, spec.scenario, diags)) {
+                // One-line job error; the full diagnostic list is the
+                // scenario path (no source text over the wire, so no
+                // line/column — the path locates the fault instead).
+                error = "scenario: ";
+                for (std::size_t i = 0; i < diags.size(); ++i) {
+                    if (i) error += "; ";
+                    error += diags[i].render();
+                }
+                return false;
+            }
+            spec.has_scenario = true;
         } else if (key == "seed") {
             if (!val.is_number()) {
                 error = "seed: want unsigned integer";
@@ -246,6 +277,20 @@ bool parse_job(const obs::JsonValue& v, JobSpec& spec, std::string& error) {
         error = "\"axes\" only valid for sweep jobs";
         return false;
     }
+    if (spec.type == JobType::kScenario) {
+        if (!spec.has_scenario) {
+            error = "scenario job needs \"scenario\"";
+            return false;
+        }
+        if (saw_workload) {
+            error = "config/axes/ber_target/mc not valid for scenario jobs "
+                    "(the scenario document defines the workload)";
+            return false;
+        }
+    } else if (spec.has_scenario) {
+        error = "\"scenario\" only valid for scenario jobs";
+        return false;
+    }
     return true;
 }
 
@@ -272,7 +317,7 @@ std::string resolved_spec_json(const JobSpec& spec) {
     if (spec.type == JobType::kEye) {
         append_number(out, first, "ber_target", spec.ber_target);
     }
-    {
+    if (spec.type != JobType::kScenario) {
         std::string cfg = "{";
         bool cfirst = true;
         const statmodel::ModelConfig& c = spec.cfg;
@@ -305,6 +350,13 @@ std::string resolved_spec_json(const JobSpec& spec) {
         append_number(mc, mfirst, "target_rel_err", spec.mc.target_rel_err);
         mc += '}';
         append_field(out, first, "mc", mc);
+    }
+    if (spec.type == JobType::kScenario) {
+        // scenario::resolved_json is itself canonical (tested fixed
+        // point), so embedding it verbatim keeps the whole spec
+        // canonical.
+        append_field(out, first, "scenario",
+                     scenario::resolved_json(spec.scenario));
     }
     append_field(out, first, "type",
                  std::string("\"") + job_type_name(spec.type) + "\"");

@@ -3,12 +3,19 @@
 //
 // A job is a JSON object:
 //
-//   {"type":"ber"|"eye"|"sweep"|"mc",
+//   {"type":"ber"|"eye"|"sweep"|"mc"|"scenario",
 //    "config":{...statmodel knobs, all optional...},
 //    "axes":[{"name":"sj_uipp","values":[0.1,0.2]}, ...],   // sweep only
 //    "ber_target":1e-12,                                     // eye only
 //    "mc":{"max_evals":200000,"target_rel_err":0.1},         // mc only
+//    "scenario":{...gcdr.scenario/v1 document...},           // scenario only
 //    "seed":1, "priority":0, "deadline_s":0, "stream":false}
+//
+// A "scenario" job carries a full gcdr.scenario/v1 document (the same
+// format bench_scenario loads from scenarios/*.json) in its "scenario"
+// key and excludes config/axes/ber_target/mc — the document defines the
+// whole workload. Its payload is scenario::result_payload_json of the
+// run: deterministic, thread-count invariant, cacheable.
 //
 // "config" accepts exactly the statmodel::ModelConfig surface: sj_freq_norm,
 // freq_offset, sampling_advance_ui, max_cid, cid_ref,
@@ -33,6 +40,7 @@
 
 #include "exec/sweep.hpp"
 #include "obs/json_parse.hpp"
+#include "scenario/scenario_doc.hpp"
 #include "statmodel/gated_osc_model.hpp"
 
 namespace gcdr::serve {
@@ -43,9 +51,18 @@ namespace gcdr::serve {
 /// instead of serving wrong answers.
 inline constexpr const char* kModelVersion = "gcdr-statmodel/1";
 
-enum class JobType { kBer, kEye, kSweep, kMc };
+/// Scenario jobs execute the full scenario runtime (statmodel + mc +
+/// behavioral cdr), so they carry their own version stamp: a change in
+/// any of those layers invalidates scenario results without having to
+/// bump the narrower statmodel version (and vice versa).
+inline constexpr const char* kScenarioModelVersion = "gcdr-scenario/1";
+
+enum class JobType { kBer, kEye, kSweep, kMc, kScenario };
 
 [[nodiscard]] const char* job_type_name(JobType t);
+
+/// The model-version stamp hashed into a job's cache key.
+[[nodiscard]] const char* model_version_of(JobType t);
 
 struct McParams {
     std::uint64_t max_evals = 200'000;
@@ -58,6 +75,8 @@ struct JobSpec {
     std::vector<exec::SweepAxis> axes;  ///< sweep only
     double ber_target = 1e-12;          ///< eye only
     McParams mc;                        ///< mc only
+    scenario::ScenarioDoc scenario;     ///< scenario only
+    bool has_scenario = false;
     // Execution envelope (not part of the config hash).
     std::uint64_t seed = 1;
     int priority = 0;
