@@ -98,8 +98,14 @@ int main(int argc, char** argv) {
     ctx.pool = &pool;
     ctx.seed = report.seed();
     ctx.verbose = !opts.quiet;
+    ctx.flight = report.flight();
     const scenario::ScenarioResult result =
         scenario::run_scenario(doc, ctx);
+    for (const auto& t : result.tasks) {
+        // A health_probe task's final snapshot becomes the report's (and
+        // ledger record's) "health" block.
+        if (!t.health_json.empty()) report.set_health_json(t.health_json);
+    }
 
     // No scenario.* summary gauges: a golden-config run must carry
     // exactly the hard-coded bench's metric keys (bench_diff gates on

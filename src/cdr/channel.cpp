@@ -81,8 +81,10 @@ GccoChannel::GccoChannel(sim::Scheduler& sched, Rng& rng,
         // own sample (a decision error), the latest rise seen is one
         // period older, so the measurement lands near a full period;
         // unwrap those into small negative margins.
-        margins_ui_.push_back(lane_step::fold_margin_ui(
-            cfg_.rate, t, last_clk_rise_, cfg_.improved_sampling));
+        const double margin = lane_step::fold_margin_ui(
+            cfg_.rate, t, last_clk_rise_, cfg_.improved_sampling);
+        margins_ui_.push_back(margin);
+        if (health_) health_->on_margin(t.femtoseconds(), margin);
     });
 }
 

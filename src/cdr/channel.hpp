@@ -16,6 +16,7 @@
 #include "gates/cml_gates.hpp"
 #include "jitter/jitter.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/health/health_monitor.hpp"
 
 namespace gcdr::cdr {
 
@@ -44,6 +45,17 @@ struct Decision {
     SimTime time;
     bool bit;
 };
+
+/// Health-monitor config matched to a channel template: UI duration from
+/// the link rate, sampling center 0.5 UI (0.625 with improved sampling) —
+/// the same center lane_step::fold_margin_ui folds around.
+[[nodiscard]] inline obs::health::HealthConfig health_config_for(
+    const ChannelConfig& cfg) {
+    obs::health::HealthConfig hc;
+    hc.ui_fs = cfg.rate.ui_seconds() * 1e15;
+    hc.center_ui = cfg.improved_sampling ? 0.625 : 0.5;
+    return hc;
+}
 
 class GccoChannel {
 public:
@@ -86,6 +98,18 @@ public:
     void attach_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix);
 
+    /// Attach an in-situ health monitor (obs/health). The channel feeds it
+    /// the same folded margins that land in margins_ui() — pure
+    /// observation, so an attached run stays bit-identical in decisions
+    /// and counters. The monitor must outlive the simulation; pass
+    /// nullptr to detach (the hot path pays one branch either way).
+    void attach_health(obs::health::LaneHealthMonitor* monitor) {
+        health_ = monitor;
+    }
+    [[nodiscard]] obs::health::LaneHealthMonitor* health() const {
+        return health_;
+    }
+
     /// Record this channel's key simulation events into a flight-recorder
     /// ring: input transitions ("din"), GCCO gating/restart (the EDET
     /// falls/rises that stop and relaunch the ring oscillator), sampling
@@ -120,6 +144,7 @@ private:
     SimTime last_clk_rise_{-1};
     obs::Counter* m_decisions_ = nullptr;
     obs::FlightRing* flight_ = nullptr;
+    obs::health::LaneHealthMonitor* health_ = nullptr;
 };
 
 }  // namespace gcdr::cdr

@@ -130,6 +130,21 @@ void MultiChannelCdr::update_lock_metrics(double lock_tol_rel) {
     }
 }
 
+void MultiChannelCdr::attach_health(obs::health::HealthHub& hub) {
+    health_hub_ = &hub;
+    hub.configure(channels_.size(), health_config_for(cfg_.channel));
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        channels_[i]->attach_health(&hub.lane(i));
+        // The dump hook checks flight_ at fire time: enable_flight_recorder
+        // may legitimately come after attach_health.
+        hub.lane(i).on_lost = [this, i](obs::health::LockState) {
+            if (flight_) {
+                flight_->dump("health_lost:ch" + std::to_string(i));
+            }
+        };
+    }
+}
+
 void MultiChannelCdr::enable_flight_recorder(obs::FlightRecorder& recorder,
                                              std::size_t vcd_max_changes) {
     flight_ = &recorder;

@@ -105,6 +105,21 @@ public:
     /// channel's newest traced event.
     void update_lock_metrics(double lock_tol_rel = 1e-2);
 
+    /// Attach an in-situ health hub (obs/health): (re)configures `hub`
+    /// with one monitor per channel — UI and sampling center taken from
+    /// the channel template — and feeds each monitor its channel's margin
+    /// stream. Any lane transitioning into kLost triggers a
+    /// flight-recorder post-mortem ("health_lost:ch<i>") when
+    /// enable_flight_recorder() is active. Call before running; `hub`
+    /// must outlive the simulation. Pure observation: decisions and
+    /// counters stay bit-identical to an unmonitored run at any thread
+    /// count (each monitor is only touched by its channel's scheduler
+    /// thread).
+    void attach_health(obs::health::HealthHub& hub);
+    [[nodiscard]] obs::health::HealthHub* health() const {
+        return health_hub_;
+    }
+
     /// Wire the whole receiver into `recorder`:
     ///  - one flight ring per channel ("ch<i>") fed by record_flight(),
     ///  - one causal tracer per scheduler, attached so ring entries carry
@@ -135,6 +150,7 @@ private:
     std::vector<std::unique_ptr<ElasticBuffer>> elastic_;
     obs::MetricsRegistry* metrics_ = nullptr;
     std::string metrics_prefix_;
+    obs::health::HealthHub* health_hub_ = nullptr;
 
     // Flight-recorder state (empty until enable_flight_recorder()).
     obs::FlightRecorder* flight_ = nullptr;

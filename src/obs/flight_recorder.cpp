@@ -45,6 +45,19 @@ void crash_handler(int sig) {
 
 }  // namespace
 
+std::string sanitize_dump_tag(const std::string& reason) {
+    std::string tag;
+    tag.reserve(reason.size());
+    for (char c : reason) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-';
+        tag.push_back(ok ? c : '_');
+        if (tag.size() >= 48) break;  // keep paths bounded
+    }
+    if (tag.empty()) tag = "dump";
+    return tag;
+}
+
 FlightRing::FlightRing(std::string name, std::size_t capacity)
     : name_(std::move(name)),
       slots_(round_up_pow2(capacity == 0 ? 1 : capacity)),
@@ -125,8 +138,18 @@ std::string FlightRecorder::dump(const std::string& reason,
             if (r->tracer()) { focus_tracer = r->tracer(); break; }
     }
 
+    // Dump names carry the sanitized reason (which includes the faulting
+    // lane, e.g. "lock_loss:ch2" -> "lock_loss_ch2") plus a process-wide
+    // monotonic sequence number. The per-recorder index `n` only gates
+    // max_dumps: two recorders sharing a dump_dir — or two lanes faulting
+    // in the same run — would both have been "flight_dump_0" and the
+    // second post-mortem silently overwrote the first.
+    static std::atomic<std::uint64_t> g_dump_seq{0};
+    const std::uint64_t seq =
+        g_dump_seq.fetch_add(1, std::memory_order_relaxed);
     const std::string stem = config_.dump_dir + "/flight_dump_" +
-                             std::to_string(n);
+                             sanitize_dump_tag(reason) + "_" +
+                             std::to_string(seq);
     const std::string json_path = stem + ".json";
 
     std::vector<std::string> waveform_paths;

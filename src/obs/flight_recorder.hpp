@@ -33,6 +33,14 @@
 
 namespace gcdr::obs {
 
+/// Filename-safe tag derived from a dump reason: [A-Za-z0-9-] preserved,
+/// everything else '_', truncated to 48 chars ("lock_loss:ch2" ->
+/// "lock_loss_ch2"). Dump files are named
+/// "flight_dump_<tag>_<seq>.json" with a process-wide monotonic <seq>,
+/// so simultaneous faults on different lanes (or recorders) never
+/// overwrite each other's post-mortems. Exposed for tests.
+[[nodiscard]] std::string sanitize_dump_tag(const std::string& reason);
+
 /// One recorded simulation event. `kind` must be a string literal (the
 /// ring stores the pointer; the append path never allocates).
 struct FlightEvent {

@@ -1,0 +1,298 @@
+#include "obs/health/health_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace gcdr::obs::health {
+
+const char* lock_state_name(LockState s) {
+    switch (s) {
+        case LockState::kAcquiring: return "acquiring";
+        case LockState::kLocked: return "locked";
+        case LockState::kDegraded: return "degraded";
+        case LockState::kLost: return "lost";
+    }
+    return "unknown";
+}
+
+void FixedHistogram::record(double v) {
+    if (counts_.empty()) return;
+    const double span = hi_ - lo_;
+    double x = (v - lo_) / span * static_cast<double>(counts_.size());
+    std::size_t i = 0;
+    if (x >= static_cast<double>(counts_.size())) {
+        i = counts_.size() - 1;
+    } else if (x > 0.0) {
+        i = static_cast<std::size_t>(x);
+        if (i >= counts_.size()) i = counts_.size() - 1;
+    }
+    ++counts_[i];
+}
+
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+void LaneHealthMonitor::configure(const HealthConfig& cfg) {
+    cfg_ = cfg;
+    if (cfg_.window < 2) cfg_.window = 2;
+    cfg_.window = round_up_pow2(cfg_.window);
+    ring_.assign(cfg_.window, 0.0);
+    ring_mask_ = cfg_.window - 1;
+    // Phase error spans one UI around zero; folded decision errors go
+    // below, so leave headroom on the low side. Margins live in
+    // [-0.5, 1.0) after folding.
+    pe_hist_ = FixedHistogram(-0.75, 0.75, 32);
+    margin_hist_ = FixedHistogram(-0.5, 1.0, 32);
+    reset();
+}
+
+void LaneHealthMonitor::reset() {
+    state_ = LockState::kAcquiring;
+    samples_ = windows_ = good_windows_ = bad_windows_ = 0;
+    margin_violations_ = 0;
+    good_streak_ = bad_streak_ = 0;
+    first_sample_fs_ = degraded_since_fs_ = -1;
+    settle_ui_ = -1.0;
+    relocks_ = 0;
+    last_relock_ui_ = -1.0;
+    eye_ui_ = drift_fast_ui_ = drift_slow_ui_ = drift_ui_ = 0.0;
+    ewma_primed_ = false;
+    last_window_ = WindowStats{};
+    pe_hist_.reset();
+    margin_hist_.reset();
+}
+
+void LaneHealthMonitor::on_margin(std::int64_t time_fs, double margin_ui) {
+    if (first_sample_fs_ < 0) first_sample_fs_ = time_fs;
+    if (margin_ui < 0.0) ++margin_violations_;
+    pe_hist_.record(margin_ui - cfg_.center_ui);
+    margin_hist_.record(margin_ui);
+    ring_[samples_ & ring_mask_] = margin_ui;
+    ++samples_;
+    if ((samples_ & ring_mask_) == 0) complete_window(time_fs);
+}
+
+void LaneHealthMonitor::complete_window(std::int64_t time_fs) {
+    const std::size_t n = ring_.size();
+    double sum = 0.0;
+    double sum2 = 0.0;
+    double mn = ring_[0];
+    double mx = ring_[0];
+    for (double m : ring_) {
+        const double pe = m - cfg_.center_ui;
+        sum += pe;
+        sum2 += pe * pe;
+        mn = std::min(mn, m);
+        mx = std::max(mx, m);
+    }
+    last_window_.mean_pe_ui = sum / static_cast<double>(n);
+    last_window_.rms_pe_ui = std::sqrt(sum2 / static_cast<double>(n));
+    last_window_.min_margin_ui = mn;
+    last_window_.max_margin_ui = mx;
+    ++windows_;
+
+    const bool good =
+        mn >= cfg_.good_min_margin_ui &&
+        std::fabs(last_window_.mean_pe_ui) <= cfg_.good_max_abs_pe_ui;
+    const bool bad =
+        mn < cfg_.bad_min_margin_ui ||
+        std::fabs(last_window_.mean_pe_ui) > cfg_.bad_max_abs_pe_ui;
+    if (good) {
+        ++good_windows_;
+        ++good_streak_;
+    } else {
+        good_streak_ = 0;
+    }
+    if (bad) {
+        ++bad_windows_;
+        ++bad_streak_;
+    } else {
+        bad_streak_ = 0;
+    }
+
+    // Eye estimate: the UI fraction no transition crossed this window.
+    const double eye_w = std::clamp(1.0 - (mx - mn), 0.0, 1.0);
+    if (!ewma_primed_) {
+        eye_ui_ = eye_w;
+        drift_fast_ui_ = drift_slow_ui_ = last_window_.mean_pe_ui;
+        ewma_primed_ = true;
+    } else {
+        eye_ui_ += cfg_.eye_alpha * (eye_w - eye_ui_);
+        drift_fast_ui_ +=
+            cfg_.drift_fast_alpha * (last_window_.mean_pe_ui - drift_fast_ui_);
+        drift_slow_ui_ +=
+            cfg_.drift_slow_alpha * (last_window_.mean_pe_ui - drift_slow_ui_);
+    }
+    drift_ui_ = std::fabs(drift_fast_ui_ - drift_slow_ui_);
+
+    switch (state_) {
+        case LockState::kAcquiring:
+            if (good_streak_ >= cfg_.lock_windows) {
+                settle_ui_ = static_cast<double>(time_fs - first_sample_fs_) /
+                             cfg_.ui_fs;
+                transition(LockState::kLocked, time_fs);
+            } else if (bad_streak_ >= cfg_.lost_windows ||
+                       windows_ >= cfg_.acquire_timeout_windows) {
+                // A lane that is consistently *bad* while acquiring (e.g. a
+                // gross TX rate offset) is declared lost without waiting out
+                // the full acquisition timeout.
+                transition(LockState::kLost, time_fs);
+            }
+            break;
+        case LockState::kLocked:
+            if (bad_streak_ >= cfg_.lost_windows) {
+                transition(LockState::kLost, time_fs);
+            } else if (!good) {
+                degraded_since_fs_ = time_fs;
+                transition(LockState::kDegraded, time_fs);
+            }
+            break;
+        case LockState::kDegraded:
+            if (bad_streak_ >= cfg_.lost_windows) {
+                transition(LockState::kLost, time_fs);
+            } else if (good_streak_ >= cfg_.relock_windows) {
+                ++relocks_;
+                last_relock_ui_ =
+                    static_cast<double>(time_fs - degraded_since_fs_) /
+                    cfg_.ui_fs;
+                transition(LockState::kLocked, time_fs);
+            }
+            break;
+        case LockState::kLost:
+            // Sticky within a run: the post-mortem has fired and the
+            // terminal state is what the report should carry.
+            break;
+    }
+}
+
+void LaneHealthMonitor::transition(LockState next, std::int64_t /*time_fs*/) {
+    const LockState from = state_;
+    state_ = next;
+    if (next == LockState::kLost && on_lost) on_lost(from);
+}
+
+double LaneHealthMonitor::score() const {
+    double w = 0.0;
+    switch (state_) {
+        case LockState::kAcquiring: w = 0.3; break;
+        case LockState::kLocked: w = 1.0; break;
+        case LockState::kDegraded: w = 0.6; break;
+        case LockState::kLost: return 0.0;
+    }
+    const double eye = std::clamp(eye_ui_, 0.0, 1.0);
+    const double drift_penalty = std::max(0.0, 1.0 - 4.0 * drift_ui_);
+    return w * eye * drift_penalty;
+}
+
+void HealthHub::configure(std::size_t n_lanes, const HealthConfig& cfg) {
+    lanes_.assign(n_lanes, LaneHealthMonitor(cfg));
+}
+
+std::size_t HealthHub::locked_lanes() const {
+    std::size_t n = 0;
+    for (const auto& m : lanes_) {
+        if (m.state() == LockState::kLocked) ++n;
+    }
+    return n;
+}
+
+bool HealthHub::all_locked() const {
+    return locked_lanes() == lanes_.size() && !lanes_.empty();
+}
+
+namespace {
+
+void write_histogram(JsonWriter& w, const FixedHistogram& h) {
+    w.begin_object();
+    w.key("lo").value(h.lo());
+    w.key("hi").value(h.hi());
+    w.key("counts").begin_array();
+    for (std::size_t i = 0; i < h.bins(); ++i) w.value(h.count(i));
+    w.end_array();
+    w.end_object();
+}
+
+void write_lane(JsonWriter& w, const LaneHealthMonitor& m, std::size_t lane) {
+    w.begin_object();
+    w.key("lane").value(static_cast<std::uint64_t>(lane));
+    w.key("state").value(lock_state_name(m.state()));
+    w.key("score").value(m.score());
+    w.key("samples").value(m.samples());
+    w.key("windows").value(m.windows());
+    w.key("good_windows").value(m.good_windows());
+    w.key("bad_windows").value(m.bad_windows());
+    w.key("margin_violations").value(m.margin_violations());
+    w.key("settle_ui").value(m.settle_ui());
+    w.key("relocks").value(m.relocks());
+    w.key("last_relock_ui").value(m.last_relock_ui());
+    w.key("eye_ui").value(m.eye_ui());
+    w.key("drift_ui").value(m.drift_ui());
+    const WindowStats& s = m.last_window();
+    w.key("window").begin_object();
+    w.key("mean_pe_ui").value(s.mean_pe_ui);
+    w.key("rms_pe_ui").value(s.rms_pe_ui);
+    w.key("min_margin_ui").value(s.min_margin_ui);
+    w.key("max_margin_ui").value(s.max_margin_ui);
+    w.end_object();
+    w.key("pe_hist");
+    write_histogram(w, m.pe_histogram());
+    w.key("margin_hist");
+    write_histogram(w, m.margin_histogram());
+    w.end_object();
+}
+
+}  // namespace
+
+std::string lane_health_json(const LaneHealthMonitor& m, std::size_t lane) {
+    JsonWriter w(JsonWriter::kCompact);
+    write_lane(w, m, lane);
+    return w.str();
+}
+
+std::string HealthHub::snapshot_json() const {
+    JsonWriter w(JsonWriter::kCompact);
+    w.begin_object();
+    w.key("schema").value(kHealthSchema);
+    w.key("lanes").begin_array();
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        write_lane(w, lanes_[i], i);
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+void HealthHub::publish(MetricsRegistry& reg, const std::string& prefix) const {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        const LaneHealthMonitor& m = lanes_[i];
+        const std::string p = prefix + ".ch" + std::to_string(i) + ".health.";
+        reg.gauge(p + "state")
+            .set(static_cast<double>(static_cast<int>(m.state())));
+        reg.gauge(p + "score").set(m.score());
+        reg.gauge(p + "eye_ui").set(m.eye_ui());
+        reg.gauge(p + "drift_ui").set(m.drift_ui());
+        reg.gauge(p + "settle_ui").set(m.settle_ui());
+        reg.gauge(p + "relocks").set(static_cast<double>(m.relocks()));
+        reg.gauge(p + "windows").set(static_cast<double>(m.windows()));
+        reg.gauge(p + "good_windows")
+            .set(static_cast<double>(m.good_windows()));
+        reg.gauge(p + "bad_windows").set(static_cast<double>(m.bad_windows()));
+        reg.gauge(p + "margin_violations")
+            .set(static_cast<double>(m.margin_violations()));
+    }
+    reg.gauge(prefix + ".health.locked_lanes")
+        .set(static_cast<double>(locked_lanes()));
+}
+
+}  // namespace gcdr::obs::health

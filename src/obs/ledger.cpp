@@ -49,7 +49,13 @@ std::string ledger_record_json(const LedgerKey& key,
         w.end_object();
     }
     w.end_object();
-    return w.str();
+    std::string out = w.str();
+    if (!info.health_json.empty()) {
+        // Same splice as run_report_json: the gcdr.health/v1 snapshot is
+        // already compact JSON.
+        out.insert(out.size() - 1, ",\"health\":" + info.health_json);
+    }
+    return out;
 }
 
 bool ledger_append(const std::string& path, const LedgerKey& key,

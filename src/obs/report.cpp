@@ -91,7 +91,14 @@ std::string run_report_json(const MetricsRegistry& registry,
         w.end_object();
     }
     w.end_object();
-    return w.str() + "\n";
+    std::string out = w.str();
+    if (!info.health_json.empty()) {
+        // The snapshot is already-valid compact JSON produced by
+        // obs/health; splice it before the closing brace (the writer has
+        // no raw-value API, by design).
+        out.insert(out.size() - 1, ",\"health\":" + info.health_json);
+    }
+    return out + "\n";
 }
 
 bool write_run_report(const std::string& path,

@@ -31,6 +31,9 @@ CompiledNetlist compile_netlist(const NetlistSpec& net) {
                 lane.bits = s.bits;
                 lane.prbs = s.prbs;
                 lane.start_ns = s.start_ns;
+                lane.pattern = s.pattern;
+                lane.repeat = s.repeat;
+                lane.rate_offset = s.rate_offset;
             }
         }
         out.lanes.push_back(std::move(lane));

@@ -29,6 +29,10 @@ struct CompiledLane {
     int prbs = 7;
     double start_ns = 0.0;
     double skew_ps = 0.0;  ///< skew of the source->channel wire
+    /// Explicit bit pattern (tiled `repeat` times); empty = PRBS stream.
+    std::vector<int> pattern;
+    std::uint64_t repeat = 1;
+    double rate_offset = 0.0;  ///< TX data-rate offset (relative)
 };
 
 struct CompiledNetlist {

@@ -16,6 +16,7 @@
 #include "mc/importance.hpp"
 #include "mc/margin_model.hpp"
 #include "obs/canonical.hpp"
+#include "obs/health/health_monitor.hpp"
 #include "obs/json.hpp"
 #include "obs/sharded.hpp"
 #include "scenario/compile.hpp"
@@ -317,6 +318,110 @@ TaskResult run_netlist(const ScenarioDoc& doc, const TaskSpec& task,
     return result;
 }
 
+// --- health_probe --------------------------------------------------------
+// A netlist run with per-lane obs/health monitors attached. The run is
+// sliced into `frames` equal femtosecond spans; after each slice the
+// context's health_frame_sink (when set) receives a gcdr.health/v1
+// snapshot — this is the daemon's /v1/watch live stream. Slicing is
+// behavior-neutral (event-driven execution: run_until(a); run_until(b)
+// executes the same events as run_until(b)), so decisions, counters and
+// the final snapshot are identical for any frame count or thread count.
+// A lost lane is a *finding*, not a task failure: result.ok stays true
+// and CI asserts detection from the health block instead.
+
+TaskResult run_health_probe(const ScenarioDoc& doc, const TaskSpec& task,
+                            const ScenarioContext& ctx) {
+    obs::MetricsRegistry& reg = *ctx.metrics;
+    TaskResult result;
+    result.prefix = task.prefix;
+    result.kind = task_kind_name(task.kind);
+
+    const CompiledNetlist cn = compile_netlist(doc.netlist);
+    cdr::MultiChannelCdr rx(ctx.seed, cn.config);
+    rx.attach_metrics(reg, task.prefix + ".cdr");
+    obs::health::HealthHub hub;
+    rx.attach_health(hub);
+    if (ctx.flight) rx.enable_flight_recorder(*ctx.flight);
+
+    Rng rng(ctx.seed);
+    std::uint64_t max_bits = 0;
+    double last_start_ns = 0.0;
+    for (std::size_t i = 0; i < cn.lanes.size(); ++i) {
+        const CompiledLane& lane = cn.lanes[i];
+        std::vector<bool> bits;
+        if (lane.pattern.empty()) {
+            encoding::PrbsGenerator gen(prbs_order(lane.prbs));
+            bits = gen.bits(static_cast<std::size_t>(lane.bits));
+        } else {
+            bits.reserve(lane.pattern.size() *
+                         static_cast<std::size_t>(lane.repeat));
+            for (std::uint64_t r = 0; r < lane.repeat; ++r) {
+                for (int b : lane.pattern) bits.push_back(b != 0);
+            }
+        }
+        jitter::StreamParams sp;
+        sp.spec = doc.model.spec;
+        sp.data_rate_offset = lane.rate_offset;
+        sp.start =
+            SimTime::ns(lane.start_ns) + SimTime::ps(lane.skew_ps);
+        rx.drive(static_cast<int>(i), jitter::jittered_edges(bits, sp, rng));
+        max_bits = std::max<std::uint64_t>(max_bits, bits.size());
+        last_start_ns = std::max(last_start_ns,
+                                 lane.start_ns + lane.skew_ps * 1e-3);
+    }
+
+    const SimTime t_end =
+        SimTime::ns(last_start_ns + 4.0) +
+        kPaperRate.ui_to_time(static_cast<double>(max_bits));
+    const std::int64_t end_fs = t_end.femtoseconds();
+    const std::uint64_t frames = task.frames == 0 ? 1 : task.frames;
+    for (std::uint64_t k = 1; k <= frames; ++k) {
+        const std::int64_t slice_fs =
+            end_fs * static_cast<std::int64_t>(k) /
+            static_cast<std::int64_t>(frames);
+        rx.run_until(SimTime{slice_fs}, ctx.pool);
+        if (ctx.health_frame_sink && k < frames) {
+            ctx.health_frame_sink(hub.snapshot_json());
+        }
+    }
+    // The final snapshot is taken once and handed to both the sink and
+    // the result, so a /v1/watch client's last frame matches the report's
+    // health block byte for byte.
+    result.health_json = hub.snapshot_json();
+    if (ctx.health_frame_sink) ctx.health_frame_sink(result.health_json);
+
+    rx.update_lock_metrics();
+    hub.publish(reg, task.prefix + ".cdr");
+
+    const auto lanes = rx.drain_elastic();
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const std::string key = "ch" + std::to_string(i);
+        const obs::health::LaneHealthMonitor& m = hub.lane(i);
+        result.scalars.emplace_back(
+            key + "_recovered_bits",
+            static_cast<double>(lanes[i].size()));
+        result.scalars.emplace_back(
+            key + "_health_state",
+            static_cast<double>(static_cast<int>(m.state())));
+        result.scalars.emplace_back(key + "_health_score", m.score());
+        result.scalars.emplace_back(key + "_settle_ui", m.settle_ui());
+        if (ctx.verbose) {
+            std::printf("[%s] lane %zu (%s): %zu bits, health %s "
+                        "(score %.3f)\n",
+                        task.prefix.c_str(), i,
+                        cn.lanes[i].channel.c_str(), lanes[i].size(),
+                        obs::health::lock_state_name(m.state()),
+                        m.score());
+        }
+    }
+    result.scalars.emplace_back(
+        "health_locked_lanes", static_cast<double>(hub.locked_lanes()));
+    result.scalars.emplace_back(
+        "locked_channels",
+        reg.gauge(task.prefix + ".cdr.locked_channels").value());
+    return result;
+}
+
 // --- differential --------------------------------------------------------
 // The fuzzer's oracle. Strict gate: importance sampling on the analytic
 // margin model (same equations as the statmodel) must agree with
@@ -434,6 +539,9 @@ ScenarioResult run_scenario(const ScenarioDoc& doc,
             case TaskSpec::Kind::kDifferential:
                 tr = run_differential(doc, task, ctx);
                 break;
+            case TaskSpec::Kind::kHealthProbe:
+                tr = run_health_probe(doc, task, ctx);
+                break;
         }
         result.ok = result.ok && tr.ok;
         result.tasks.push_back(std::move(tr));
@@ -473,6 +581,13 @@ std::string result_payload_json(const ScenarioDoc& doc,
         if (i) out += ',';
         out += '"' + obs::JsonWriter::escape(t.prefix) + "\":{";
         bool first = true;
+        if (!t.health_json.empty()) {
+            // Already-canonical compact JSON (gcdr.health/v1); spliced
+            // verbatim so the payload stays byte-comparable with the
+            // daemon's final watch frame. "health" sorts before the
+            // other keys.
+            append_field(out, first, "health", t.health_json);
+        }
         append_field(out, first, "kind",
                      "\"" + obs::JsonWriter::escape(t.kind) + "\"");
         append_field(out, first, "ok", t.ok ? "true" : "false");

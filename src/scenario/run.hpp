@@ -15,11 +15,13 @@
 // TaskResults, never from the registry, because timers are wall-clock.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/scenario_doc.hpp"
 
@@ -30,6 +32,13 @@ struct ScenarioContext {
     exec::ThreadPool* pool = nullptr;         ///< required
     std::uint64_t seed = 1;
     bool verbose = false;  ///< print bench-style tables to stdout
+    /// When set, health_probe tasks wire lane-health lock-loss dumps (and
+    /// the receiver's own fault hooks) into this recorder.
+    obs::FlightRecorder* flight = nullptr;
+    /// When set, health_probe tasks call this after every run slice with
+    /// a gcdr.health/v1 snapshot — the daemon's /v1/watch live stream.
+    /// The final frame equals the task's health_json byte for byte.
+    std::function<void(const std::string&)> health_frame_sink;
 };
 
 /// Deterministic output of one task: named scalars plus named series,
@@ -40,6 +49,8 @@ struct TaskResult {
     bool ok = true;  ///< differential gates / mask checks passed
     std::vector<std::pair<std::string, double>> scalars;
     std::vector<std::pair<std::string, std::vector<double>>> series;
+    /// health_probe only: final gcdr.health/v1 snapshot (compact JSON).
+    std::string health_json;
 };
 
 struct ScenarioResult {

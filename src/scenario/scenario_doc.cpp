@@ -39,6 +39,8 @@ const char* task_kind_name(TaskSpec::Kind k) {
             return "netlist_run";
         case TaskSpec::Kind::kDifferential:
             return "differential";
+        case TaskSpec::Kind::kHealthProbe:
+            return "health_probe";
     }
     return "?";
 }
@@ -435,16 +437,19 @@ void parse_netlist(Ctx& ctx, const obs::JsonValue& v, NetlistSpec& net) {
         if (kind == "source") {
             SourceSpec s;
             s.name = name;
+            bool saw_bits = false, saw_prbs = false, saw_repeat = false;
             for (const auto& [key, val] : inst.members) {
                 const std::string kp = ip + "." + key;
                 if (key == "kind") continue;
                 if (key == "bits") {
+                    saw_bits = true;
                     if (read_uint(ctx, val, kp, s.bits) &&
                         (s.bits < 1 || s.bits > 10'000'000)) {
                         ctx.fail(&val, kp,
                                  "want an integer in [1, 10000000]");
                     }
                 } else if (key == "prbs") {
+                    saw_prbs = true;
                     std::uint64_t order = 0;
                     if (read_uint(ctx, val, kp, order)) {
                         if (order != 7 && order != 9 && order != 15 &&
@@ -461,9 +466,51 @@ void parse_netlist(Ctx& ctx, const obs::JsonValue& v, NetlistSpec& net) {
                         s.start_ns < 0.0) {
                         ctx.fail(&val, kp, "want >= 0");
                     }
+                } else if (key == "pattern") {
+                    if (!val.is_array() || val.items.empty() ||
+                        val.items.size() > 4096) {
+                        ctx.fail(&val, kp,
+                                 "want an array of 0/1 bits, size "
+                                 "[1, 4096]");
+                        continue;
+                    }
+                    s.pattern.clear();
+                    for (std::size_t b = 0; b < val.items.size(); ++b) {
+                        const obs::JsonValue& bit = val.items[b];
+                        const std::uint64_t got = bit.uint_or(2);
+                        if (!bit.is_number() || got > 1) {
+                            ctx.fail(&bit,
+                                     kp + "[" + std::to_string(b) + "]",
+                                     "pattern bits must be 0 or 1");
+                            break;
+                        }
+                        s.pattern.push_back(static_cast<int>(got));
+                    }
+                } else if (key == "repeat") {
+                    saw_repeat = true;
+                    if (read_uint(ctx, val, kp, s.repeat) &&
+                        (s.repeat < 1 || s.repeat > 100'000)) {
+                        ctx.fail(&val, kp,
+                                 "want an integer in [1, 100000]");
+                    }
+                } else if (key == "rate_offset") {
+                    if (read_double(ctx, val, kp, s.rate_offset) &&
+                        std::fabs(s.rate_offset) > 0.5) {
+                        ctx.fail(&val, kp, "want in [-0.5, 0.5]");
+                    }
                 } else {
                     ctx.fail(&val, kp, "unknown key \"" + key + "\"");
                 }
+            }
+            if (!s.pattern.empty() && (saw_bits || saw_prbs)) {
+                ctx.fail(&inst, ip,
+                         "\"pattern\" replaces the PRBS stream; it "
+                         "cannot be combined with \"bits\" or \"prbs\"");
+            }
+            if (saw_repeat && s.pattern.empty()) {
+                ctx.fail(&inst, ip,
+                         "\"repeat\" only applies to a \"pattern\" "
+                         "source");
             }
             net.sources.push_back(std::move(s));
             kinds.emplace_back(name, InstKind::kSource);
@@ -728,10 +775,12 @@ void parse_task(Ctx& ctx, const obs::JsonValue& v, const std::string& tp,
         task.kind = TaskSpec::Kind::kNetlistRun;
     } else if (kind == "differential") {
         task.kind = TaskSpec::Kind::kDifferential;
+    } else if (kind == "health_probe") {
+        task.kind = TaskSpec::Kind::kHealthProbe;
     } else {
         ctx.fail(kindv ? kindv : &v, tp + ".kind",
                  "want \"ber_surface\", \"baseline_jtol\", "
-                 "\"netlist_run\" or \"differential\"");
+                 "\"netlist_run\", \"differential\" or \"health_probe\"");
         return;
     }
     task.prefix = task_kind_name(task.kind);
@@ -739,6 +788,7 @@ void parse_task(Ctx& ctx, const obs::JsonValue& v, const std::string& tp,
     const bool surface = task.kind == TaskSpec::Kind::kBerSurface;
     const bool baseline = task.kind == TaskSpec::Kind::kBaselineJtol;
     const bool differential = task.kind == TaskSpec::Kind::kDifferential;
+    const bool healthprobe = task.kind == TaskSpec::Kind::kHealthProbe;
 
     for (const auto& [key, val] : v.members) {
         const std::string kp = tp + "." + key;
@@ -880,6 +930,11 @@ void parse_task(Ctx& ctx, const obs::JsonValue& v, const std::string& tp,
                 task.behavioral_tau < 1.0) {
                 ctx.fail(&val, kp, "want >= 1");
             }
+        } else if (healthprobe && key == "frames") {
+            if (read_uint(ctx, val, kp, task.frames) &&
+                (task.frames < 1 || task.frames > 1000)) {
+                ctx.fail(&val, kp, "want an integer in [1, 1000]");
+            }
         } else {
             ctx.fail(&val, kp,
                      "unknown key \"" + key + "\" for kind \"" + kind +
@@ -965,10 +1020,12 @@ bool scenario_from_json(const obs::JsonValue& root, ScenarioDoc& doc,
                                  "\" (metrics would collide)");
                 }
             }
-            if (doc.tasks[i].kind == TaskSpec::Kind::kNetlistRun &&
+            if ((doc.tasks[i].kind == TaskSpec::Kind::kNetlistRun ||
+                 doc.tasks[i].kind == TaskSpec::Kind::kHealthProbe) &&
                 !doc.has_netlist) {
                 ctx.fail(&root, "tasks[" + std::to_string(i) + "]",
-                         "netlist_run task needs a \"netlist\" section");
+                         std::string(task_kind_name(doc.tasks[i].kind)) +
+                             " task needs a \"netlist\" section");
             }
         }
     }
@@ -1110,6 +1167,9 @@ std::string task_json(const TaskSpec& t) {
             uint("behavioral_runs", t.behavioral_runs);
             num("behavioral_tau", t.behavioral_tau);
             break;
+        case TaskSpec::Kind::kHealthProbe:
+            uint("frames", t.frames);
+            break;
     }
     str("kind", std::string(task_kind_name(t.kind)));
     str("prefix", t.prefix);
@@ -1144,11 +1204,34 @@ std::string netlist_json(const NetlistSpec& net) {
         insts.emplace_back(m.name, "{\"kind\":\"monitor\"}");
     }
     for (const SourceSpec& s : net.sources) {
+        // Pattern sources replace the PRBS stream, so exactly one of the
+        // two generator descriptions is emitted; rate_offset only when
+        // non-default. This keeps pre-existing documents' canonical bytes
+        // (and therefore scenario hashes) unchanged — same conditional-
+        // emission precedent as the baseline task's "offsets".
         std::string o = "{";
         bool first = true;
-        append_uint(o, first, "bits", s.bits);
-        append_string(o, first, "kind", "source");
-        append_uint(o, first, "prbs", static_cast<std::uint64_t>(s.prbs));
+        if (s.pattern.empty()) {
+            append_uint(o, first, "bits", s.bits);
+            append_string(o, first, "kind", "source");
+            append_uint(o, first, "prbs",
+                        static_cast<std::uint64_t>(s.prbs));
+        } else {
+            append_string(o, first, "kind", "source");
+            std::string pat = "[";
+            for (std::size_t b = 0; b < s.pattern.size(); ++b) {
+                if (b) pat += ',';
+                pat += s.pattern[b] ? '1' : '0';
+            }
+            pat += ']';
+            append_field(o, first, "pattern", pat);
+        }
+        if (s.rate_offset != 0.0) {
+            append_number(o, first, "rate_offset", s.rate_offset);
+        }
+        if (!s.pattern.empty()) {
+            append_uint(o, first, "repeat", s.repeat);
+        }
         append_number(o, first, "start_ns", s.start_ns);
         o += '}';
         insts.emplace_back(s.name, std::move(o));

@@ -80,7 +80,13 @@ struct JtolSpec {
 };
 
 struct TaskSpec {
-    enum class Kind { kBerSurface, kBaselineJtol, kNetlistRun, kDifferential };
+    enum class Kind {
+        kBerSurface,
+        kBaselineJtol,
+        kNetlistRun,
+        kDifferential,
+        kHealthProbe
+    };
     Kind kind = Kind::kBerSurface;
     /// Metric prefix ("fig9" -> fig9.ber_evals...); unique per document.
     std::string prefix;
@@ -110,6 +116,13 @@ struct TaskSpec {
     std::uint64_t behavioral_runs = 4096;  ///< 0 = analytic-only
     double behavioral_min_ber = 3e-4;  ///< skip behavioral below this BER
     double behavioral_tau = 5.0;       ///< CI inflation of the loose gate
+
+    // kHealthProbe: netlist run with per-lane health monitors attached
+    // (obs/health); the run is sliced into `frames` equal femtosecond
+    // spans and a gcdr.health/v1 snapshot is emitted after each slice
+    // (the daemon's /v1/watch live stream). Event-driven execution makes
+    // the slicing behavior-neutral.
+    std::uint64_t frames = 8;
 };
 
 [[nodiscard]] const char* task_kind_name(TaskSpec::Kind k);
@@ -122,7 +135,8 @@ struct McSpec {
 
 // --- netlist -------------------------------------------------------------
 // Instance kinds and their ports:
-//   source  { bits, prbs, start_ns }          out  (output)
+//   source  { bits, prbs, start_ns,           out  (output)
+//             pattern, repeat, rate_offset }
 //   channel { f_osc_hz, ckj_uirms,            din  (input)
 //             improved_sampling }             dout (output)
 //   monitor {}                                in   (input)
@@ -134,6 +148,15 @@ struct SourceSpec {
     std::uint64_t bits = 2000;
     int prbs = 7;  ///< PRBS order: 7, 9, 15, 23 or 31
     double start_ns = 4.0;
+    /// Explicit 0/1 bit pattern; when non-empty it replaces the PRBS
+    /// stream (specifying `pattern` together with `bits` or `prbs` is an
+    /// error) and the source emits pattern repeated `repeat` times.
+    std::vector<int> pattern;
+    std::uint64_t repeat = 1;
+    /// Relative TX data-rate offset (jitter::StreamParams::data_rate_offset);
+    /// a grossly off-rate source makes the lane unlockable — the health
+    /// subsystem's fault-injection knob.
+    double rate_offset = 0.0;
 };
 
 struct ChannelSpec {

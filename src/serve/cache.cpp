@@ -1,5 +1,6 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "obs/json_parse.hpp"
@@ -102,9 +103,21 @@ bool ResultCache::lookup(const CacheKey& key, std::string& out) {
         return false;
     }
     ++stats_.hits;
+    if (age_hist_) {
+        age_hist_->record(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              it->second.stored_at)
+                              .count());
+    }
     touch_locked(it->second, key);
     out = it->second.payload;
     return true;
+}
+
+void ResultCache::attach_metrics(obs::MetricsRegistry* reg) {
+    std::lock_guard<std::mutex> lk(mu_);
+    age_hist_ = reg ? &reg->histogram("serve.cache.entry_age_seconds")
+                    : nullptr;
 }
 
 bool ResultCache::contains(const CacheKey& key) const {
@@ -137,14 +150,16 @@ void ResultCache::insert_locked(const CacheKey& key, std::string payload,
                           {{"path", path_}});
         }
     }
+    const auto now = std::chrono::steady_clock::now();
     auto it = map_.find(key);
     if (it != map_.end()) {
         it->second.payload = std::move(payload);
+        it->second.stored_at = now;
         touch_locked(it->second, key);
         return;
     }
     lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(payload), lru_.begin()});
+    map_.emplace(key, Entry{std::move(payload), lru_.begin(), now});
     while (max_entries_ != 0 && map_.size() > max_entries_) {
         map_.erase(lru_.back());
         lru_.pop_back();
@@ -201,6 +216,17 @@ void ResultCache::publish(obs::MetricsRegistry& reg) const {
     set_counter("serve.cache.load_skipped", s.load_skipped);
     reg.gauge("serve.cache.entries").set(static_cast<double>(s.entries));
     reg.gauge("serve.cache.hit_ratio").set(s.hit_ratio());
+    double oldest_s = 0.0;
+    {
+        const auto now = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto& [key, e] : map_) {
+            oldest_s = std::max(
+                oldest_s,
+                std::chrono::duration<double>(now - e.stored_at).count());
+        }
+    }
+    reg.gauge("serve.cache.oldest_entry_age_seconds").set(oldest_s);
 }
 
 }  // namespace gcdr::serve

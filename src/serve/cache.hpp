@@ -29,6 +29,7 @@
 // eviction (append-only contract); compact() rewrites it to exactly the
 // live set when a maintenance window wants the disk back.
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -107,8 +108,14 @@ public:
     [[nodiscard]] CacheStats stats() const;
     [[nodiscard]] const std::string& path() const { return path_; }
 
+    /// Attach live instrumentation: every subsequent hit records the
+    /// served entry's age into serve.cache.entry_age_seconds. Call once,
+    /// before concurrent use (the server does, at construction).
+    void attach_metrics(obs::MetricsRegistry* reg);
+
     /// Mirror stats into serve.cache.* counters/gauges on a registry
     /// (called by the server's stats endpoints; cheap, snapshot-style).
+    /// Also refreshes serve.cache.oldest_entry_age_seconds.
     void publish(obs::MetricsRegistry& reg) const;
 
     /// One segment line (exposed for tests / offline tooling).
@@ -119,6 +126,9 @@ private:
     struct Entry {
         std::string payload;
         std::list<CacheKey>::iterator lru_it;
+        /// When the payload landed (insert or overwrite) — the age
+        /// recorded on hits and behind the oldest-entry gauge.
+        std::chrono::steady_clock::time_point stored_at;
     };
 
     void touch_locked(Entry& e, const CacheKey& key);
@@ -134,6 +144,7 @@ private:
     std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
     std::list<CacheKey> lru_;  ///< front = most recent
     CacheStats stats_;
+    obs::Histogram* age_hist_ = nullptr;  ///< set by attach_metrics
     bool warned_io_ = false;
 };
 

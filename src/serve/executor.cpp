@@ -50,7 +50,8 @@ CacheKey JobExecutor::key_of(const JobSpec& spec) {
 }
 
 std::string JobExecutor::compute_payload(const JobSpec& spec,
-                                         exec::ThreadPool& pool) const {
+                                         exec::ThreadPool& pool,
+                                         JobState* job) const {
     if (spec.type == JobType::kScenario) {
         // Scenario payloads come from the runner's deterministic
         // TaskResults, never from a metrics registry (timers are
@@ -62,6 +63,14 @@ std::string JobExecutor::compute_payload(const JobSpec& spec,
         ctx.pool = &pool;
         ctx.seed = spec.seed;
         ctx.verbose = false;
+        if (job) {
+            // health_probe tasks call this once per completed slice and
+            // once with the final snapshot; watchers on /v1/watch/<id>
+            // see each frame as its own chunk.
+            ctx.health_frame_sink = [job](const std::string& frame) {
+                job->push_frame(frame);
+            };
+        }
         const scenario::ScenarioResult result =
             scenario::run_scenario(spec.scenario, ctx);
         std::string payload =
@@ -125,7 +134,7 @@ ExecOutcome JobExecutor::run_single(JobState& job, exec::ThreadPool& pool) {
     } else {
         out.cache_misses = 1;
         obs::ScopedTimer t(metrics_, "serve.point_seconds");
-        payload = compute_payload(spec, pool);
+        payload = compute_payload(spec, pool, &job);
         cache_->store(key, payload);
         if (metrics_) metrics_->counter("serve.points_computed").inc();
     }

@@ -57,8 +57,13 @@ public:
 private:
     ExecOutcome run_single(JobState& job, exec::ThreadPool& pool);
     ExecOutcome run_sweep(JobState& job, exec::ThreadPool& pool);
+    /// `job` non-null only for single (non-sweep-point) computations:
+    /// scenario health_probe tasks push live gcdr.health/v1 frames into
+    /// it for the /v1/watch stream. Cache hits bypass this path, so a
+    /// fully cached job streams no frames — only the envelope.
     [[nodiscard]] std::string compute_payload(const JobSpec& spec,
-                                              exec::ThreadPool& pool) const;
+                                              exec::ThreadPool& pool,
+                                              JobState* job = nullptr) const;
 
     ResultCache* cache_;
     obs::MetricsRegistry* metrics_;

@@ -136,6 +136,8 @@ void HttpExchange::respond(int status, std::string_view body,
                            std::string_view content_type) {
     if (responded_) return;
     responded_ = true;
+    status_ = status;
+    bytes_sent_ += body.size();
     char head[256];
     std::snprintf(head, sizeof head,
                   "HTTP/1.1 %d %s\r\nContent-Type: %.*s\r\n"
@@ -151,6 +153,7 @@ void HttpExchange::respond(int status, std::string_view body,
 void HttpExchange::begin_chunked(int status, std::string_view content_type) {
     if (responded_) return;
     responded_ = true;
+    status_ = status;
     chunked_open_ = true;
     char head[256];
     std::snprintf(head, sizeof head,
@@ -165,6 +168,7 @@ void HttpExchange::begin_chunked(int status, std::string_view content_type) {
 
 void HttpExchange::send_chunk(std::string_view data) {
     if (!chunked_open_ || data.empty()) return;
+    bytes_sent_ += data.size();
     char size_line[32];
     std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
     std::string msg(size_line);

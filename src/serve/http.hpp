@@ -59,6 +59,12 @@ public:
     /// A send failed (peer gone): the connection will be dropped.
     [[nodiscard]] bool failed() const { return failed_; }
 
+    /// Status code of the response sent (0 until respond/begin_chunked)
+    /// and body bytes written so far — the server's access log reads
+    /// both after the handler returns.
+    [[nodiscard]] int status() const { return status_; }
+    [[nodiscard]] std::size_t bytes_sent() const { return bytes_sent_; }
+
 private:
     bool send_all(std::string_view data);
 
@@ -66,6 +72,8 @@ private:
     bool responded_ = false;
     bool chunked_open_ = false;
     bool failed_ = false;
+    int status_ = 0;
+    std::size_t bytes_sent_ = 0;
 };
 
 class HttpServer {

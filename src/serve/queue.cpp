@@ -1,5 +1,6 @@
 #include "serve/queue.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace gcdr::serve {
@@ -75,6 +76,36 @@ std::string JobState::result() const {
     return result_;
 }
 
+void JobState::push_frame(std::string frame) {
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        frames_.push_back(std::move(frame));
+    }
+    cv_.notify_all();
+}
+
+std::size_t JobState::wait_frames(std::size_t seen,
+                                  std::vector<std::string>& out) const {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] {
+        return frames_.size() > seen || job_status_terminal(status_);
+    });
+    for (std::size_t i = seen; i < frames_.size(); ++i) {
+        out.push_back(frames_[i]);
+    }
+    return frames_.size();
+}
+
+std::string JobState::latest_frame() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return frames_.empty() ? std::string() : frames_.back();
+}
+
+std::size_t JobState::frame_count() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return frames_.size();
+}
+
 std::shared_ptr<JobState> JobQueue::submit(JobSpec spec) {
     return submit_with_sink(std::move(spec), nullptr);
 }
@@ -143,6 +174,18 @@ std::shared_ptr<JobState> JobQueue::find(std::uint64_t id) const {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = by_id_.find(id);
     return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<JobState>> JobQueue::jobs() const {
+    std::vector<std::shared_ptr<JobState>> out;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        out.reserve(by_id_.size());
+        for (const auto& [id, job] : by_id_) out.push_back(job);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a->id() < b->id(); });
+    return out;
 }
 
 std::size_t JobQueue::depth() const {

@@ -80,6 +80,20 @@ public:
     /// Terminal result envelope (empty until finished).
     [[nodiscard]] std::string result() const;
 
+    /// Append one gcdr.health/v1 frame (scenario health_probe jobs emit
+    /// one per completed slice, then the final snapshot) and wake every
+    /// watcher blocked in wait_frames().
+    void push_frame(std::string frame);
+    /// Copy frames with index >= `seen` into `out` and return the new
+    /// high-water index. Blocks until fresh frames exist or the job is
+    /// terminal; terminal with nothing fresh returns `seen` and leaves
+    /// `out` empty — the watcher's end-of-stream signal.
+    std::size_t wait_frames(std::size_t seen,
+                            std::vector<std::string>& out) const;
+    /// Most recent frame ("" when the job produced none).
+    [[nodiscard]] std::string latest_frame() const;
+    [[nodiscard]] std::size_t frame_count() const;
+
     /// Per-point streaming sink for chunked sweep responses: invoked by
     /// the executor with one compact JSON line per completed point. Set
     /// before submit; never changed afterwards.
@@ -98,6 +112,7 @@ private:
     mutable std::condition_variable cv_;
     JobStatus status_ = JobStatus::kQueued;
     std::string result_;
+    std::vector<std::string> frames_;  ///< live health frames, in order
 };
 
 class JobQueue {
@@ -126,6 +141,9 @@ public:
     bool cancel(std::uint64_t id);
 
     [[nodiscard]] std::shared_ptr<JobState> find(std::uint64_t id) const;
+    /// Every job still queryable by id (queued, running and the retire
+    /// ring), ascending id — the /v1/health snapshot walks this.
+    [[nodiscard]] std::vector<std::shared_ptr<JobState>> jobs() const;
     [[nodiscard]] std::size_t depth() const;
     [[nodiscard]] std::uint64_t submitted() const {
         std::lock_guard<std::mutex> lk(mu_);

@@ -37,7 +37,9 @@ ServeServer::ServeServer(ServerOptions opts)
     : opts_(std::move(opts)),
       cache_(std::make_unique<ResultCache>(opts_.cache_path,
                                            opts_.cache_max_entries)),
-      executor_(*cache_, &metrics_) {}
+      executor_(*cache_, &metrics_) {
+    cache_->attach_metrics(&metrics_);
+}
 
 ServeServer::~ServeServer() { stop(); }
 
@@ -78,6 +80,8 @@ void ServeServer::worker_main(std::size_t worker_index) {
     for (;;) {
         std::shared_ptr<JobState> job = queue_.pop();
         if (!job) return;  // stop()
+        metrics_.histogram("serve.queue_wait_seconds")
+            .record(job->queue_wait_s());
         ExecOutcome out;
         try {
             out = executor_.execute(*job, pool);
@@ -111,6 +115,16 @@ void ServeServer::worker_main(std::size_t worker_index) {
 void ServeServer::handle(const HttpRequest& req, HttpExchange& ex) {
     obs::ScopedTimer t(&metrics_, "serve.request_seconds");
     metrics_.counter("serve.requests").inc();
+    route(req, ex);
+    // One access-log line per request, after the handler resolved it
+    // (chunked streams log once the stream closed, with total bytes).
+    obs::log_info("serve.access", req.method + " " + req.target,
+                  {{"status", ex.status()},
+                   {"bytes", static_cast<std::uint64_t>(ex.bytes_sent())},
+                   {"duration_s", t.seconds_so_far()}});
+}
+
+void ServeServer::route(const HttpRequest& req, HttpExchange& ex) {
     const std::string_view target = req.target;
     if (target == "/v1/run") {
         if (req.method != "POST") {
@@ -128,6 +142,10 @@ void ServeServer::handle(const HttpRequest& req, HttpExchange& ex) {
         handle_job_by_id(req, ex, target.substr(9));
     } else if (target == "/v1/healthz") {
         handle_healthz(ex);
+    } else if (target == "/v1/health") {
+        handle_health(ex);
+    } else if (target.rfind("/v1/watch/", 0) == 0) {
+        handle_watch(req, ex, target.substr(10));
     } else if (target == "/v1/stats") {
         handle_stats(ex);
     } else if (target == "/metrics") {
@@ -273,6 +291,68 @@ void ServeServer::handle_job_by_id(const HttpRequest& req, HttpExchange& ex,
         }
     }
     ex.respond(200, body);
+}
+
+void ServeServer::handle_health(HttpExchange& ex) {
+    // Latest in-situ lane-health frame of every queryable job that has
+    // produced one (scenario health_probe tasks). The frame is spliced
+    // in verbatim: it is the same compact gcdr.health/v1 JSON the run
+    // report and the /v1/watch stream carry.
+    std::string body = "{\"jobs\":[";
+    bool first = true;
+    for (const auto& job : queue_.jobs()) {
+        const std::string frame = job->latest_frame();
+        if (frame.empty()) continue;
+        if (!first) body += ',';
+        first = false;
+        body += "{\"job_id\":" + std::to_string(job->id()) +
+                ",\"status\":\"" + job_status_name(job->status()) +
+                "\",\"frames\":" + std::to_string(job->frame_count()) +
+                ",\"health\":" + frame + '}';
+    }
+    body += "]}";
+    ex.respond(200, body);
+}
+
+void ServeServer::handle_watch(const HttpRequest& req, HttpExchange& ex,
+                               std::string_view rest) {
+    if (req.method != "GET") {
+        ex.respond(405, error_body("GET required"));
+        return;
+    }
+    std::uint64_t id = 0;
+    if (!parse_job_id(rest, id)) {
+        ex.respond(400, error_body("bad job id"));
+        return;
+    }
+    std::shared_ptr<JobState> job = queue_.find(id);
+    if (!job) {
+        ex.respond(404, error_body("unknown job id"));
+        return;
+    }
+    metrics_.counter("serve.watch_streams").inc();
+    // Live stream on this connection thread: one chunk per health frame
+    // as the executor pushes them, a status trailer once terminal. A
+    // job without health frames (non-scenario, or a cache hit) blocks
+    // until terminal and streams only the trailer.
+    ex.begin_chunked(200);
+    std::size_t seen = 0;
+    std::vector<std::string> fresh;
+    for (;;) {
+        fresh.clear();
+        seen = job->wait_frames(seen, fresh);
+        for (const auto& f : fresh) ex.send_chunk(f + "\n");
+        if (ex.failed()) return;  // peer gone; connection drops
+        if (fresh.empty() && job_status_terminal(job->status())) break;
+    }
+    obs::JsonWriter w(obs::JsonWriter::kCompact);
+    w.begin_object();
+    w.key("job_id").value(id);
+    w.key("status").value(job_status_name(job->status()));
+    w.key("frames").value(static_cast<std::uint64_t>(seen));
+    w.end_object();
+    ex.send_chunk(w.str() + "\n");
+    ex.end_chunked();
 }
 
 void ServeServer::handle_healthz(HttpExchange& ex) {

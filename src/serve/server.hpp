@@ -13,9 +13,19 @@
 //   POST /v1/jobs/<id>/cancel cooperative cancel (DELETE /v1/jobs/<id>
 //                             is an alias)
 //   GET  /v1/healthz          {"status":"ok",...}
+//   GET  /v1/health           latest gcdr.health/v1 frame per job that
+//                             has produced one (scenario health_probe)
+//   GET  /v1/watch/<id>       chunked stream: one health frame per
+//                             chunk as the job emits them, then a final
+//                             {"job_id":..,"status":..} trailer; fully
+//                             cached jobs stream only the trailer
 //   GET  /v1/stats            queue depth, cache stats, uptime
 //   GET  /metrics             Prometheus text exposition
 //   POST /v1/shutdown         graceful stop (the serve_main loop exits)
+//
+// Every request is access-logged (serve.access: method, path, status,
+// body bytes, duration) and timed into serve.request_seconds; workers
+// record queue-wait latency into serve.queue_wait_seconds.
 //
 // Worker model: `workers` threads block on JobQueue::pop(); each runs
 // jobs on a private ThreadPool of `job_threads` lanes so one long sweep
@@ -68,7 +78,11 @@ public:
 
 private:
     void handle(const HttpRequest& req, HttpExchange& ex);
+    void route(const HttpRequest& req, HttpExchange& ex);
     void handle_run(const HttpRequest& req, HttpExchange& ex);
+    void handle_health(HttpExchange& ex);
+    void handle_watch(const HttpRequest& req, HttpExchange& ex,
+                      std::string_view rest);
     void handle_jobs(const HttpRequest& req, HttpExchange& ex);
     void handle_job_by_id(const HttpRequest& req, HttpExchange& ex,
                           std::string_view rest);

@@ -184,6 +184,7 @@ struct Lane {
     std::vector<double> margins;
     std::uint64_t ones = 0;
     std::int64_t last_clk_rise = -1;
+    obs::health::LaneHealthMonitor* health = nullptr;
 
     void init(const KernelConfig& k, NormalBank& bank, std::size_t idx) {
         kc = &k;
@@ -314,8 +315,10 @@ struct Lane {
 
     void on_ddin(std::int64_t t) {
         if (last_clk_rise < 0) return;  // clock not started yet
-        margins.push_back(cdr::lane_step::fold_margin_ui(
-            kc->rate, SimTime{t}, SimTime{last_clk_rise}, kc->improved));
+        const double margin = cdr::lane_step::fold_margin_ui(
+            kc->rate, SimTime{t}, SimTime{last_clk_rise}, kc->improved);
+        margins.push_back(margin);
+        if (health) health->on_margin(t, margin);
     }
 
     /// Listener dispatch for wire `w`; each case runs that wire's scalar
@@ -520,6 +523,16 @@ void ChannelBatch::run_until(SimTime t_end, exec::ThreadPool* pool) {
     std::vector<std::int64_t> targets(impl_->lanes.size(),
                                       t_end.femtoseconds());
     impl_->run_to_targets(targets, pool);
+}
+
+void ChannelBatch::attach_health(obs::health::HealthHub& hub) {
+    obs::health::HealthConfig hc;
+    hc.ui_fs = impl_->kc.rate.ui_seconds() * 1e15;
+    hc.center_ui = impl_->kc.improved ? 0.625 : 0.5;
+    hub.configure(impl_->lanes.size(), hc);
+    for (std::size_t l = 0; l < impl_->lanes.size(); ++l) {
+        impl_->lanes[l].health = &hub.lane(l);
+    }
 }
 
 void ChannelBatch::run_all(exec::ThreadPool* pool) {

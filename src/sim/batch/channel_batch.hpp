@@ -97,6 +97,17 @@ public:
     /// Wall seconds spent inside run_until()/run_all().
     [[nodiscard]] double run_seconds() const;
 
+    /// Attach an in-situ health hub (obs/health): (re)configures `hub`
+    /// with one monitor per lane — UI / sampling center from the shared
+    /// channel config — and feeds each monitor its lane's margin stream,
+    /// identical to what GccoChannel::attach_health feeds the scalar
+    /// path (the batch-vs-scalar health-identity test relies on this).
+    /// Pure observation: decisions, margins and event counts are
+    /// unchanged, and each monitor is only touched by the thread running
+    /// its lane, so snapshots are thread-count invariant. Call before
+    /// running; `hub` must outlive the batch.
+    void attach_health(obs::health::HealthHub& hub);
+
     /// Doubles per SIMD register in this build (1 = scalar fallback).
     [[nodiscard]] static std::size_t simd_width();
 

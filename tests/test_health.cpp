@@ -1,0 +1,375 @@
+// In-situ lane-health monitors (obs/health, DESIGN.md §14):
+//  - the hysteretic lock-state machine: settling time, neutral windows
+//    breaking streaks without feeding the lost counter, degraded ->
+//    locked re-lock accounting, consistently-bad acquisition going lost,
+//    the acquire timeout, and lost stickiness;
+//  - the fixed-bin histograms (edge clamping) and the pow2 sample ring
+//    (window completion on wrap);
+//  - gcdr.health/v1 snapshot shape;
+//  - observation purity: attaching a monitor never changes decisions,
+//    margins or executed-event counts;
+//  - batch-vs-scalar health identity and thread-count invariance (the
+//    same guarantees the decision path already has, extended to health
+//    snapshots);
+//  - flight-recorder dump-path collisions: two simultaneous dumps get
+//    distinct files.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "cdr/channel.hpp"
+#include "encoding/prbs.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "jitter/jitter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health/health_monitor.hpp"
+#include "obs/json_parse.hpp"
+#include "sim/batch/channel_batch.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gcdr;
+using namespace gcdr::obs::health;
+
+/// Small-window config so state transitions happen in a handful of
+/// samples: 4-sample windows, 1000 fs UI, default hysteresis.
+HealthConfig tiny_config() {
+    HealthConfig cfg;
+    cfg.ui_fs = 1000.0;
+    cfg.window = 4;
+    return cfg;
+}
+
+/// Feed `n` samples of constant margin, 1 UI apart, starting after the
+/// monitor's current sample count (times stay monotone across calls).
+void feed(LaneHealthMonitor& m, std::size_t n, double margin) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto t =
+            static_cast<std::int64_t>((m.samples() + 1) * 1000);
+        m.on_margin(t, margin);
+    }
+}
+
+constexpr double kGood = 0.50;     // pe 0, min margin well inside
+// Neutral must dodge BOTH bad triggers: margin >= 0.04 AND
+// |margin - center(0.5)| <= 0.42, i.e. margin in [0.08, 0.10) for
+// "not good, not bad".
+constexpr double kNeutral = 0.09;
+constexpr double kBad = 0.02;      // margin < bad_min_margin_ui
+
+TEST(HealthStateMachine, LocksAfterConsecutiveGoodWindows) {
+    LaneHealthMonitor m(tiny_config());
+    feed(m, 15, kGood);
+    EXPECT_EQ(m.state(), LockState::kAcquiring);
+    EXPECT_LT(m.settle_ui(), 0.0);
+    feed(m, 1, kGood);  // completes the 4th good window
+    EXPECT_EQ(m.state(), LockState::kLocked);
+    EXPECT_EQ(m.good_windows(), 4u);
+    EXPECT_EQ(m.bad_windows(), 0u);
+    // First sample at 1000 fs, lock decided at sample 16 (16000 fs):
+    // 15 UI of settling at 1000 fs/UI.
+    EXPECT_DOUBLE_EQ(m.settle_ui(), 15.0);
+    EXPECT_GT(m.score(), 0.9);
+}
+
+TEST(HealthStateMachine, NeutralWindowBreaksStreakWithoutCountingBad) {
+    LaneHealthMonitor m(tiny_config());
+    feed(m, 12, kGood);    // 3 good windows
+    feed(m, 4, kNeutral);  // streak reset, not bad
+    EXPECT_EQ(m.state(), LockState::kAcquiring);
+    EXPECT_EQ(m.bad_windows(), 0u);
+    feed(m, 12, kGood);
+    EXPECT_EQ(m.state(), LockState::kAcquiring);  // streak only 3
+    feed(m, 4, kGood);
+    EXPECT_EQ(m.state(), LockState::kLocked);
+}
+
+TEST(HealthStateMachine, DegradedWindowThenRelock) {
+    LaneHealthMonitor m(tiny_config());
+    feed(m, 16, kGood);
+    ASSERT_EQ(m.state(), LockState::kLocked);
+    feed(m, 4, kNeutral);  // one not-good window while locked
+    EXPECT_EQ(m.state(), LockState::kDegraded);
+    EXPECT_EQ(m.relocks(), 0u);
+    feed(m, 8, kGood);  // relock_windows = 2 good windows
+    EXPECT_EQ(m.state(), LockState::kLocked);
+    EXPECT_EQ(m.relocks(), 1u);
+    // Degraded at sample 20, relocked at sample 28: 8 UI.
+    EXPECT_DOUBLE_EQ(m.last_relock_ui(), 8.0);
+}
+
+TEST(HealthStateMachine, ConsistentlyBadAcquisitionGoesLost) {
+    LaneHealthMonitor m(tiny_config());
+    LockState from = LockState::kLocked;
+    int fired = 0;
+    m.on_lost = [&](LockState f) {
+        from = f;
+        ++fired;
+    };
+    feed(m, 4 * 6, kBad);  // lost_windows consecutive bad windows
+    EXPECT_EQ(m.state(), LockState::kLost);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(from, LockState::kAcquiring);
+    EXPECT_EQ(m.score(), 0.0);
+    // Lost is sticky within a run.
+    feed(m, 32, kGood);
+    EXPECT_EQ(m.state(), LockState::kLost);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(HealthStateMachine, LockedLaneGoesLostThroughDegraded) {
+    LaneHealthMonitor m(tiny_config());
+    LockState from = LockState::kAcquiring;
+    m.on_lost = [&](LockState f) { from = f; };
+    feed(m, 16, kGood);
+    ASSERT_EQ(m.state(), LockState::kLocked);
+    feed(m, 4, kBad);
+    EXPECT_EQ(m.state(), LockState::kDegraded);
+    feed(m, 4 * 5, kBad);
+    EXPECT_EQ(m.state(), LockState::kLost);
+    EXPECT_EQ(from, LockState::kDegraded);
+}
+
+TEST(HealthStateMachine, AcquireTimeoutReachesLost) {
+    HealthConfig cfg = tiny_config();
+    cfg.acquire_timeout_windows = 5;
+    LaneHealthMonitor m(cfg);
+    // Neutral forever: never good, never bad — only the timeout can
+    // terminate acquisition.
+    feed(m, 4 * 5, kNeutral);
+    EXPECT_EQ(m.state(), LockState::kLost);
+    EXPECT_EQ(m.bad_windows(), 0u);
+}
+
+TEST(FixedHistogramTest, ClampsOutOfRangeIntoEdgeBins) {
+    FixedHistogram h(-0.5, 1.0, 32);
+    h.record(-5.0);   // below lo -> bin 0
+    h.record(-0.5);   // exactly lo -> bin 0
+    h.record(5.0);    // above hi -> bin 31
+    h.record(1.0);    // exactly hi -> bin 31
+    h.record(0.25);   // interior: (0.25+0.5)/1.5*32 = 16
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(31), 2u);
+    EXPECT_EQ(h.count(16), 1u);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < h.bins(); ++i) total += h.count(i);
+    EXPECT_EQ(total, 5u);
+}
+
+TEST(HealthMonitor, SampleRingWrapsIntoWindows) {
+    LaneHealthMonitor m(tiny_config());
+    feed(m, 10, kGood);
+    EXPECT_EQ(m.samples(), 10u);
+    EXPECT_EQ(m.windows(), 2u);  // two complete 4-sample windows
+    // Every sample lands in the cumulative histograms, wrapped or not.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < m.margin_histogram().bins(); ++i) {
+        total += m.margin_histogram().count(i);
+    }
+    EXPECT_EQ(total, 10u);
+    EXPECT_EQ(m.last_window().min_margin_ui, kGood);
+    EXPECT_EQ(m.last_window().max_margin_ui, kGood);
+}
+
+TEST(HealthMonitor, WindowRoundsUpToPowerOfTwo) {
+    HealthConfig cfg = tiny_config();
+    cfg.window = 6;
+    LaneHealthMonitor m(cfg);
+    EXPECT_EQ(m.config().window, 8u);
+    feed(m, 8, kGood);
+    EXPECT_EQ(m.windows(), 1u);
+}
+
+TEST(HealthSnapshot, SchemaAndLaneFields) {
+    HealthHub hub(2, tiny_config());
+    feed(hub.lane(0), 16, kGood);
+    feed(hub.lane(1), 24, kBad);
+    EXPECT_EQ(hub.locked_lanes(), 1u);
+    EXPECT_FALSE(hub.all_locked());
+
+    const std::string json = hub.snapshot_json();
+    obs::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(obs::json_parse(json, v, &err)) << err;
+    EXPECT_EQ(v.find("schema")->string_or(""), "gcdr.health/v1");
+    const obs::JsonValue* lanes = v.find("lanes");
+    ASSERT_NE(lanes, nullptr);
+    ASSERT_EQ(lanes->items.size(), 2u);
+    const obs::JsonValue& l0 = lanes->items[0];
+    EXPECT_EQ(l0.find("lane")->uint_or(99), 0u);
+    EXPECT_EQ(l0.find("state")->string_or(""), "locked");
+    EXPECT_EQ(lanes->items[1].find("state")->string_or(""), "lost");
+    for (const char* key :
+         {"score", "samples", "windows", "good_windows", "bad_windows",
+          "margin_violations", "settle_ui", "relocks", "last_relock_ui",
+          "eye_ui", "drift_ui", "window", "pe_hist", "margin_hist"}) {
+        EXPECT_NE(l0.find(key), nullptr) << key;
+    }
+    EXPECT_EQ(l0.find("pe_hist")->find("counts")->items.size(), 32u);
+    // The hub snapshot embeds exactly the per-lane serialization.
+    EXPECT_NE(json.find(lane_health_json(hub.lane(0), 0)),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Integration with the scalar channel and the batched kernel.
+
+std::vector<jitter::Edge> lane_edges(std::uint64_t edge_seed,
+                                     std::size_t n_bits,
+                                     const jitter::StreamParams& sp) {
+    encoding::PrbsGenerator gen(encoding::PrbsOrder::kPrbs7);
+    Rng rng(edge_seed);
+    return jitter::jittered_edges(gen.bits(n_bits), sp, rng);
+}
+
+TEST(HealthIntegration, AttachedMonitorKeepsRunBitIdentical) {
+    constexpr std::size_t kBits = 300;
+    const auto cfg = cdr::ChannelConfig::nominal(2.5e9);
+    jitter::StreamParams sp;
+    sp.spec = jitter::JitterSpec::paper_table1();
+    sp.start = SimTime::ns(4);
+    const SimTime t_end =
+        sp.start + cfg.rate.ui_to_time(static_cast<double>(kBits));
+    const auto edges = lane_edges(77, kBits, sp);
+
+    auto run = [&](LaneHealthMonitor* mon) {
+        sim::Scheduler sched;
+        Rng rng(5);
+        cdr::GccoChannel ch(sched, rng, cfg, "h");
+        ch.attach_health(mon);
+        ch.drive(edges);
+        sched.run_until(t_end);
+        return std::tuple(ch.decisions(), ch.margins_ui(),
+                          sched.executed_events());
+    };
+
+    LaneHealthMonitor mon(health_config_for(cfg));
+    const auto [dd, dm, de] = run(nullptr);
+    const auto [ad, am, ae] = run(&mon);
+    ASSERT_EQ(ad.size(), dd.size());
+    for (std::size_t i = 0; i < ad.size(); ++i) {
+        EXPECT_EQ(ad[i].time, dd[i].time);
+        EXPECT_EQ(ad[i].bit, dd[i].bit);
+    }
+    EXPECT_EQ(am, dm);
+    EXPECT_EQ(ae, de);
+    // And the monitor actually observed the run.
+    EXPECT_EQ(mon.samples(), am.size());
+    EXPECT_GT(mon.windows(), 0u);
+}
+
+TEST(HealthIntegration, BatchHealthMatchesScalarHealth) {
+    constexpr std::size_t kBits = 300;
+    constexpr std::size_t kLanes = 3;
+    const auto cfg = cdr::ChannelConfig::nominal(2.5e9 / 1.03);
+    jitter::StreamParams sp;
+    sp.spec = jitter::JitterSpec::paper_table1();
+    sp.start = SimTime::ns(4);
+    const SimTime t_end =
+        sp.start + cfg.rate.ui_to_time(static_cast<double>(kBits));
+
+    sim::batch::ChannelBatch batch(cfg, kLanes);
+    HealthHub hub;
+    batch.attach_health(hub);
+    ASSERT_EQ(hub.lanes(), kLanes);
+    std::vector<std::vector<jitter::Edge>> edges(kLanes);
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        edges[k] = lane_edges(exec::derive_seed(9, 1000 + k), kBits, sp);
+        batch.seed_lane(k, exec::derive_seed(9, k));
+        batch.drive(k, edges[k]);
+    }
+    batch.run_until(t_end);
+
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        sim::Scheduler sched;
+        Rng rng(exec::derive_seed(9, k));
+        cdr::GccoChannel ch(sched, rng, cfg, "s");
+        LaneHealthMonitor mon(health_config_for(cfg));
+        ch.attach_health(&mon);
+        ch.drive(edges[k]);
+        sched.run_until(t_end);
+        EXPECT_EQ(lane_health_json(hub.lane(k), k),
+                  lane_health_json(mon, k))
+            << "lane " << k;
+    }
+}
+
+TEST(HealthIntegration, SnapshotIsThreadCountInvariant) {
+    constexpr std::size_t kBits = 400;
+    constexpr std::size_t kLanes = 6;
+    const auto cfg = cdr::ChannelConfig::nominal(2.5e9);
+    jitter::StreamParams sp;
+    sp.spec = jitter::JitterSpec::paper_table1();
+    sp.start = SimTime::ns(4);
+    const SimTime t_end =
+        sp.start + cfg.rate.ui_to_time(static_cast<double>(kBits));
+
+    auto snapshot = [&](exec::ThreadPool* pool) {
+        sim::batch::ChannelBatch batch(cfg, kLanes);
+        HealthHub hub;
+        batch.attach_health(hub);
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            batch.seed_lane(k, exec::derive_seed(5, k));
+            batch.drive(k,
+                        lane_edges(exec::derive_seed(5, 100 + k), kBits, sp));
+        }
+        batch.run_until(t_end, pool);
+        return hub.snapshot_json();
+    };
+
+    const std::string serial = snapshot(nullptr);
+    exec::ThreadPool pool2(2);
+    exec::ThreadPool pool4(4);
+    EXPECT_EQ(snapshot(&pool2), serial);
+    EXPECT_EQ(snapshot(&pool4), serial);
+}
+
+// ------------------------------------------------------------------
+// Flight-recorder dump-path collisions.
+
+TEST(FlightDumpCollision, SanitizedTagKeepsSafeCharsOnly) {
+    EXPECT_EQ(obs::sanitize_dump_tag("health_lost:ch3"),
+              "health_lost_ch3");
+    EXPECT_EQ(obs::sanitize_dump_tag(""), "dump");
+    EXPECT_EQ(obs::sanitize_dump_tag("a/b\\c d"), "a_b_c_d");
+}
+
+TEST(FlightDumpCollision, SimultaneousDumpsGetDistinctPaths) {
+    obs::FlightRecorder::Config cfg;
+    cfg.dump_dir = ::testing::TempDir();
+    cfg.max_dumps = 8;
+    obs::FlightRecorder rec(cfg);
+    rec.ring("ch0").append(1000, "din", 1.0);
+    rec.ring("ch1").append(2000, "din", 0.0);
+
+    // Two lanes losing lock at the same instant dump the same reason
+    // concurrently; the process-wide sequence must keep them apart.
+    std::string path_a;
+    std::string path_b;
+    std::thread t1([&] { path_a = rec.dump("health_lost:ch0"); });
+    std::thread t2([&] { path_b = rec.dump("health_lost:ch0"); });
+    t1.join();
+    t2.join();
+
+    ASSERT_FALSE(path_a.empty());
+    ASSERT_FALSE(path_b.empty());
+    EXPECT_NE(path_a, path_b);
+    for (const std::string& p : {path_a, path_b}) {
+        std::ifstream is(p);
+        EXPECT_TRUE(is.good()) << p;
+        std::string content((std::istreambuf_iterator<char>(is)),
+                            std::istreambuf_iterator<char>());
+        EXPECT_NE(content.find("gcdr.flight.dump/v1"), std::string::npos)
+            << p;
+    }
+}
+
+}  // namespace

@@ -187,6 +187,50 @@ const MalformedCase kMalformed[] = {
      R"({"schema":"gcdr.scenario/v1","name":"x",
          "tasks":[{"kind":"differential","prefix":"Bad Prefix"}]})",
      "prefix"},
+    {"pattern combined with prbs",
+     R"({"schema":"gcdr.scenario/v1","name":"x","netlist":{
+         "instances":{"s":{"kind":"source","pattern":[1,0],"prbs":7},
+                      "c":{"kind":"channel"},"m":{"kind":"monitor"}},
+         "wires":[{"from":"s.out","to":"c.din"},
+                  {"from":"c.dout","to":"m.in"}]},
+         "tasks":[{"kind":"netlist_run","prefix":"n"}]})",
+     "cannot be combined with \"bits\" or \"prbs\""},
+    {"repeat without pattern",
+     R"({"schema":"gcdr.scenario/v1","name":"x","netlist":{
+         "instances":{"s":{"kind":"source","repeat":4},
+                      "c":{"kind":"channel"},"m":{"kind":"monitor"}},
+         "wires":[{"from":"s.out","to":"c.din"},
+                  {"from":"c.dout","to":"m.in"}]},
+         "tasks":[{"kind":"netlist_run","prefix":"n"}]})",
+     "\"repeat\" only applies to a \"pattern\" source"},
+    {"non-bit pattern element",
+     R"({"schema":"gcdr.scenario/v1","name":"x","netlist":{
+         "instances":{"s":{"kind":"source","pattern":[1,2]},
+                      "c":{"kind":"channel"},"m":{"kind":"monitor"}},
+         "wires":[{"from":"s.out","to":"c.din"},
+                  {"from":"c.dout","to":"m.in"}]},
+         "tasks":[{"kind":"netlist_run","prefix":"n"}]})",
+     "pattern bits must be 0 or 1"},
+    {"rate_offset out of range",
+     R"({"schema":"gcdr.scenario/v1","name":"x","netlist":{
+         "instances":{"s":{"kind":"source","rate_offset":0.75},
+                      "c":{"kind":"channel"},"m":{"kind":"monitor"}},
+         "wires":[{"from":"s.out","to":"c.din"},
+                  {"from":"c.dout","to":"m.in"}]},
+         "tasks":[{"kind":"netlist_run","prefix":"n"}]})",
+     "want in [-0.5, 0.5]"},
+    {"health_probe without netlist",
+     R"({"schema":"gcdr.scenario/v1","name":"x",
+         "tasks":[{"kind":"health_probe","prefix":"h"}]})",
+     "health_probe task needs a \"netlist\" section"},
+    {"health_probe frames out of range",
+     R"({"schema":"gcdr.scenario/v1","name":"x","netlist":{
+         "instances":{"s":{"kind":"source"},
+                      "c":{"kind":"channel"},"m":{"kind":"monitor"}},
+         "wires":[{"from":"s.out","to":"c.din"},
+                  {"from":"c.dout","to":"m.in"}]},
+         "tasks":[{"kind":"health_probe","prefix":"h","frames":0}]})",
+     "want an integer in [1, 1000]"},
 };
 
 TEST(ScenarioDoc, MalformedDocumentsAreRejectedLoudly) {
@@ -279,11 +323,46 @@ TEST(ScenarioCanonical, SweepGeneratorsExpandDeterministically) {
     EXPECT_NEAR(logs[1], 0.01, 1e-12);
 }
 
+TEST(ScenarioCanonical, PatternSourceAndHealthProbeRoundTrip) {
+    // The health subsystem's fault-injection knobs: an explicit bit
+    // pattern (replacing the PRBS stream) with a repeat count and a TX
+    // rate offset, driven by a health_probe task. All three must survive
+    // the resolved-form round trip byte for byte.
+    ScenarioDoc doc;
+    std::vector<Diagnostic> diags;
+    ASSERT_TRUE(load(
+        R"({"schema":"gcdr.scenario/v1","name":"x","netlist":{
+            "instances":{
+              "s":{"kind":"source","pattern":[1,1,0,0],"repeat":10,
+                   "rate_offset":0.05,"start_ns":4.0},
+              "c":{"kind":"channel"},"m":{"kind":"monitor"}},
+            "wires":[{"from":"s.out","to":"c.din"},
+                     {"from":"c.dout","to":"m.in"}]},
+            "tasks":[{"kind":"health_probe","prefix":"h","frames":3}]})",
+        doc, diags))
+        << (diags.empty() ? "" : diags[0].render());
+    ASSERT_EQ(doc.tasks.size(), 1u);
+    EXPECT_EQ(doc.tasks[0].kind, TaskSpec::Kind::kHealthProbe);
+    EXPECT_EQ(doc.tasks[0].frames, 3u);
+    ASSERT_EQ(doc.netlist.sources.size(), 1u);
+    const SourceSpec& s = doc.netlist.sources[0];
+    EXPECT_EQ(s.pattern, (std::vector<int>{1, 1, 0, 0}));
+    EXPECT_EQ(s.repeat, 10u);
+    EXPECT_DOUBLE_EQ(s.rate_offset, 0.05);
+    const std::string r1 = resolved_json(doc);
+    ScenarioDoc doc2;
+    ASSERT_TRUE(scenario_from_string(r1, doc2, diags, "<resolved>"))
+        << (diags.empty() ? "" : diags[0].render());
+    EXPECT_EQ(resolved_json(doc2), r1);
+    EXPECT_EQ(scenario_hash(doc2), scenario_hash(doc));
+}
+
 // --- golden configs ------------------------------------------------------
 
 TEST(ScenarioGoldens, CommittedScenariosLoadAndRoundTrip) {
-    const char* goldens[] = {"fig9_ber_sj.json", "baseline_jtol.json",
-                             "multilane_smoke.json", "xval_sj030.json"};
+    const char* goldens[] = {"fig9_ber_sj.json",    "baseline_jtol.json",
+                             "multilane_smoke.json", "xval_sj030.json",
+                             "fig8_timing.json",     "health_smoke.json"};
     for (const char* g : goldens) {
         const std::string path = std::string(GCDR_SCENARIOS_DIR) + "/" + g;
         ScenarioDoc doc;

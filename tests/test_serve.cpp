@@ -16,6 +16,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/ledger.hpp"
+#include "obs/log.hpp"
 #include "serve/cache.hpp"
 #include "serve/canonical.hpp"
 #include "serve/executor.hpp"
@@ -684,6 +685,205 @@ TEST_F(ServeHttpTest, ShutdownEndpointFlagsTheMainLoop) {
     ASSERT_TRUE(client_->post("/v1/shutdown", "", resp));
     EXPECT_EQ(resp.status, 200);
     EXPECT_TRUE(server_->shutdown_requested());
+}
+
+// --- live lane-health streaming ------------------------------------------
+
+/// A one-lane health_probe scenario job, small enough to finish in well
+/// under a second: a 12-bit pattern tiled 60x through one jitter-free
+/// channel, probed in 4 frames.
+const char* kHealthProbeJob = R"({"type":"scenario","seed":1,"scenario":{
+  "schema":"gcdr.scenario/v1","name":"watch_probe","title":"watch probe",
+  "model":{"dj_uipp":0.0,"rj_uirms":0.0,"sj_uipp":0.0,"ckj_uirms":0.0},
+  "netlist":{"instances":{
+    "src0":{"kind":"source","pattern":[1,1,0,0,1,0,1,1,1,1,0,1],
+            "repeat":60,"start_ns":4.0},
+    "lane0":{"kind":"channel","f_osc_hz":2.5e9,"ckj_uirms":0.0},
+    "mon0":{"kind":"monitor"}},
+   "wires":[{"from":"src0.out","to":"lane0.din"},
+            {"from":"lane0.dout","to":"mon0.in"}]},
+  "tasks":[{"kind":"health_probe","prefix":"w","frames":4}]}})";
+
+std::vector<std::string> lane_states_of(const obs::JsonValue& health) {
+    std::vector<std::string> states;
+    const obs::JsonValue* lanes = health.find("lanes");
+    if (!lanes) return states;
+    for (const auto& lane : lanes->items) {
+        states.push_back(lane.find("state")->string_or(""));
+    }
+    return states;
+}
+
+TEST_F(ServeHttpTest, WatchStreamsIncrementalHealthFrames) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post("/v1/jobs", kHealthProbeJob, resp));
+    ASSERT_EQ(resp.status, 202);
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    const std::uint64_t id = v.find("job_id")->uint_or(0);
+    ASSERT_GT(id, 0u);
+
+    // The watch blocks until the job is terminal; frames are retained in
+    // the job state, so attaching late loses nothing.
+    HttpClient::Response watch;
+    ASSERT_TRUE(client_->get("/v1/watch/" + std::to_string(id), watch));
+    ASSERT_EQ(watch.status, 200);
+    EXPECT_TRUE(watch.chunked);
+    // frames=4 -> 3 incremental snapshots + the final one + the trailer.
+    ASSERT_EQ(watch.chunks.size(), 5u);
+    for (std::size_t i = 0; i + 1 < watch.chunks.size(); ++i) {
+        obs::JsonValue frame;
+        ASSERT_TRUE(obs::json_parse(watch.chunks[i], frame)) << i;
+        EXPECT_EQ(frame.find("schema")->string_or(""), "gcdr.health/v1")
+            << i;
+        ASSERT_EQ(frame.find("lanes")->items.size(), 1u) << i;
+    }
+    obs::JsonValue trailer;
+    ASSERT_TRUE(obs::json_parse(watch.chunks.back(), trailer));
+    EXPECT_EQ(trailer.find("job_id")->uint_or(0), id);
+    EXPECT_EQ(trailer.find("status")->string_or(""), "done");
+    EXPECT_EQ(trailer.find("frames")->uint_or(0), 4u);
+
+    // The final frame must agree with the result payload's health block:
+    // identical lock states, and byte-identical content once both are in
+    // canonical form (the cacheable payload is canonicalized, the live
+    // frame is the runner's raw compact serialization).
+    ASSERT_TRUE(client_->get("/v1/jobs/" + std::to_string(id), resp));
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    ASSERT_EQ(v.find("status")->string_or(""), "done");
+    const obs::JsonValue* tasks =
+        v.find("result")->find("payload")->find("tasks");
+    ASSERT_NE(tasks, nullptr);
+    const obs::JsonValue* health = tasks->find("w")->find("health");
+    ASSERT_NE(health, nullptr);
+    obs::JsonValue final_frame;
+    ASSERT_TRUE(
+        obs::json_parse(watch.chunks[watch.chunks.size() - 2], final_frame));
+    EXPECT_EQ(lane_states_of(final_frame), lane_states_of(*health));
+    EXPECT_EQ(lane_states_of(final_frame),
+              std::vector<std::string>{"locked"});
+    std::string canon_frame;
+    ASSERT_TRUE(canonicalize(watch.chunks[watch.chunks.size() - 2],
+                             canon_frame, nullptr));
+    EXPECT_EQ(canon_frame, canonical_json(*health));
+
+    // /v1/health snapshot lists the job with its latest frame.
+    ASSERT_TRUE(client_->get("/v1/health", resp));
+    ASSERT_EQ(resp.status, 200);
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    const obs::JsonValue* jobs = v.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    bool found = false;
+    for (const auto& j : jobs->items) {
+        if (j.find("job_id")->uint_or(0) != id) continue;
+        found = true;
+        EXPECT_EQ(j.find("status")->string_or(""), "done");
+        EXPECT_EQ(j.find("frames")->uint_or(0), 4u);
+        EXPECT_EQ(j.find("health")->find("schema")->string_or(""),
+                  "gcdr.health/v1");
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(ServeHttpTest, WatchOnFullyCachedJobStreamsOnlyTheTrailer) {
+    // Warm the cache, then resubmit: the cached job produces no live
+    // frames (documented), so the watch sees the trailer alone.
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post("/v1/run", kHealthProbeJob, resp));
+    ASSERT_EQ(resp.status, 200);
+    ASSERT_TRUE(client_->post("/v1/jobs", kHealthProbeJob, resp));
+    ASSERT_EQ(resp.status, 202);
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(resp.body, v));
+    const std::uint64_t id = v.find("job_id")->uint_or(0);
+
+    HttpClient::Response watch;
+    ASSERT_TRUE(client_->get("/v1/watch/" + std::to_string(id), watch));
+    ASSERT_EQ(watch.status, 200);
+    ASSERT_EQ(watch.chunks.size(), 1u);
+    obs::JsonValue trailer;
+    ASSERT_TRUE(obs::json_parse(watch.chunks[0], trailer));
+    EXPECT_EQ(trailer.find("status")->string_or(""), "done");
+    EXPECT_EQ(trailer.find("frames")->uint_or(99), 0u);
+}
+
+TEST_F(ServeHttpTest, WatchRejectsUnknownAndMalformedIds) {
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->get("/v1/watch/424242", resp));
+    EXPECT_EQ(resp.status, 404);
+    ASSERT_TRUE(client_->get("/v1/watch/nope", resp));
+    EXPECT_EQ(resp.status, 400);
+}
+
+TEST_F(ServeHttpTest, MetricsCarryQueueWaitAndCacheAgeHistograms) {
+    // A cold run records queue-wait; the warm rerun records the served
+    // entry's age.
+    const std::string body =
+        R"({"type":"ber","config":{"grid_dx":0.01,"sj_uipp":0.13}})";
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->post("/v1/run", body, resp));
+    ASSERT_TRUE(client_->post("/v1/run", body, resp));
+    ASSERT_TRUE(client_->get("/metrics", resp));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("gcdr_serve_queue_wait_seconds_count"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("gcdr_serve_cache_entry_age_seconds_count"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("gcdr_serve_cache_oldest_entry_age_seconds"),
+              std::string::npos);
+}
+
+class CaptureLogSink : public obs::LogSink {
+public:
+    void write(const obs::LogRecord& rec) override {
+        std::lock_guard<std::mutex> lk(mu_);
+        records_.push_back(rec);
+    }
+    [[nodiscard]] std::vector<obs::LogRecord> records() {
+        std::lock_guard<std::mutex> lk(mu_);
+        return records_;
+    }
+
+private:
+    std::mutex mu_;
+    std::vector<obs::LogRecord> records_;
+};
+
+TEST_F(ServeHttpTest, EveryRequestGetsAnAccessLogLine) {
+    auto sink = std::make_shared<CaptureLogSink>();
+    obs::Logger::global().clear_sinks();
+    obs::Logger::global().add_sink(sink);
+
+    HttpClient::Response resp;
+    ASSERT_TRUE(client_->get("/v1/healthz", resp));
+    ASSERT_EQ(resp.status, 200);
+
+    // The access line is written right after the response bytes go out;
+    // give the connection thread a bounded moment to reach it.
+    bool found = false;
+    for (int i = 0; i < 200 && !found; ++i) {
+        for (const auto& rec : sink->records()) {
+            if (rec.component != "serve.access") continue;
+            if (rec.message != "GET /v1/healthz") continue;
+            found = true;
+            std::uint64_t bytes = 0;
+            std::int64_t status = 0;
+            double duration = -1.0;
+            for (const auto& f : rec.fields) {
+                if (f.key == "status") status = f.i;
+                if (f.key == "bytes") bytes = f.u;
+                if (f.key == "duration_s") duration = f.d;
+            }
+            EXPECT_EQ(status, 200);
+            EXPECT_EQ(bytes, resp.body.size());
+            EXPECT_GE(duration, 0.0);
+        }
+        if (!found) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+    obs::Logger::global().reset();
+    EXPECT_TRUE(found);
 }
 
 }  // namespace
